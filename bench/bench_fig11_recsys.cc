@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Figure 11: Gaudi-2's single-device RecSys serving
+ * speedup (a) and energy-efficiency improvement (b) over A100 for the
+ * RM1 and RM2 DLRM configurations, sweeping batch size and embedding
+ * vector size.
+ *
+ * Paper anchors: average slowdowns of 22% (RM1) and 18% (RM2); up to
+ * 1.36x speedup at wide vectors + large batch; up to 70% loss for
+ * <256 B vectors on RM2; ~12% higher power and ~28% worse energy
+ * efficiency on average.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "models/dlrm.h"
+
+using namespace vespera;
+
+namespace {
+
+void
+sweep(const models::DlrmConfig &base)
+{
+    models::DlrmConfig cfg = base;
+    cfg.rowsPerTable = 1 << 13; // Functional-table footprint control.
+    models::DlrmModel model(cfg);
+
+    printHeading(strfmt("Figure 11: %s (Gaudi-2 relative to A100)",
+                        cfg.name.c_str()));
+    Table t({"Batch", "Emb vec (B)", "Speedup", "Power ratio",
+             "Energy-eff ratio"});
+    Accumulator speedups, power_ratio, eff;
+    double best = 0, worst = 10;
+    for (int batch : {256, 1024, 4096}) {
+        for (Bytes vec : {64, 128, 256, 512}) {
+            models::DlrmRunConfig run;
+            run.batch = batch;
+            run.embVectorBytes = vec;
+            Rng rng(1234);
+            auto g = model.run(DeviceKind::Gaudi2, run, rng);
+            auto a = model.run(DeviceKind::A100, run, rng);
+            const double speedup = g.samplesPerSec / a.samplesPerSec;
+            const double pr = g.power / a.power;
+            const double er = g.samplesPerJoule / a.samplesPerJoule;
+            speedups.add(speedup);
+            power_ratio.add(pr);
+            eff.add(er);
+            best = std::max(best, speedup);
+            worst = std::min(worst, speedup);
+            t.addRow({Table::integer(batch),
+                      Table::integer(static_cast<long long>(vec)),
+                      Table::num(speedup, 2), Table::num(pr, 2),
+                      Table::num(er, 2)});
+        }
+    }
+    t.print();
+    std::printf("\n%s averages: speedup %.2fx (paper ~%.2fx), power "
+                "%.2fx (paper ~1.12x), energy-eff %.2fx "
+                "(paper ~0.72x avg across RM1+RM2)\n",
+                cfg.name.c_str(), speedups.mean(),
+                cfg.name == "RM1" ? 0.78 : 0.82, power_ratio.mean(),
+                eff.mean());
+    std::printf("Best case %.2fx (paper max 1.36x), worst %.2fx\n",
+                best, worst);
+}
+
+} // namespace
+
+int
+main()
+{
+    sweep(models::DlrmConfig::rm1());
+    sweep(models::DlrmConfig::rm2());
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Regenerates Figure 12: (a) Gaudi-2's speedup over A100 serving
+ * Llama-3.1-8B on one device and Llama-3.1-70B over 2/4/8 devices
+ * with tensor parallelism, across batch sizes and output lengths
+ * (input fixed at 100); (b) prefill/decode latency breakdown for the
+ * 8B model at batch 64.
+ *
+ * Paper anchors: 8B single-device average speedup 1.47x (max 1.70x);
+ * 70B TP=2/4/8 averages 1.29/1.32/1.35x, growing with device count.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "models/llama.h"
+
+using namespace vespera;
+
+namespace {
+
+double
+speedupHeatmap(const models::LlamaConfig &cfg, int tp)
+{
+    models::LlamaModel model(cfg);
+    printHeading(strfmt("Figure 12(a): %s speedup, TP=%d",
+                        cfg.name.c_str(), tp));
+    Table t({"Batch \\ OutLen", "25", "50", "100", "200", "400"});
+    Accumulator acc;
+    for (int batch : {1, 4, 16, 64}) {
+        std::vector<std::string> row = {Table::integer(batch)};
+        for (int out : {25, 50, 100, 200, 400}) {
+            models::LlamaServingConfig s;
+            s.batch = batch;
+            s.inputLen = 100;
+            s.outputLen = out;
+            s.tpDevices = tp;
+            auto g = model.serve(DeviceKind::Gaudi2, s);
+            auto a = model.serve(DeviceKind::A100, s);
+            const double sp = a.totalTime / g.totalTime;
+            acc.add(sp);
+            row.push_back(Table::num(sp, 2));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print();
+    std::printf("Average speedup: %.2fx, max %.2fx\n", acc.mean(),
+                acc.max());
+    return acc.mean();
+}
+
+void
+latencyBreakdown()
+{
+    models::LlamaModel model(models::LlamaConfig::llama31_8b());
+    printHeading("Figure 12(b): Llama-8B latency breakdown, batch 64");
+
+    Table t1({"Output len (in=100)", "Prefill (ms)", "Decode (ms)",
+              "Decode share"});
+    for (int out : {25, 50, 100, 200, 400}) {
+        models::LlamaServingConfig s;
+        s.batch = 64;
+        s.inputLen = 100;
+        s.outputLen = out;
+        auto r = model.serve(DeviceKind::Gaudi2, s);
+        t1.addRow({Table::integer(out),
+                   Table::num(r.prefillTime * 1e3, 1),
+                   Table::num(r.decodeTime * 1e3, 1),
+                   Table::pct(r.decodeTime / r.totalTime)});
+    }
+    t1.print();
+
+    Table t2({"Input len (out=100)", "Prefill (ms)", "Decode (ms)",
+              "Prefill share"});
+    for (int in : {100, 200, 400, 800, 1600}) {
+        models::LlamaServingConfig s;
+        s.batch = 64;
+        s.inputLen = in;
+        s.outputLen = 100;
+        auto r = model.serve(DeviceKind::Gaudi2, s);
+        t2.addRow({Table::integer(in),
+                   Table::num(r.prefillTime * 1e3, 1),
+                   Table::num(r.decodeTime * 1e3, 1),
+                   Table::pct(r.prefillTime / r.totalTime)});
+    }
+    t2.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    const double s8 =
+        speedupHeatmap(models::LlamaConfig::llama31_8b(), 1);
+    double s70[3];
+    int i = 0;
+    for (int tp : {2, 4, 8})
+        s70[i++] = speedupHeatmap(models::LlamaConfig::llama31_70b(),
+                                  tp);
+
+    latencyBreakdown();
+
+    printHeading("Summary vs paper");
+    std::printf("8B  single-device avg: %.2fx (paper 1.47x)\n", s8);
+    std::printf("70B TP=2/4/8 avg: %.2f / %.2f / %.2fx "
+                "(paper 1.29 / 1.32 / 1.35x)\n",
+                s70[0], s70[1], s70[2]);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Figure 13: Gaudi-2's energy-efficiency improvement over
+ * A100 for Llama-3.1 serving — 8B on one device, 70B over 2/4/8
+ * devices — across batch sizes and output lengths.
+ *
+ * Paper anchors: +48% single-device, +48/51/56% for TP=2/4/8; Gaudi-2
+ * draws ~88% of A100's power on multi-device serving despite a 50%
+ * higher TDP.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "models/llama.h"
+
+using namespace vespera;
+
+namespace {
+
+std::pair<double, double>
+energyHeatmap(const models::LlamaConfig &cfg, int tp)
+{
+    models::LlamaModel model(cfg);
+    printHeading(strfmt("Figure 13: %s energy-efficiency ratio, TP=%d",
+                        cfg.name.c_str(), tp));
+    Table t({"Batch \\ OutLen", "25", "100", "400"});
+    Accumulator eff, power;
+    for (int batch : {1, 4, 16, 64}) {
+        std::vector<std::string> row = {Table::integer(batch)};
+        for (int out : {25, 100, 400}) {
+            models::LlamaServingConfig s;
+            s.batch = batch;
+            s.inputLen = 100;
+            s.outputLen = out;
+            s.tpDevices = tp;
+            auto g = model.serve(DeviceKind::Gaudi2, s);
+            auto a = model.serve(DeviceKind::A100, s);
+            eff.add(g.tokensPerJoule / a.tokensPerJoule);
+            power.add(g.avgPowerPerDevice / a.avgPowerPerDevice);
+            row.push_back(
+                Table::num(g.tokensPerJoule / a.tokensPerJoule, 2));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print();
+    std::printf("Average energy-efficiency ratio %.2fx, average power "
+                "ratio %.2fx\n",
+                eff.mean(), power.mean());
+    return {eff.mean(), power.mean()};
+}
+
+} // namespace
+
+int
+main()
+{
+    auto [e8, p8] = energyHeatmap(models::LlamaConfig::llama31_8b(), 1);
+    double e70[3], p70[3];
+    int i = 0;
+    for (int tp : {2, 4, 8}) {
+        auto [e, p] =
+            energyHeatmap(models::LlamaConfig::llama31_70b(), tp);
+        e70[i] = e;
+        p70[i] = p;
+        i++;
+    }
+
+    printHeading("Summary vs paper");
+    std::printf("Energy-efficiency: 8B %.2fx (paper 1.48x); "
+                "70B TP=2/4/8 %.2f / %.2f / %.2fx "
+                "(paper 1.48 / 1.51 / 1.56x)\n",
+                e8, e70[0], e70[1], e70[2]);
+    std::printf("Power ratio: 8B %.2fx (paper ~1.01x); multi-device "
+                "%.2f / %.2f / %.2fx (paper ~0.88x)\n",
+                p8, p70[0], p70[1], p70[2]);
+    return 0;
+}

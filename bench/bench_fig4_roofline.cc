@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 4: roofline of achieved BF16 TFLOPS on Gaudi-2
+ * and A100 for square-shaped GEMMs (M=K=N) and irregularly-shaped
+ * GEMMs (N fixed at 16).
+ *
+ * Paper anchors: Gaudi-2 outperforms A100 on every shape; it reaches
+ * 429 TFLOPS (99.3% of peak) at M=K=N=8192; N=16 shapes sit on the
+ * bandwidth slope.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "kern/gemm.h"
+
+using namespace vespera;
+
+int
+main()
+{
+    printHeading("Figure 4: GEMM roofline (BF16)");
+    std::printf("Square GEMMs (M=K=N) and irregular GEMMs (N=16).\n\n");
+
+    std::vector<hw::GemmShape> shapes;
+    for (std::int64_t s : {512, 1024, 2048, 4096, 8192, 16384})
+        shapes.push_back({s, s, s});
+    for (std::int64_t s : {2048, 4096, 8192, 16384, 32768})
+        shapes.push_back({s, s, 16});
+
+    Table table({"Shape (MxKxN)", "OI (flop/B)", "Gaudi-2 TFLOPS",
+                 "A100 TFLOPS", "Gaudi/A100", "Gaudi bound",
+                 "A100 bound"});
+    for (const auto &shape : shapes) {
+        auto g = kern::runGemm(DeviceKind::Gaudi2, shape,
+                               DataType::BF16);
+        auto a = kern::runGemm(DeviceKind::A100, shape, DataType::BF16);
+        const double oi =
+            shape.flops() /
+            static_cast<double>(shape.idealTraffic(DataType::BF16));
+        table.addRow(
+            {strfmt("%lldx%lldx%lld",
+                    static_cast<long long>(shape.m),
+                    static_cast<long long>(shape.k),
+                    static_cast<long long>(shape.n)),
+             Table::num(oi, 1), Table::num(g.achievedFlops / TFLOPS, 1),
+             Table::num(a.achievedFlops / TFLOPS, 1),
+             Table::num(g.achievedFlops / a.achievedFlops, 2),
+             g.memoryBound() ? "memory" : "compute",
+             a.memoryBound() ? "memory" : "compute"});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Regenerates Figure 8: STREAM-style ADD/SCALE/TRIAD microbenchmarks.
+ *
+ *  (a) single-TPC throughput vs data access granularity (2..2048 B),
+ *  (b) single-TPC throughput vs loop unroll factor,
+ *  (c) chip throughput vs TPC count (weak scaling),
+ *  (d,e,f) throughput and saturation utilization vs operational
+ *          intensity, Gaudi-2 vs A100.
+ *
+ * Paper anchors: sharp drop below 256 B granularity; SCALE gains the
+ * most from unrolling; chip saturation near 330/530/670 GFLOPS for
+ * ADD/SCALE/TRIAD at 11-15 TPCs; intensity sweeps saturate at 50%
+ * (ADD/SCALE) and ~99% (TRIAD) of vector peak on both devices.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "kern/stream.h"
+
+using namespace vespera;
+using kern::StreamConfig;
+using kern::StreamOp;
+
+namespace {
+
+constexpr std::uint64_t singleTpcElems = 1ull << 20;
+constexpr std::uint64_t chipElems = 24ull << 20;
+
+const std::vector<StreamOp> ops = {StreamOp::Add, StreamOp::Scale,
+                                   StreamOp::Triad};
+
+void
+granularitySweep()
+{
+    printHeading("Figure 8(a): single TPC, access granularity sweep "
+                 "(no unrolling)");
+    Table t({"Granularity (B)", "ADD GFLOPS", "SCALE GFLOPS",
+             "TRIAD GFLOPS"});
+    for (Bytes gran : {4, 16, 64, 128, 256, 512, 1024, 2048}) {
+        std::vector<std::string> row = {
+            Table::integer(static_cast<long long>(gran))};
+        for (StreamOp op : ops) {
+            StreamConfig c;
+            c.op = op;
+            c.numElements = singleTpcElems;
+            c.accessBytes = gran;
+            c.unroll = 1;
+            c.numTpcs = 1;
+            row.push_back(Table::num(kern::runStreamGaudi(c).gflops, 1));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print();
+}
+
+void
+unrollSweep()
+{
+    printHeading("Figure 8(b): single TPC, unroll factor sweep (256 B)");
+    Table t({"Unroll", "ADD GFLOPS", "SCALE GFLOPS", "TRIAD GFLOPS"});
+    for (int unroll : {1, 2, 4, 8, 16}) {
+        std::vector<std::string> row = {Table::integer(unroll)};
+        for (StreamOp op : ops) {
+            StreamConfig c;
+            c.op = op;
+            c.numElements = singleTpcElems;
+            c.unroll = unroll;
+            c.numTpcs = 1;
+            row.push_back(Table::num(kern::runStreamGaudi(c).gflops, 1));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print();
+}
+
+void
+weakScaling()
+{
+    printHeading("Figure 8(c): weak scaling over TPC count "
+                 "(24M elements, unroll 4)");
+    Table t({"TPCs", "ADD GFLOPS", "SCALE GFLOPS", "TRIAD GFLOPS"});
+    for (int tpcs : {1, 2, 4, 8, 11, 15, 20, 24}) {
+        std::vector<std::string> row = {Table::integer(tpcs)};
+        for (StreamOp op : ops) {
+            StreamConfig c;
+            c.op = op;
+            c.numElements = chipElems;
+            c.numTpcs = tpcs;
+            row.push_back(Table::num(kern::runStreamGaudi(c).gflops, 0));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print();
+    std::printf("\nPaper saturation: ~330 (ADD), ~530 (SCALE), "
+                "~670 (TRIAD) GFLOPS at 11-15 TPCs.\n");
+}
+
+void
+intensitySweep(StreamOp op, const char *panel)
+{
+    printHeading(strfmt("Figure 8(%s): %s operational-intensity sweep",
+                        panel, kern::streamOpName(op)));
+    Table t({"OI (flop/B)", "Gaudi-2 GFLOPS", "Gaudi-2 util",
+             "A100 GFLOPS", "A100 util"});
+    double g_sat = 0, a_sat = 0;
+    for (int extra : {0, 2, 8, 32, 128, 512}) {
+        StreamConfig cg;
+        cg.op = op;
+        cg.numElements = 1ull << 20;
+        cg.extraComputePerVector = extra;
+        auto g = kern::runStreamGaudi(cg);
+
+        StreamConfig ca = cg;
+        ca.numElements = 16ull << 20;
+        auto a = kern::runStreamA100(ca);
+
+        g_sat = std::max(g_sat, g.vectorUtilization);
+        a_sat = std::max(a_sat, a.vectorUtilization);
+        t.addRow({Table::num(g.operationalIntensity, 2),
+                  Table::num(g.gflops, 0),
+                  Table::pct(g.vectorUtilization),
+                  Table::num(a.gflops, 0),
+                  Table::pct(a.vectorUtilization)});
+    }
+    t.print();
+    std::printf("Saturation utilization: Gaudi-2 %.0f%%, A100 %.0f%% "
+                "(paper: %s)\n",
+                g_sat * 100, a_sat * 100,
+                op == StreamOp::Triad ? "~99% both" : "~50% both");
+}
+
+} // namespace
+
+int
+main()
+{
+    granularitySweep();
+    unrollSweep();
+    weakScaling();
+    intensitySweep(StreamOp::Add, "d");
+    intensitySweep(StreamOp::Scale, "e");
+    intensitySweep(StreamOp::Triad, "f");
+    return 0;
+}

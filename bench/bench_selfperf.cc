@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's own hot paths
+ * (GEMM costing, TPC pipeline evaluation, collective costing). These
+ * guard the interactive performance of the serving-engine simulations,
+ * which evaluate thousands of step graphs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coll/collective.h"
+#include "kern/gemm.h"
+#include "kern/stream.h"
+#include "models/llama.h"
+#include "tpc/dispatcher.h"
+
+using namespace vespera;
+
+namespace {
+
+void
+BM_MmeGemmCost(benchmark::State &state)
+{
+    const hw::GemmShape shape{state.range(0), state.range(0),
+                              state.range(0)};
+    for (auto _ : state) {
+        auto c = kern::runGemm(DeviceKind::Gaudi2, shape,
+                               DataType::BF16);
+        benchmark::DoNotOptimize(c.time);
+    }
+}
+BENCHMARK(BM_MmeGemmCost)->Arg(1024)->Arg(8192);
+
+void
+BM_TensorCoreGemmCost(benchmark::State &state)
+{
+    const hw::GemmShape shape{state.range(0), state.range(0),
+                              state.range(0)};
+    for (auto _ : state) {
+        auto c = kern::runGemm(DeviceKind::A100, shape, DataType::BF16);
+        benchmark::DoNotOptimize(c.time);
+    }
+}
+BENCHMARK(BM_TensorCoreGemmCost)->Arg(1024)->Arg(8192);
+
+void
+BM_TpcStreamTrace(benchmark::State &state)
+{
+    kern::StreamConfig c;
+    c.op = kern::StreamOp::Triad;
+    c.numElements = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        auto r = kern::runStreamGaudi(c);
+        benchmark::DoNotOptimize(r.gflops);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TpcStreamTrace)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_CollectiveCost(benchmark::State &state)
+{
+    auto hccl = coll::CollectiveModel::hcclOnGaudi2();
+    for (auto _ : state) {
+        auto r = hccl.run(coll::CollectiveOp::AllReduce, 16 << 20, 8);
+        benchmark::DoNotOptimize(r.time);
+    }
+}
+BENCHMARK(BM_CollectiveCost);
+
+void
+BM_LlamaDecodeStepCost(benchmark::State &state)
+{
+    models::LlamaModel model(models::LlamaConfig::llama31_8b());
+    models::LlamaServingConfig cfg;
+    for (auto _ : state) {
+        Seconds t = model.stepTime(DeviceKind::Gaudi2, 32, 1, 1024,
+                                   false, cfg);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_LlamaDecodeStepCost);
+
+} // namespace
+
+BENCHMARK_MAIN();

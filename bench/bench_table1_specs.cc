@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Table 1: hardware specification comparison of NVIDIA
+ * A100 and Intel Gaudi-2.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/device_spec.h"
+
+using namespace vespera;
+
+int
+main()
+{
+    const auto &g = hw::gaudi2Spec();
+    const auto &a = hw::a100Spec();
+
+    printHeading("Table 1: NVIDIA A100 vs Intel Gaudi-2");
+    Table t({"Metric", "A100", "Gaudi-2", "Ratio"});
+
+    auto ratio = [](double gaudi, double a100) {
+        return Table::num(gaudi / a100, 1) + "x";
+    };
+
+    t.addRow({"BF16 TFLOPS (matrix engines)",
+              Table::num(a.matrixPeakBf16 / TFLOPS, 0),
+              Table::num(g.matrixPeakBf16 / TFLOPS, 0),
+              ratio(g.matrixPeakBf16, a.matrixPeakBf16)});
+    t.addRow({"BF16 TFLOPS (vector engines)",
+              Table::num(a.vectorPeakBf16 / TFLOPS, 0),
+              Table::num(g.vectorPeakBf16 / TFLOPS, 0),
+              ratio(g.vectorPeakBf16, a.vectorPeakBf16)});
+    t.addRow({"HBM capacity (GB)",
+              Table::num(static_cast<double>(a.hbmCapacity) / GiB, 0),
+              Table::num(static_cast<double>(g.hbmCapacity) / GiB, 0),
+              ratio(static_cast<double>(g.hbmCapacity),
+                    static_cast<double>(a.hbmCapacity))});
+    t.addRow({"HBM bandwidth (TB/s)",
+              Table::num(a.hbmBandwidth / TB, 2),
+              Table::num(g.hbmBandwidth / TB, 2),
+              ratio(g.hbmBandwidth, a.hbmBandwidth)});
+    t.addRow({"SRAM capacity (MB)",
+              Table::num(static_cast<double>(a.sramCapacity) / MiB, 0),
+              Table::num(static_cast<double>(g.sramCapacity) / MiB, 0),
+              ratio(static_cast<double>(g.sramCapacity),
+                    static_cast<double>(a.sramCapacity))});
+    t.addRow({"Comm BW bidirectional (GB/s)",
+              Table::num(a.commBandwidthBidir / GB, 0),
+              Table::num(g.commBandwidthBidir / GB, 0),
+              ratio(g.commBandwidthBidir, a.commBandwidthBidir)});
+    t.addRow({"Power (W)", Table::num(a.tdp, 0), Table::num(g.tdp, 0),
+              ratio(g.tdp, a.tdp)});
+    t.addRow({"Min access granularity (B)",
+              Table::integer(static_cast<long long>(
+                  a.minAccessGranularity)),
+              Table::integer(static_cast<long long>(
+                  g.minAccessGranularity)),
+              ratio(static_cast<double>(g.minAccessGranularity),
+                    static_cast<double>(a.minAccessGranularity))});
+    t.print();
+    return 0;
+}

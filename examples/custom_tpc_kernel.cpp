@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Writing your own TPC-C kernel: a fused scale-and-accumulate
+ * (y = alpha * x + y, SAXPY) implemented three ways, demonstrating the
+ * two TPC programming best practices the paper teaches (Section 2.2):
+ * 256 B access granularity and manual loop unrolling.
+ *
+ * Run: ./build/examples/custom_tpc_kernel
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "tpc/dispatcher.h"
+
+using namespace vespera;
+
+namespace {
+
+/// SAXPY kernel with configurable access granularity and unrolling.
+tpc::Kernel
+makeSaxpy(const tpc::Tensor &x, tpc::Tensor &y, float alpha,
+          std::int64_t n, std::int64_t per_tpc, Bytes access_bytes,
+          int unroll)
+{
+    return [&x, &y, alpha, n, per_tpc, access_bytes,
+            unroll](tpc::TpcContext &ctx) {
+        const auto lanes =
+            static_cast<std::int64_t>(access_bytes / 4);
+        for (std::int64_t w = ctx.memberStart(1); w < ctx.memberEnd(1);
+             w++) {
+            const std::int64_t begin = w * per_tpc;
+            const std::int64_t end = std::min(begin + per_tpc, n);
+            for (std::int64_t d = begin; d < end;
+                 d += lanes * unroll) {
+                std::vector<tpc::Vec> xs, ys;
+                for (int u = 0; u < unroll; u++) {
+                    const std::int64_t at = d + u * lanes;
+                    if (at >= end)
+                        break;
+                    tpc::Int5 coord{at, 0, 0, 0, 0};
+                    xs.push_back(
+                        ctx.v_ld_tnsr(coord, x, access_bytes));
+                    ys.push_back(
+                        ctx.v_ld_tnsr(coord, y, access_bytes));
+                }
+                for (std::size_t u = 0; u < xs.size(); u++) {
+                    tpc::Vec r = ctx.v_mac_s(xs[u], alpha, ys[u]);
+                    tpc::Int5 coord{
+                        d + static_cast<std::int64_t>(u) * lanes, 0, 0,
+                        0, 0};
+                    ctx.v_st_tnsr(coord, y, r);
+                }
+            }
+        }
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t n = 1 << 22;
+    const float alpha = 2.0f;
+    const int num_tpcs = 24;
+    const std::int64_t per_tpc = (n + num_tpcs - 1) / num_tpcs;
+
+    tpc::TpcDispatcher dispatcher;
+    tpc::IndexSpace space;
+    space.size = {1, num_tpcs, 1, 1, 1};
+
+    printHeading("SAXPY on the simulated Gaudi-2 TPC array "
+                 "(4M FP32 elements)");
+    Table t({"Variant", "Granularity", "Unroll", "Time (us)",
+             "GB/s", "vs naive"});
+
+    struct Variant { const char *name; Bytes gran; int unroll; };
+    const Variant variants[] = {
+        {"naive (64 B, no unroll)", 64, 1},
+        {"aligned (256 B)", 256, 1},
+        {"aligned + unrolled x4", 256, 4},
+    };
+
+    double naive_time = 0;
+    for (const auto &v : variants) {
+        tpc::Tensor x({n}, DataType::FP32), y({n}, DataType::FP32);
+        x.fill([](std::int64_t i) { return static_cast<float>(i % 7); });
+        y.fill([](std::int64_t i) { return static_cast<float>(i % 3); });
+
+        auto kernel = makeSaxpy(x, y, alpha, n, per_tpc, v.gran,
+                                v.unroll);
+        tpc::LaunchParams params;
+        params.vectorBytes = v.gran;
+        auto r = dispatcher.launch(kernel, space, params);
+
+        // Functional check.
+        for (std::int64_t i = 0; i < n; i += n / 5) {
+            const float want = alpha * (i % 7) + (i % 3);
+            if (y.at(i) != want) {
+                std::fprintf(stderr, "mismatch at %lld\n",
+                             static_cast<long long>(i));
+                return 1;
+            }
+        }
+
+        if (naive_time == 0)
+            naive_time = r.time;
+        const double gbps = 12.0 * n / r.time / 1e9; // 3 x 4 B/elem.
+        t.addRow({v.name,
+                  Table::integer(static_cast<long long>(v.gran)),
+                  Table::integer(v.unroll), Table::num(r.time * 1e6, 1),
+                  Table::num(gbps, 0),
+                  Table::num(naive_time / r.time, 2)});
+    }
+    t.print();
+
+    // At 24 TPCs the chip is bandwidth-bound, hiding the unroll win;
+    // on a single TPC — where the paper's Figure 8(a,b) operates —
+    // both practices show separately.
+    printHeading("Same sweep on a single TPC");
+    Table s({"Variant", "Time (us)", "GB/s"});
+    tpc::IndexSpace one;
+    one.size = {1, 1, 1, 1, 1};
+    const std::int64_t small_n = 1 << 20;
+    for (const auto &v : variants) {
+        tpc::Tensor x({small_n}, DataType::FP32);
+        tpc::Tensor y({small_n}, DataType::FP32);
+        x.fill([](std::int64_t i) { return static_cast<float>(i % 7); });
+        y.fill([](std::int64_t i) { return static_cast<float>(i % 3); });
+        auto kernel = makeSaxpy(x, y, alpha, small_n, small_n, v.gran,
+                                v.unroll);
+        tpc::LaunchParams params;
+        params.numTpcs = 1;
+        params.vectorBytes = v.gran;
+        auto r = dispatcher.launch(kernel, one, params);
+        s.addRow({v.name, Table::num(r.time * 1e6, 1),
+                  Table::num(12.0 * small_n / r.time / 1e9, 1)});
+    }
+    s.print();
+    std::printf("\nBoth best practices applied: aligned 256 B accesses "
+                "+ unrolling.\n");
+    return 0;
+}

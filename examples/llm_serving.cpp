@@ -1,0 +1,71 @@
+/**
+ * @file
+ * LLM serving scenario: Llama-3.1-70B with tensor parallelism, plus a
+ * continuous-batching vLLM-style engine run on a dynamic trace —
+ * comparing attention backends and reporting SLO metrics (TTFT/TPOT).
+ *
+ * Run: ./build/examples/llm_serving
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "serve/engine.h"
+
+using namespace vespera;
+
+int
+main()
+{
+    // --- Offline fixed-shape serving: 70B across TP degrees ---------
+    models::LlamaModel big(models::LlamaConfig::llama31_70b());
+    printHeading("Llama-3.1-70B, batch 16, 100 in / 200 out");
+    Table t({"TP", "Device", "Prefill (ms)", "Decode (s)", "Tok/s",
+             "Power/dev (W)", "Tok/J"});
+    for (int tp : {2, 4, 8}) {
+        for (auto dev : {DeviceKind::Gaudi2, DeviceKind::A100}) {
+            models::LlamaServingConfig cfg;
+            cfg.batch = 16;
+            cfg.inputLen = 100;
+            cfg.outputLen = 200;
+            cfg.tpDevices = tp;
+            auto r = big.serve(dev, cfg);
+            t.addRow({Table::integer(tp), deviceName(dev),
+                      Table::num(r.prefillTime * 1e3, 1),
+                      Table::num(r.decodeTime, 2),
+                      Table::num(r.tokensPerSec, 0),
+                      Table::num(r.avgPowerPerDevice, 0),
+                      Table::num(r.tokensPerJoule, 1)});
+        }
+    }
+    t.print();
+
+    // --- Online continuous batching on a dynamic trace --------------
+    models::LlamaModel small(models::LlamaConfig::llama31_8b());
+    printHeading("vLLM-style online serving, Llama-8B, dynamic trace");
+    Table s({"Attention backend", "Tok/s", "Mean TTFT (s)",
+             "Mean TPOT (ms)", "p99 TTFT (s)", "Preemptions"});
+    for (auto backend : {models::AttentionBackend::VllmBase,
+                         models::AttentionBackend::VllmOpt}) {
+        serve::EngineConfig ecfg;
+        ecfg.device = DeviceKind::Gaudi2;
+        ecfg.maxDecodeBatch = 32;
+        ecfg.attention = backend;
+        serve::Engine engine(small, ecfg);
+
+        serve::TraceConfig tc;
+        tc.numRequests = 96;
+        Rng rng(7);
+        auto metrics = engine.run(serve::makeDynamicTrace(tc, rng));
+        s.addRow({backend == models::AttentionBackend::VllmOpt
+                      ? "vLLM_opt (BlockList)"
+                      : "vLLM_base (BlockTable)",
+                  Table::num(metrics.throughputTokensPerSec, 0),
+                  Table::num(metrics.meanTtft, 2),
+                  Table::num(metrics.meanTpot * 1e3, 1),
+                  Table::num(metrics.p99Ttft, 2),
+                  Table::integer(metrics.preemptions)});
+    }
+    s.print();
+    return 0;
+}

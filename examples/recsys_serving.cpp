@@ -1,0 +1,68 @@
+/**
+ * @file
+ * RecSys serving scenario: serve the paper's RM2 (memory-intensive
+ * DLRM) on both devices, compare the three Gaudi embedding-operator
+ * variants of Section 4.1, and report end-to-end latency, power, and
+ * energy per inference.
+ *
+ * Run: ./build/examples/recsys_serving
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "models/dlrm.h"
+
+using namespace vespera;
+
+int
+main()
+{
+    models::DlrmConfig cfg = models::DlrmConfig::rm2();
+    cfg.rowsPerTable = 1 << 13;
+    models::DlrmModel model(cfg);
+
+    // --- Embedding operator shootout (Section 4.1) ------------------
+    kern::EmbeddingConfig emb;
+    emb.numTables = cfg.numTables;
+    emb.rowsPerTable = cfg.rowsPerTable;
+    emb.pooling = cfg.pooling;
+    emb.vectorBytes = 256;
+    emb.batch = 1024;
+    kern::EmbeddingLayerGaudi layer(emb);
+
+    printHeading("Embedding operator variants (RM2 layer, batch 1024)");
+    Table ops({"Variant", "Time (us)", "HBM util", "Launches"});
+    for (auto v : {kern::EmbeddingVariant::SdkSingleTable,
+                   kern::EmbeddingVariant::SingleTable,
+                   kern::EmbeddingVariant::BatchedTable}) {
+        Rng rng(1);
+        auto r = layer.run(v, rng);
+        ops.addRow({kern::embeddingVariantName(v),
+                    Table::num(r.time * 1e6, 1),
+                    Table::pct(r.hbmUtilization),
+                    Table::integer(r.kernelLaunches)});
+    }
+    ops.print();
+
+    // --- End-to-end serving -----------------------------------------
+    printHeading("End-to-end RM2 serving");
+    Table t({"Device", "Batch", "Latency (ms)", "Samples/s", "Power (W)",
+             "Samples/J"});
+    for (int batch : {512, 2048}) {
+        models::DlrmRunConfig run;
+        run.batch = batch;
+        run.embVectorBytes = 256;
+        for (auto dev : {DeviceKind::Gaudi2, DeviceKind::A100}) {
+            Rng rng(2);
+            auto r = model.run(dev, run, rng);
+            t.addRow({deviceName(dev), Table::integer(batch),
+                      Table::num(r.time * 1e3, 2),
+                      Table::num(r.samplesPerSec, 0),
+                      Table::num(r.power, 0),
+                      Table::num(r.samplesPerJoule, 0)});
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,149 @@
+#include "coll/collective.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vespera::coll {
+
+const char *
+collectiveName(CollectiveOp op)
+{
+    switch (op) {
+      case CollectiveOp::AllReduce:
+        return "AllReduce";
+      case CollectiveOp::AllGather:
+        return "AllGather";
+      case CollectiveOp::ReduceScatter:
+        return "ReduceScatter";
+      case CollectiveOp::AllToAll:
+        return "AllToAll";
+      case CollectiveOp::Reduce:
+        return "Reduce";
+      case CollectiveOp::Broadcast:
+        return "Broadcast";
+    }
+    return "?";
+}
+
+CollectiveModel::CollectiveModel(const net::FabricSpec &fabric,
+                                 Backend backend)
+    : fabric_(fabric), backend_(backend)
+{
+}
+
+CollectiveModel
+CollectiveModel::hcclOnGaudi2()
+{
+    return {net::FabricSpec::hlsGaudi2(), Backend::Hccl};
+}
+
+CollectiveModel
+CollectiveModel::ncclOnDgxA100()
+{
+    return {net::FabricSpec::dgxA100(), Backend::Nccl};
+}
+
+double
+CollectiveModel::busFactor(CollectiveOp op, int n)
+{
+    // nccl-tests PERFORMANCE.md: busBW = algBW x factor, normalizing
+    // each collective's traffic so busBW is comparable to link speed.
+    switch (op) {
+      case CollectiveOp::AllReduce:
+        return 2.0 * (n - 1) / n;
+      case CollectiveOp::AllGather:
+      case CollectiveOp::ReduceScatter:
+      case CollectiveOp::AllToAll:
+        return static_cast<double>(n - 1) / n;
+      case CollectiveOp::Reduce:
+      case CollectiveOp::Broadcast:
+        return 1.0;
+    }
+    vpanic("unknown collective");
+}
+
+double
+CollectiveModel::backendEfficiency(CollectiveOp op) const
+{
+    // Sustained fraction of raw link bandwidth each library achieves at
+    // large message sizes, calibrated to Figure 10's 32 MB points:
+    // HCCL's statically-scheduled direct algorithms run its RoCE links
+    // hot; NCCL's ring protocols over NVSwitch land lower — except
+    // AllToAll, where the crossbar switch is the natural fit and the
+    // P2P fabric must serialize pairwise exchanges on 3-link bundles.
+    switch (backend_) {
+      case Backend::Hccl:
+        switch (op) {
+          case CollectiveOp::AllReduce:
+          case CollectiveOp::AllGather:
+          case CollectiveOp::ReduceScatter:
+            return 0.95;
+          case CollectiveOp::AllToAll:
+            return 0.70;
+          case CollectiveOp::Reduce:
+          case CollectiveOp::Broadcast:
+            return 0.92;
+        }
+        break;
+      case Backend::Nccl:
+        switch (op) {
+          case CollectiveOp::AllReduce:
+            return 0.78;
+          case CollectiveOp::AllGather:
+          case CollectiveOp::ReduceScatter:
+            return 0.80;
+          case CollectiveOp::AllToAll:
+            return 0.88;
+          case CollectiveOp::Reduce:
+            return 0.75;
+          case CollectiveOp::Broadcast:
+            return 0.78;
+        }
+        break;
+    }
+    vpanic("unknown backend/op");
+}
+
+CollectiveResult
+CollectiveModel::run(CollectiveOp op, Bytes bytes, int num_devices) const
+{
+    vassert(bytes > 0, "empty collective");
+    vassert(num_devices >= 2 && num_devices <= fabric_.maxDevices,
+            "num_devices %d out of range", num_devices);
+
+    const double factor = busFactor(op, num_devices);
+    const BytesPerSec inj = fabric_.injectionBandwidth(num_devices);
+    const double eff = backendEfficiency(op);
+
+    // Latency term: direct P2P algorithms complete in a constant number
+    // of rounds; ring algorithms take O(n) steps.
+    double steps;
+    Seconds sw_overhead;
+    switch (backend_) {
+      case Backend::Hccl:
+        steps = op == CollectiveOp::AllReduce ? 2.0 : 1.0;
+        sw_overhead = 12e-6;
+        break;
+      case Backend::Nccl:
+        steps = op == CollectiveOp::AllReduce
+                    ? 2.0 * (num_devices - 1)
+                    : static_cast<double>(num_devices - 1);
+        sw_overhead = 8e-6;
+        break;
+      default:
+        vpanic("unknown backend");
+    }
+
+    const Seconds latency = sw_overhead + steps * fabric_.linkLatency;
+    const Seconds data = static_cast<double>(bytes) * factor / (inj * eff);
+
+    CollectiveResult r;
+    r.time = latency + data;
+    r.algoBandwidth = static_cast<double>(bytes) / r.time;
+    r.busBandwidth = r.algoBandwidth * factor;
+    r.busBandwidthUtilization = r.busBandwidth / fabric_.perDeviceBandwidth;
+    return r;
+}
+
+} // namespace vespera::coll

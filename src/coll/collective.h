@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Collective-communication models (the HCCL / NCCL substitutes used for
+ * Figure 10 and for tensor-parallel LLM serving).
+ *
+ * Bus bandwidth follows the nccl-tests accounting: busBW = algBW x a
+ * per-collective factor that normalizes for the traffic each algorithm
+ * must move, so busBW is directly comparable to link bandwidth.
+ */
+
+#ifndef VESPERA_COLL_COLLECTIVE_H
+#define VESPERA_COLL_COLLECTIVE_H
+
+#include <string>
+
+#include "net/topology.h"
+
+namespace vespera::coll {
+
+/** The six collectives the paper characterizes (Figure 10). */
+enum class CollectiveOp {
+    AllReduce,
+    AllGather,
+    ReduceScatter,
+    AllToAll,
+    Reduce,
+    Broadcast,
+};
+
+constexpr int numCollectiveOps = 6;
+
+/** Display name. */
+const char *collectiveName(CollectiveOp op);
+
+/** Outcome of one collective. */
+struct CollectiveResult
+{
+    Seconds time = 0;
+    BytesPerSec algoBandwidth = 0; ///< size / time.
+    BytesPerSec busBandwidth = 0;  ///< algBW x collective factor.
+    /// busBandwidth / per-device injection cap (the paper's y-axis).
+    double busBandwidthUtilization = 0;
+};
+
+/**
+ * Collective library model bound to one fabric. `Backend::Hccl` runs
+ * direct P2P algorithms over the Gaudi fabric; `Backend::Nccl` runs
+ * ring/tree algorithms over NVSwitch.
+ */
+class CollectiveModel
+{
+  public:
+    enum class Backend { Hccl, Nccl };
+
+    CollectiveModel(const net::FabricSpec &fabric, Backend backend);
+
+    /** Per-device payload `bytes`, `numDevices` participants. */
+    CollectiveResult run(CollectiveOp op, Bytes bytes,
+                         int num_devices) const;
+
+    /** nccl-tests busBW factor for the collective. */
+    static double busFactor(CollectiveOp op, int num_devices);
+
+    /** Sustained link efficiency of this backend for the collective. */
+    double backendEfficiency(CollectiveOp op) const;
+
+    Backend backend() const { return backend_; }
+    const net::FabricSpec &fabric() const { return fabric_; }
+
+    /** Convenience constructors for the two evaluated systems. */
+    static CollectiveModel hcclOnGaudi2();
+    static CollectiveModel ncclOnDgxA100();
+
+  private:
+    net::FabricSpec fabric_;
+    Backend backend_;
+};
+
+} // namespace vespera::coll
+
+#endif // VESPERA_COLL_COLLECTIVE_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Status/error reporting in the style of gem5's logging.hh.
+ *
+ * panic() flags internal framework bugs (aborts); fatal() flags user
+ * errors such as invalid configurations (exits); warn()/inform() emit
+ * non-fatal status to stderr.
+ */
+
+#ifndef VESPERA_COMMON_LOGGING_H
+#define VESPERA_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace vespera {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace vespera
+
+/** Abort on an internal invariant violation (a vespera bug). */
+#define vpanic(...) \
+    ::vespera::panicImpl(__FILE__, __LINE__, ::vespera::strfmt(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define vfatal(...) \
+    ::vespera::fatalImpl(__FILE__, __LINE__, ::vespera::strfmt(__VA_ARGS__))
+
+/** Non-fatal warning about questionable behaviour. */
+#define vwarn(...) ::vespera::warnImpl(::vespera::strfmt(__VA_ARGS__))
+
+/** Informational status message. */
+#define vinform(...) ::vespera::informImpl(::vespera::strfmt(__VA_ARGS__))
+
+/** Check a condition that must hold; panics with the message otherwise. */
+#define vassert(cond, ...)                                                   \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::vespera::panicImpl(__FILE__, __LINE__,                         \
+                std::string("assertion failed: " #cond " — ") +              \
+                ::vespera::strfmt(__VA_ARGS__));                             \
+        }                                                                    \
+    } while (0)
+
+#endif // VESPERA_COMMON_LOGGING_H

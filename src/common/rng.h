@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All stochastic inputs (embedding lookup indices, request lengths, ...)
+ * flow through Rng so experiments are reproducible bit-for-bit across
+ * runs and platforms. The core generator is SplitMix64/xoshiro256**,
+ * which is seed-stable regardless of libstdc++ version.
+ */
+
+#ifndef VESPERA_COMMON_RNG_H
+#define VESPERA_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace vespera {
+
+/** Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 expansion of the seed into four state words.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for workload synthesis (negligible modulo bias for our bounds).
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Standard normal draw (Box-Muller, one value per call). */
+    double
+    normal()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    }
+
+    /** Log-normal draw with the given parameters of the underlying normal. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(mu + sigma * normal());
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace vespera
+
+#endif // VESPERA_COMMON_RNG_H

@@ -1,0 +1,39 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vespera {
+
+double
+Samples::percentile(double p) const
+{
+    vassert(p >= 0.0 && p <= 100.0, "percentile %f out of range", p);
+    if (values_.empty())
+        return 0.0;
+    std::vector<double> sorted(values_);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    double rank = p / 100.0 * (sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    auto hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - lo;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values) {
+        vassert(v > 0.0, "geoMean requires positive values, got %f", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / values.size());
+}
+
+} // namespace vespera

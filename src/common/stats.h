@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by models, kernels, and the
+ * serving engine to report utilization, latency distributions, and
+ * throughput aggregates.
+ */
+
+#ifndef VESPERA_COMMON_STATS_H
+#define VESPERA_COMMON_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vespera {
+
+/** Streaming scalar accumulator: count / sum / min / max / mean. */
+class Accumulator
+{
+  public:
+    void
+    add(double v)
+    {
+        count_++;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Sample collector with percentile queries. Retains all samples; intended
+ * for request-level latency metrics (TTFT, TPOT), not per-cycle events.
+ */
+class Samples
+{
+  public:
+    void add(double v) { values_.push_back(v); }
+
+    std::size_t count() const { return values_.size(); }
+
+    double
+    mean() const
+    {
+        if (values_.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double v : values_)
+            s += v;
+        return s / values_.size();
+    }
+
+    /** p in [0, 100]; linear interpolation between order statistics. */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+
+    void clear() { values_.clear(); }
+
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    std::vector<double> values_;
+};
+
+/** Geometric mean over a sequence of strictly positive values. */
+double geoMean(const std::vector<double> &values);
+
+} // namespace vespera
+
+#endif // VESPERA_COMMON_STATS_H

@@ -1,0 +1,131 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace vespera {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    vassert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    vassert(cells.size() == headers_.size(),
+            "row has %zu cells, table has %zu columns",
+            cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double ratio, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+    return buf;
+}
+
+std::string
+Table::integer(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); c++) {
+            if (c == 0) {
+                std::fprintf(out, "%-*s", static_cast<int>(widths[c]),
+                             cells[c].c_str());
+            } else {
+                std::fprintf(out, "  %*s", static_cast<int>(widths[c]),
+                             cells[c].c_str());
+            }
+        }
+        std::fprintf(out, "\n");
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); c++)
+        total += widths[c] + (c ? 2 : 0);
+    std::string rule(total, '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+
+    if (const char *dir = std::getenv("VESPERA_CSV_DIR")) {
+        static int counter = 0;
+        const std::string path =
+            std::string(dir) + "/table_" + std::to_string(++counter) +
+            ".csv";
+        if (!writeCsv(path))
+            vwarn("could not write %s", path.c_str());
+    }
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    auto write_row = [f](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); c++) {
+            // Quote cells containing separators.
+            const bool quote =
+                cells[c].find_first_of(",\"") != std::string::npos;
+            if (quote) {
+                std::string escaped;
+                for (char ch : cells[c]) {
+                    if (ch == '"')
+                        escaped += '"';
+                    escaped += ch;
+                }
+                std::fprintf(f, "\"%s\"%s", escaped.c_str(),
+                             c + 1 < cells.size() ? "," : "");
+            } else {
+                std::fprintf(f, "%s%s", cells[c].c_str(),
+                             c + 1 < cells.size() ? "," : "");
+            }
+        }
+        std::fprintf(f, "\n");
+    };
+    write_row(headers_);
+    for (const auto &row : rows_)
+        write_row(row);
+    std::fclose(f);
+    return true;
+}
+
+void
+printHeading(const std::string &title, std::FILE *out)
+{
+    std::fprintf(out, "\n== %s ==\n", title.c_str());
+}
+
+} // namespace vespera

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Aligned console table printer used by the benchmark harnesses to emit
+ * the rows/series of each paper table and figure.
+ */
+
+#ifndef VESPERA_COMMON_TABLE_H
+#define VESPERA_COMMON_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vespera {
+
+/**
+ * Builds and prints a fixed-column text table. Cells are strings; helper
+ * overloads format numbers. Columns are right-aligned except the first.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a pre-formatted row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double ratio, int precision = 1);
+    static std::string integer(long long v);
+
+    /**
+     * Render to the given stream (default stdout). If the
+     * VESPERA_CSV_DIR environment variable is set, the table is also
+     * written there as table_<n>.csv (n increments per process), so
+     * every bench emits plot-ready data without code changes.
+     */
+    void print(std::FILE *out = stdout) const;
+
+    /** Write the table as CSV; returns false on I/O failure. */
+    bool writeCsv(const std::string &path) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print an underlined section heading for bench output. */
+void printHeading(const std::string &title, std::FILE *out = stdout);
+
+} // namespace vespera
+
+#endif // VESPERA_COMMON_TABLE_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental scalar types and data-type descriptors shared by every
+ * vespera subsystem.
+ */
+
+#ifndef VESPERA_COMMON_TYPES_H
+#define VESPERA_COMMON_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace vespera {
+
+/** Simulated wall-clock time, in seconds. */
+using Seconds = double;
+
+/** Bytes of data or storage. */
+using Bytes = std::uint64_t;
+
+/** Floating point operation count. */
+using Flops = double;
+
+/** Bandwidth in bytes per second. */
+using BytesPerSec = double;
+
+/** Clock frequency in Hz. */
+using Hertz = double;
+
+/** Power draw in watts. */
+using Watts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Processor cycle count. */
+using Cycles = std::uint64_t;
+
+/**
+ * Numeric formats evaluated by the paper. The paper reports BF16 for all
+ * microbenchmarks and LLM serving, and FP32 for end-to-end RecSys.
+ */
+enum class DataType {
+    BF16,
+    FP16,
+    FP32,
+};
+
+/** Size in bytes of one element of the given data type. */
+constexpr Bytes
+dtypeSize(DataType dt)
+{
+    switch (dt) {
+      case DataType::BF16:
+      case DataType::FP16:
+        return 2;
+      case DataType::FP32:
+        return 4;
+    }
+    return 0;
+}
+
+/** Human-readable name of a data type. */
+constexpr const char *
+dtypeName(DataType dt)
+{
+    switch (dt) {
+      case DataType::BF16:
+        return "bf16";
+      case DataType::FP16:
+        return "fp16";
+      case DataType::FP32:
+        return "fp32";
+    }
+    return "?";
+}
+
+/** The two device families the paper compares. */
+enum class DeviceKind {
+    Gaudi2,
+    A100,
+};
+
+/** Human-readable device name. */
+constexpr const char *
+deviceName(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Gaudi2:
+        return "Gaudi-2";
+      case DeviceKind::A100:
+        return "A100";
+    }
+    return "?";
+}
+
+} // namespace vespera
+
+#endif // VESPERA_COMMON_TYPES_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit constants and small conversion helpers.
+ */
+
+#ifndef VESPERA_COMMON_UNITS_H
+#define VESPERA_COMMON_UNITS_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace vespera {
+
+constexpr Bytes KiB = 1024ull;
+constexpr Bytes MiB = 1024ull * KiB;
+constexpr Bytes GiB = 1024ull * MiB;
+
+/** Decimal (SI) byte units, used for bandwidth figures. */
+constexpr double KB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+constexpr double TB = 1e12;
+
+constexpr double kHz = 1e3;
+constexpr double MHz = 1e6;
+constexpr double GHz = 1e9;
+
+constexpr double GFLOPS = 1e9;
+constexpr double TFLOPS = 1e12;
+
+constexpr Seconds usec = 1e-6;
+constexpr Seconds msec = 1e-3;
+
+/** Convert a cycle count at the given frequency to seconds. */
+constexpr Seconds
+cyclesToSeconds(double cycles, Hertz freq)
+{
+    return cycles / freq;
+}
+
+/** Convert seconds at the given frequency to (fractional) cycles. */
+constexpr double
+secondsToCycles(Seconds s, Hertz freq)
+{
+    return s * freq;
+}
+
+} // namespace vespera
+
+#endif // VESPERA_COMMON_UNITS_H

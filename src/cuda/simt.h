@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Simplified A100 SIMT kernel cost model.
+ *
+ * The paper's A100-side microbenchmarks (CUDA STREAM variants, vector
+ * gather/scatter, FBGEMM-style embedding kernels) are costed with this
+ * model: massive multithreading hides latency, warp-coalesced accesses
+ * move 32 B sectors, and the SIMD datapath executes FMA (2 flops) or
+ * single-op (1 flop) instructions per lane per cycle.
+ */
+
+#ifndef VESPERA_CUDA_SIMT_H
+#define VESPERA_CUDA_SIMT_H
+
+#include <cstdint>
+
+#include "hw/device_spec.h"
+#include "mem/hbm.h"
+
+namespace vespera::cuda {
+
+/** Outcome of costing one CUDA kernel. */
+struct KernelCost
+{
+    Seconds time = 0;
+    Seconds computeTime = 0;
+    Seconds memoryTime = 0;
+    Flops flops = 0;
+    double achievedFlopsPerSec = 0;
+    double hbmUtilization = 0;
+
+    bool memoryBound() const { return memoryTime > computeTime; }
+};
+
+/** A streaming element-wise kernel (STREAM ADD/SCALE/TRIAD family). */
+struct StreamKernelDesc
+{
+    std::uint64_t numElements = 0;
+    /// Global bytes moved per element (reads + writes).
+    double bytesPerElement = 0;
+    /// Useful flops per element.
+    double flopsPerElement = 0;
+    /// True if per-lane instructions are FMAs (2 flops/lane/cycle);
+    /// false for single-op adds/muls, which reach only half of the
+    /// FMA-quoted peak (paper Figure 8(d,e,f): 50% saturation).
+    bool usesFma = false;
+};
+
+/**
+ * One warp's memory access shape: lane i touches
+ * [base + i*strideBytes, +elementBytes).
+ */
+struct WarpAccessPattern
+{
+    Bytes elementBytes = 4;
+    Bytes strideBytes = 4;
+    int warpSize = 32;
+};
+
+/** Outcome of coalescing a warp's accesses into sectors. */
+struct CoalescingInfo
+{
+    /// Distinct 32 B sectors the warp's request touches.
+    int sectorsPerWarp = 0;
+    /// Useful bytes / sector bytes moved.
+    double efficiency = 0;
+};
+
+/** A100 SIMT cost model. */
+class SimtModel
+{
+  public:
+    explicit SimtModel(const hw::DeviceSpec &spec = hw::a100Spec());
+
+    /**
+     * Warp-wide memory coalescing (Section 2.2: one of the SIMT
+     * microarchitectural supports Gaudi's single-threaded model does
+     * not need or have): contiguous lane accesses merge into few
+     * 32 B sectors; strided ones shatter into one sector per lane.
+     */
+    CoalescingInfo coalescing(const WarpAccessPattern &pattern) const;
+
+    /**
+     * Cost a strided global access sweep: `numElements` elements of
+     * `elementBytes`, consecutive lanes `strideBytes` apart. The
+     * memory time scales with the sectors actually moved.
+     */
+    KernelCost stridedSweep(const WarpAccessPattern &pattern,
+                            std::uint64_t num_elements) const;
+
+    /** Cost a streaming element-wise kernel. */
+    KernelCost streamKernel(const StreamKernelDesc &desc,
+                            DataType dt) const;
+
+    /**
+     * Cost a vector gather (or scatter) of `numAccesses` random
+     * accesses of `accessSize` useful bytes each. `occupancyWarps` is
+     * the number of concurrently resident warps issuing accesses.
+     */
+    KernelCost gatherScatter(Bytes access_size,
+                             std::uint64_t num_accesses, bool write,
+                             double occupancy_warps = 1024) const;
+
+    const mem::HbmModel &hbm() const { return hbm_; }
+    const hw::DeviceSpec &spec() const { return spec_; }
+
+  private:
+    const hw::DeviceSpec &spec_;
+    mem::HbmModel hbm_;
+
+    /// Sustained fraction of peak vector issue bandwidth.
+    static constexpr double issueEfficiency_ = 0.98;
+};
+
+} // namespace vespera::cuda
+
+#endif // VESPERA_CUDA_SIMT_H

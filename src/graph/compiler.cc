@@ -1,0 +1,102 @@
+#include "graph/compiler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vespera::graph {
+
+Compiler::Compiler(CompilerOptions options)
+    : options_(options)
+{
+}
+
+CompileStats
+Compiler::compile(Graph &graph) const
+{
+    CompileStats stats;
+    if (options_.fuseElementwise)
+        fuseElementwise(graph, stats);
+    if (options_.pipelineMmeTpc)
+        pipelineMmeTpc(graph, stats);
+    return stats;
+}
+
+void
+Compiler::fuseElementwise(Graph &graph, CompileStats &stats) const
+{
+    // Forward pass: fold each element-wise node into its sole
+    // element-wise consumer when shapes match. The intermediate tensor
+    // never touches HBM (one write + one read saved).
+    auto is_vector_op = [](const Node &n) {
+        return n.kind == OpKind::Elementwise ||
+               n.kind == OpKind::Normalization;
+    };
+
+    for (Node &producer : graph.nodes()) {
+        if (producer.fusedAway || producer.kind != OpKind::Elementwise)
+            continue;
+        auto consumers = graph.consumers(producer.id);
+        if (consumers.size() != 1)
+            continue;
+        Node &consumer =
+            graph.nodes()[static_cast<std::size_t>(consumers.front())];
+        if (!is_vector_op(consumer) ||
+            consumer.output.elements() != producer.output.elements()) {
+            continue;
+        }
+
+        const Bytes intermediate = producer.output.bytes();
+        // The consumer now reads the producer's external inputs
+        // directly and keeps the intermediate in registers/SRAM.
+        consumer.trafficBytes = consumer.trafficBytes +
+                                producer.trafficBytes -
+                                2 * intermediate;
+        consumer.flopsPerElement += producer.flopsPerElement;
+        consumer.usesFma = consumer.usesFma || producer.usesFma;
+        consumer.numFusedOps += producer.numFusedOps;
+
+        // Rewire: replace the producer in the consumer's input list
+        // with the producer's own inputs.
+        std::vector<int> rewired;
+        for (int in : consumer.inputs) {
+            if (in == producer.id) {
+                for (int pin : producer.inputs)
+                    rewired.push_back(pin);
+            } else {
+                rewired.push_back(in);
+            }
+        }
+        consumer.inputs = std::move(rewired);
+
+        producer.fusedAway = true;
+        stats.fusedOps++;
+        stats.trafficSaved += 2 * intermediate;
+    }
+}
+
+void
+Compiler::pipelineMmeTpc(Graph &graph, CompileStats &stats) const
+{
+    // Mark vector ops that directly consume a MatMul: the executor will
+    // overlap their execution with the producing GEMM (the compiler
+    // slices both into independent sub-operations; Section 2.2).
+    for (Node &n : graph.nodes()) {
+        if (n.fusedAway)
+            continue;
+        if (n.kind != OpKind::Elementwise &&
+            n.kind != OpKind::Normalization) {
+            continue;
+        }
+        for (int in : n.inputs) {
+            const Node &p = graph.node(in);
+            if (!p.fusedAway && p.kind == OpKind::MatMul) {
+                n.pipelinedWithProducer = true;
+                stats.pipelinedPairs++;
+                break;
+            }
+        }
+    }
+}
+
+} // namespace vespera::graph

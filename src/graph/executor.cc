@@ -1,0 +1,185 @@
+#include "graph/executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "kern/gemm.h"
+#include "kern/vector_op.h"
+
+namespace vespera::graph {
+
+hw::ActivityProfile
+ExecutionReport::activity(const hw::DeviceSpec &spec) const
+{
+    hw::ActivityProfile a;
+    if (time <= 0)
+        return a;
+    a.matrixActivity =
+        std::min(1.0, matrixBusy / time) * std::min(1.0, avgMatrixUtil);
+    a.matrixMacFraction = avgMacFraction;
+    a.vectorActivity = std::min(1.0, vectorBusy / time);
+    a.hbmActivity = std::min(
+        1.0, static_cast<double>(hbmBytes) / (time * spec.hbmBandwidth));
+    return a;
+}
+
+void
+accumulate(ExecutionReport &total, const ExecutionReport &part,
+           double scale)
+{
+    // Re-derive the weighted utilization sums before merging.
+    const double w_total = total.matrixBusy;
+    const double w_part = part.matrixBusy * scale;
+    const double util_sum =
+        total.avgMatrixUtil * w_total + part.avgMatrixUtil * w_part;
+    const double mac_sum =
+        total.avgMacFraction * w_total + part.avgMacFraction * w_part;
+
+    // Timeline: keep one representative copy of the part (not `scale`
+    // replicas), offset to the accumulation point — enough for
+    // profiling a repeated layer without exploding the trace.
+    for (const TimelineEntry &e : part.timeline) {
+        TimelineEntry shifted = e;
+        shifted.start += total.time;
+        total.timeline.push_back(std::move(shifted));
+    }
+
+    total.time += part.time * scale;
+    total.flops += part.flops * scale;
+    total.hbmBytes += static_cast<Bytes>(
+        static_cast<double>(part.hbmBytes) * scale);
+    total.matrixBusy += part.matrixBusy * scale;
+    total.vectorBusy += part.vectorBusy * scale;
+    total.commTime += part.commTime * scale;
+    total.overlapSaved += part.overlapSaved * scale;
+    if (w_total + w_part > 0) {
+        total.avgMatrixUtil = util_sum / (w_total + w_part);
+        total.avgMacFraction = mac_sum / (w_total + w_part);
+    }
+}
+
+Executor::Executor(DeviceKind device)
+    : device_(device), spec_(hw::deviceSpec(device)),
+      collective_(device == DeviceKind::Gaudi2
+                      ? coll::CollectiveModel::hcclOnGaudi2()
+                      : coll::CollectiveModel::ncclOnDgxA100())
+{
+}
+
+OpCost
+Executor::costNode(const Node &node) const
+{
+    OpCost c;
+    switch (node.kind) {
+      case OpKind::Input:
+        return c;
+      case OpKind::MatMul: {
+        hw::GemmCost g = kern::runGemm(device_, node.gemm,
+                                       node.output.dt);
+        c.time = g.time;
+        c.matrixBusy = std::min(g.computeTime, g.time);
+        c.flops = node.gemm.flops();
+        c.hbmBytes = node.gemm.idealTraffic(node.output.dt);
+        c.matrixUtil = g.utilization;
+        c.macFraction = g.activeMacFraction;
+        return c;
+      }
+      case OpKind::Elementwise:
+      case OpKind::Normalization: {
+        const Flops flops =
+            node.flopsPerElement *
+            static_cast<double>(node.output.elements());
+        auto v = kern::vectorOpCost(spec_, node.trafficBytes, flops,
+                                    node.output.dt, node.usesFma);
+        c.time = v.time;
+        c.vectorBusy = v.time;
+        c.flops = flops;
+        c.hbmBytes = node.trafficBytes;
+        return c;
+      }
+      case OpKind::AllReduce: {
+        auto r = collective_.run(coll::CollectiveOp::AllReduce,
+                                 node.output.bytes(), node.commDevices);
+        c.time = r.time;
+        c.commTime = r.time;
+        return c;
+      }
+      case OpKind::Custom: {
+        return node.customCost(device_);
+      }
+    }
+    vpanic("unknown op kind");
+}
+
+ExecutionReport
+Executor::run(const Graph &graph) const
+{
+    ExecutionReport report;
+    report.perNode.resize(graph.size());
+
+    // Remaining "shadow" of each MatMul node that pipelined consumers
+    // can hide under (MME-TPC pipelining; Gaudi only — the compiler
+    // pass is a Gaudi graph-compiler feature, but CUDA kernels overlap
+    // similarly via streams, so we honour the annotation on both).
+    std::map<int, Seconds> shadow;
+
+    double util_weight = 0, util_sum = 0, mac_sum = 0;
+
+    for (const Node &node : graph.nodes()) {
+        if (node.fusedAway)
+            continue;
+        OpCost c = costNode(node);
+        report.perNode[static_cast<std::size_t>(node.id)] = c;
+
+        Seconds contribution = c.time;
+        if (node.pipelinedWithProducer) {
+            for (int in : node.inputs) {
+                auto it = shadow.find(in);
+                if (it == shadow.end())
+                    continue;
+                // Slicing into S sub-operations exposes one slice of
+                // ramp-in: at most (S-1)/S of this op can hide under
+                // the producer.
+                const int slices = std::max(1, node.pipelineSlices);
+                const Seconds hideable =
+                    contribution * (slices - 1) / slices;
+                const Seconds hidden = std::min(it->second, hideable);
+                contribution -= hidden;
+                it->second -= hidden;
+                report.overlapSaved += hidden;
+                break;
+            }
+        }
+        if (node.kind == OpKind::MatMul)
+            shadow[node.id] = c.time;
+
+        TimelineEntry entry;
+        entry.nodeId = node.id;
+        entry.name = node.name;
+        entry.kind = node.kind;
+        entry.start = report.time - (c.time - contribution);
+        entry.duration = c.time;
+        report.timeline.push_back(std::move(entry));
+
+        report.time += contribution;
+        report.flops += c.flops;
+        report.hbmBytes += c.hbmBytes;
+        report.matrixBusy += c.matrixBusy;
+        report.vectorBusy += c.vectorBusy;
+        report.commTime += c.commTime;
+        if (c.matrixBusy > 0) {
+            util_weight += c.matrixBusy;
+            util_sum += c.matrixBusy * c.matrixUtil;
+            mac_sum += c.matrixBusy * c.macFraction;
+        }
+    }
+
+    if (util_weight > 0) {
+        report.avgMatrixUtil = util_sum / util_weight;
+        report.avgMacFraction = mac_sum / util_weight;
+    }
+    return report;
+}
+
+} // namespace vespera::graph

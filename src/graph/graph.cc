@@ -1,0 +1,252 @@
+#include "graph/graph.h"
+
+#include "common/logging.h"
+
+namespace vespera::graph {
+
+int
+Graph::push(Node n)
+{
+    n.id = static_cast<int>(nodes_.size());
+    for (int in : n.inputs) {
+        vassert(in >= 0 && in < n.id, "node %s has bad input %d",
+                n.name.c_str(), in);
+    }
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+const Node &
+Graph::node(int id) const
+{
+    vassert(id >= 0 && id < static_cast<int>(nodes_.size()),
+            "bad node id %d", id);
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+int
+Graph::input(TensorDesc desc, std::string name)
+{
+    Node n;
+    n.kind = OpKind::Input;
+    n.name = std::move(name);
+    n.output = std::move(desc);
+    return push(std::move(n));
+}
+
+int
+Graph::matmul(int a, int b, std::string name)
+{
+    const TensorDesc &da = node(a).output;
+    const TensorDesc &db = node(b).output;
+    vassert(da.shape.size() >= 2 && db.shape.size() >= 2,
+            "matmul inputs must be at least rank-2");
+    const std::size_t ra = da.shape.size(), rb = db.shape.size();
+    const std::int64_t m = da.shape[ra - 2];
+    const std::int64_t k = da.shape[ra - 1];
+    const std::int64_t kb = db.shape[rb - 2];
+    const std::int64_t nn = db.shape[rb - 1];
+    vassert(k == kb, "matmul %s: K mismatch %lld vs %lld", name.c_str(),
+            static_cast<long long>(k), static_cast<long long>(kb));
+
+    std::int64_t batch = 1;
+    std::vector<std::int64_t> out_shape;
+    for (std::size_t i = 0; i + 2 < ra; i++) {
+        batch *= da.shape[i];
+        out_shape.push_back(da.shape[i]);
+    }
+    if (rb > 2) {
+        std::int64_t bb = 1;
+        for (std::size_t i = 0; i + 2 < rb; i++)
+            bb *= db.shape[i];
+        vassert(bb == batch || bb == 1,
+                "matmul %s: batch mismatch", name.c_str());
+    }
+    out_shape.push_back(m);
+    out_shape.push_back(nn);
+
+    Node n;
+    n.kind = OpKind::MatMul;
+    n.name = std::move(name);
+    n.inputs = {a, b};
+    n.output = {std::move(out_shape), da.dt};
+    n.gemm = {m, k, nn, batch};
+    return push(std::move(n));
+}
+
+int
+Graph::elementwise(std::vector<int> ins, double flops_per_element,
+                   bool uses_fma, std::string name)
+{
+    vassert(!ins.empty(), "elementwise needs inputs");
+    TensorDesc out = node(ins.front()).output;
+    return elementwiseTo(std::move(ins), std::move(out),
+                         flops_per_element, uses_fma, std::move(name));
+}
+
+int
+Graph::elementwiseTo(std::vector<int> ins, TensorDesc out,
+                     double flops_per_element, bool uses_fma,
+                     std::string name)
+{
+    vassert(!ins.empty(), "elementwise needs inputs");
+    Node n;
+    n.kind = OpKind::Elementwise;
+    n.name = std::move(name);
+    n.output = std::move(out);
+    n.flopsPerElement = flops_per_element;
+    n.usesFma = uses_fma;
+    Bytes traffic = n.output.bytes(); // Output write.
+    for (int in : ins)
+        traffic += node(in).output.bytes();
+    n.trafficBytes = traffic;
+    n.inputs = std::move(ins);
+    return push(std::move(n));
+}
+
+int
+Graph::normalization(int in, int passes, double flops_per_element,
+                     std::string name)
+{
+    vassert(passes >= 1, "normalization needs at least one pass");
+    Node n;
+    n.kind = OpKind::Normalization;
+    n.name = std::move(name);
+    n.inputs = {in};
+    n.output = node(in).output;
+    n.flopsPerElement = flops_per_element;
+    n.usesFma = false;
+    n.trafficBytes = static_cast<Bytes>(passes) * 2 * n.output.bytes();
+    return push(std::move(n));
+}
+
+int
+Graph::allReduce(int in, int devices, std::string name)
+{
+    vassert(devices >= 2, "allReduce needs >= 2 devices");
+    Node n;
+    n.kind = OpKind::AllReduce;
+    n.name = std::move(name);
+    n.inputs = {in};
+    n.output = node(in).output;
+    n.commDevices = devices;
+    return push(std::move(n));
+}
+
+int
+Graph::custom(std::vector<int> ins, TensorDesc out,
+              std::function<OpCost(DeviceKind)> cost, std::string name)
+{
+    vassert(cost, "custom node needs a cost callback");
+    Node n;
+    n.kind = OpKind::Custom;
+    n.name = std::move(name);
+    n.inputs = std::move(ins);
+    n.output = std::move(out);
+    n.customCost = std::move(cost);
+    return push(std::move(n));
+}
+
+std::vector<int>
+Graph::consumers(int id) const
+{
+    std::vector<int> out;
+    for (const Node &n : nodes_) {
+        if (n.fusedAway)
+            continue;
+        for (int in : n.inputs) {
+            if (in == id) {
+                out.push_back(n.id);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+int
+Graph::validate() const
+{
+    int live = 0;
+    for (const Node &n : nodes_) {
+        if (n.fusedAway) {
+            // Fused nodes must have been absorbed by a live consumer.
+            vassert(n.kind == OpKind::Elementwise,
+                    "only element-wise nodes may be fused away (%s)",
+                    n.name.c_str());
+            continue;
+        }
+        live++;
+        for (int in : n.inputs) {
+            vassert(in >= 0 && in < n.id,
+                    "node %s: input %d is not an earlier node",
+                    n.name.c_str(), in);
+            vassert(!nodes_[static_cast<std::size_t>(in)].fusedAway,
+                    "node %s reads fused-away node %s", n.name.c_str(),
+                    nodes_[static_cast<std::size_t>(in)].name.c_str());
+        }
+        switch (n.kind) {
+          case OpKind::MatMul:
+            vassert(n.gemm.m > 0 && n.gemm.k > 0 && n.gemm.n > 0 &&
+                        n.gemm.batch > 0,
+                    "node %s: degenerate GEMM", n.name.c_str());
+            break;
+          case OpKind::Elementwise:
+          case OpKind::Normalization:
+            vassert(n.trafficBytes >= n.output.bytes(),
+                    "node %s: traffic below output size",
+                    n.name.c_str());
+            break;
+          case OpKind::AllReduce:
+            vassert(n.commDevices >= 2, "node %s: bad device count",
+                    n.name.c_str());
+            break;
+          case OpKind::Custom:
+            vassert(static_cast<bool>(n.customCost),
+                    "node %s: missing cost callback", n.name.c_str());
+            break;
+          case OpKind::Input:
+            vassert(n.inputs.empty(), "node %s: input with inputs",
+                    n.name.c_str());
+            break;
+        }
+        vassert(n.output.elements() > 0, "node %s: empty output",
+                n.name.c_str());
+    }
+    return live;
+}
+
+std::string
+Graph::toDot() const
+{
+    std::string dot = "digraph vespera {\n  rankdir=LR;\n";
+    auto kind_attr = [](OpKind k) {
+        switch (k) {
+          case OpKind::Input:
+            return "shape=box,style=dotted";
+          case OpKind::MatMul:
+            return "shape=box,style=filled,fillcolor=lightblue";
+          case OpKind::Elementwise:
+            return "shape=ellipse";
+          case OpKind::Normalization:
+            return "shape=ellipse,style=dashed";
+          case OpKind::AllReduce:
+            return "shape=diamond";
+          case OpKind::Custom:
+            return "shape=hexagon";
+        }
+        return "";
+    };
+    for (const Node &n : nodes_) {
+        if (n.fusedAway)
+            continue;
+        dot += strfmt("  n%d [label=\"%s\",%s];\n", n.id,
+                      n.name.c_str(), kind_attr(n.kind));
+        for (int in : n.inputs)
+            dot += strfmt("  n%d -> n%d;\n", in, n.id);
+    }
+    dot += "}\n";
+    return dot;
+}
+
+} // namespace vespera::graph

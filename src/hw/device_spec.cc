@@ -1,0 +1,126 @@
+#include "hw/device_spec.h"
+
+#include "common/logging.h"
+
+namespace vespera::hw {
+
+namespace {
+
+DeviceSpec
+makeGaudi2()
+{
+    DeviceSpec s{};
+    s.kind = DeviceKind::Gaudi2;
+    s.matrixPeakBf16 = 432 * TFLOPS;
+    s.vectorPeakBf16 = 11 * TFLOPS;
+    s.hbmBandwidth = 2.46 * TB;
+    s.hbmCapacity = 96 * GiB;
+    s.sramCapacity = 48 * MiB;
+    s.minAccessGranularity = 256;
+    s.streamEfficiency = 0.82;
+    s.randomEfficiency = 0.92;
+    s.commBandwidthBidir = 600 * GB;
+    s.tdp = 600;
+    s.idlePower = 70;
+    s.numVectorCores = 24;
+    s.vectorLaneBits = 2048;
+    // 24 TPCs x 128 BF16 lanes x 2 flops (MAC) x clk = 11 TFLOPS.
+    s.vectorClock = s.vectorPeakBf16 / (24.0 * 128 * 2);
+    s.vectorInstrLatency = 4;
+    // 2 MMEs x 256x256 MACs x 2 flops x clk = 432 TFLOPS.
+    s.matrixClock = s.matrixPeakBf16 / (2.0 * 256 * 256 * 2);
+    s.fp32MatrixRatio = 0.25;
+    s.launchOverhead = 4e-6;
+    return s;
+}
+
+DeviceSpec
+makeA100()
+{
+    DeviceSpec s{};
+    s.kind = DeviceKind::A100;
+    s.matrixPeakBf16 = 312 * TFLOPS;
+    s.vectorPeakBf16 = 39 * TFLOPS;
+    s.hbmBandwidth = 2.0 * TB;
+    s.hbmCapacity = 80 * GiB;
+    s.sramCapacity = 40 * MiB;
+    s.minAccessGranularity = 32;
+    s.streamEfficiency = 0.86;
+    s.randomEfficiency = 0.88;
+    s.commBandwidthBidir = 600 * GB;
+    s.tdp = 400;
+    s.idlePower = 65;
+    s.numVectorCores = 108;
+    // Model each SM's 4 processing blocks as a 32-lane fp32 SIMD each;
+    // lane bits chosen so cores*lanes*2*clk = 39 TFLOPS BF16.
+    s.vectorLaneBits = 4096; // 128 warp lanes x 32-bit, BF16 packs 2x.
+    s.vectorClock = s.vectorPeakBf16 / (108.0 * 256 * 2);
+    s.vectorInstrLatency = 4;
+    s.matrixClock = 1.41 * GHz;
+    s.fp32MatrixRatio = 0.5;
+    s.launchOverhead = 3e-6;
+    return s;
+}
+
+} // namespace
+
+const DeviceSpec &
+gaudi2Spec()
+{
+    static const DeviceSpec spec = makeGaudi2();
+    return spec;
+}
+
+const DeviceSpec &
+a100Spec()
+{
+    static const DeviceSpec spec = makeA100();
+    return spec;
+}
+
+const DeviceSpec &
+gaudi3Spec()
+{
+    static const DeviceSpec spec = [] {
+        DeviceSpec s = makeGaudi2();
+        // Chiplet-based scale-up of the same architecture.
+        s.matrixPeakBf16 = 1835 * TFLOPS;
+        s.vectorPeakBf16 = 29 * TFLOPS; // 64 TPCs at ~1.6x clock eff.
+        s.hbmBandwidth = 3.7 * TB;
+        s.hbmCapacity = 128 * GiB;
+        s.sramCapacity = 96 * MiB;
+        s.commBandwidthBidir = 1200 * GB; // 24 x 200 GbE.
+        s.tdp = 900;
+        s.idlePower = 110;
+        s.numVectorCores = 64;
+        s.vectorClock = s.vectorPeakBf16 / (64.0 * 128 * 2);
+        // 8 MMEs of 256x256 MACs.
+        s.matrixClock = s.matrixPeakBf16 / (8.0 * 256 * 256 * 2);
+        return s;
+    }();
+    return spec;
+}
+
+DeviceSpec
+withAccessGranularity(const DeviceSpec &spec, Bytes granule)
+{
+    vassert(granule > 0 && (granule & (granule - 1)) == 0,
+            "granularity must be a power of two");
+    DeviceSpec s = spec;
+    s.minAccessGranularity = granule;
+    return s;
+}
+
+const DeviceSpec &
+deviceSpec(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Gaudi2:
+        return gaudi2Spec();
+      case DeviceKind::A100:
+        return a100Spec();
+    }
+    vpanic("unknown device kind");
+}
+
+} // namespace vespera::hw

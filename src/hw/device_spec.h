@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Hardware specification constants for Intel Gaudi-2 and NVIDIA A100,
+ * mirroring Table 1 of the paper plus the microarchitectural parameters
+ * the paper's analysis depends on (access granularity, TPC/SM counts,
+ * instruction latency, link provisioning).
+ */
+
+#ifndef VESPERA_HW_DEVICE_SPEC_H
+#define VESPERA_HW_DEVICE_SPEC_H
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace vespera::hw {
+
+/**
+ * Static description of one accelerator. All quantities are either taken
+ * directly from Table 1 of the paper or derived from public documentation
+ * as noted inline.
+ */
+struct DeviceSpec
+{
+    DeviceKind kind;
+
+    /// Peak matrix-engine throughput for BF16 (MME / Tensor Cores).
+    Flops matrixPeakBf16;
+    /// Peak vector throughput for BF16 (TPCs / SIMD cores).
+    Flops vectorPeakBf16;
+
+    /// Off-chip HBM2E bandwidth and capacity.
+    BytesPerSec hbmBandwidth;
+    Bytes hbmCapacity;
+    /// On-chip SRAM (Gaudi shared memory / A100 L2).
+    Bytes sramCapacity;
+    /// Minimum useful off-chip access granularity (Gaudi 256 B tensor
+    /// access; A100 32 B sectors).
+    Bytes minAccessGranularity;
+
+    /// Fraction of peak HBM bandwidth achievable on pure streaming
+    /// access (STREAM-like); captures refresh/command overheads.
+    double streamEfficiency;
+    /// Fraction of peak HBM bandwidth achievable on fully-parallel
+    /// random accesses at ideal granularity.
+    double randomEfficiency;
+
+    /// Aggregate per-device bidirectional interconnect bandwidth
+    /// (600 GB/s for both NVLink and 24x100 GbE RoCE).
+    BytesPerSec commBandwidthBidir;
+
+    /// Board power.
+    Watts tdp;
+    Watts idlePower;
+
+    /// Vector-engine organization.
+    int numVectorCores;       ///< 24 TPCs / 108 SMs.
+    int vectorLaneBits;       ///< SIMD width in bits per core.
+    Hertz vectorClock;        ///< Derived so cores*lanes*2*clk = peak.
+    int vectorInstrLatency;   ///< Architectural latency, cycles (TPC: 4).
+
+    /// Matrix-engine clock (derived from peak and MAC count).
+    Hertz matrixClock;
+
+    /// FP32 matrix throughput as a fraction of the BF16 peak. The
+    /// A100 runs FP32 GEMMs on TF32 tensor cores at half rate; the
+    /// Gaudi MME is BF16-native and synthesizes FP32 at quarter rate —
+    /// one reason the paper's FP32 RecSys results favour A100 while
+    /// BF16 LLM serving favours Gaudi-2.
+    double fp32MatrixRatio;
+
+    /// Kernel / graph launch overhead observed at the framework level.
+    Seconds launchOverhead;
+
+    /** Peak matrix throughput for the given data type. */
+    Flops
+    matrixPeak(DataType dt) const
+    {
+        return dt == DataType::FP32 ? matrixPeakBf16 * fp32MatrixRatio
+                                    : matrixPeakBf16;
+    }
+
+    /** Peak vector throughput for the given data type. */
+    Flops
+    vectorPeak(DataType dt) const
+    {
+        // 2048-bit TPC vectors hold 128 BF16 or 64 FP32 lanes; A100 SIMD
+        // BF16 similarly runs 2x FP32.
+        return dt == DataType::FP32 ? vectorPeakBf16 / 2 : vectorPeakBf16;
+    }
+
+    /** Vector lanes per core for the given data type. */
+    int
+    vectorLanes(DataType dt) const
+    {
+        return vectorLaneBits / (8 * static_cast<int>(dtypeSize(dt)));
+    }
+};
+
+/** Table 1 spec for Intel Gaudi-2. */
+const DeviceSpec &gaudi2Spec();
+
+/** Table 1 spec for NVIDIA A100 (80 GB SXM). */
+const DeviceSpec &a100Spec();
+
+/**
+ * Projected Gaudi-3 specification (extension beyond the paper). The
+ * paper's footnote 1 notes Gaudi-3's architecture is virtually
+ * identical to Gaudi-2's but with higher compute and memory throughput
+ * from its chiplet design; figures follow Intel's Gaudi-3 white paper
+ * (1835 BF16 matrix TFLOPS, 64 TPCs, 128 GB HBM2E at 3.7 TB/s, 96 MB
+ * SRAM, 24x200 GbE, 900 W). Used by the what-if benches only.
+ */
+const DeviceSpec &gaudi3Spec();
+
+/** Lookup by device kind. */
+const DeviceSpec &deviceSpec(DeviceKind kind);
+
+/**
+ * Copy of `spec` with a different minimum access granularity — the
+ * what-if knob behind the paper's Key Takeaway #3 (what would Gaudi's
+ * gather performance look like with A100-style 32 B sectors?).
+ */
+DeviceSpec withAccessGranularity(const DeviceSpec &spec, Bytes granule);
+
+} // namespace vespera::hw
+
+#endif // VESPERA_HW_DEVICE_SPEC_H

@@ -1,0 +1,49 @@
+#include "hw/power.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vespera::hw {
+
+PowerModel::PowerModel(const DeviceSpec &spec)
+    : spec_(spec), idle_(spec.idlePower)
+{
+    // Dynamic power coefficients calibrated against the paper's measured
+    // averages: +12% absolute power for Gaudi-2 on RecSys (Section 3.5),
+    // ~+1% on single-device LLM serving, and ~88% of A100 power on
+    // multi-device LLM serving. TDP (600 W vs 400 W) is a cap that AI
+    // serving does not reach on either device.
+    switch (spec.kind) {
+      case DeviceKind::Gaudi2:
+        matrixMax_ = 230;
+        // The 24-TPC VLIW array draws substantially more than A100's
+        // SIMD partition per unit activity — this is what drives the
+        // paper's +12% RecSys power despite near-parity on LLMs.
+        vectorMax_ = 150;
+        hbmMax_ = 62;
+        break;
+      case DeviceKind::A100:
+        matrixMax_ = 235;
+        vectorMax_ = 60;
+        hbmMax_ = 88;
+        break;
+    }
+}
+
+Watts
+PowerModel::averagePower(const ActivityProfile &a) const
+{
+    vassert(a.matrixActivity >= 0 && a.matrixActivity <= 1.0 &&
+            a.vectorActivity >= 0 && a.vectorActivity <= 1.0 &&
+            a.hbmActivity >= 0 && a.hbmActivity <= 1.0 &&
+            a.matrixMacFraction >= 0 && a.matrixMacFraction <= 1.0,
+            "activity fractions must be in [0,1]");
+    Watts p = idle_ +
+              matrixMax_ * a.matrixActivity * a.matrixMacFraction +
+              vectorMax_ * a.vectorActivity +
+              hbmMax_ * a.hbmActivity;
+    return std::min(p, spec_.tdp);
+}
+
+} // namespace vespera::hw

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Device power/energy model (the nvidia-smi / hl-smi substitute used for
+ * the paper's energy-efficiency comparisons, Figures 11 and 13).
+ *
+ * Average board power is modeled as idle power plus per-engine dynamic
+ * power scaled by each engine's time-weighted activity, capped at TDP.
+ * The Gaudi MME term is additionally scaled by the fraction of the MAC
+ * array that is powered, reflecting the paper's observation that Gaudi-2
+ * power-gates inactive MME portions for small GEMM geometries.
+ */
+
+#ifndef VESPERA_HW_POWER_H
+#define VESPERA_HW_POWER_H
+
+#include "hw/device_spec.h"
+
+namespace vespera::hw {
+
+/** Time-weighted activity of each engine over a measurement interval. */
+struct ActivityProfile
+{
+    /// Matrix engine (MME / Tensor Core) busy-and-utilized fraction.
+    double matrixActivity = 0;
+    /// Fraction of the MAC array powered while the matrix engine is
+    /// active (1.0 on A100; geometry-dependent on Gaudi).
+    double matrixMacFraction = 1.0;
+    /// Vector engine (TPC / SIMD cores) activity.
+    double vectorActivity = 0;
+    /// HBM interface activity (achieved / peak bandwidth).
+    double hbmActivity = 0;
+};
+
+/** Per-device power model. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const DeviceSpec &spec);
+
+    /** Average board power for the given activity profile. */
+    Watts averagePower(const ActivityProfile &activity) const;
+
+    /** Energy consumed over `duration` at the given activity. */
+    Joules
+    energy(const ActivityProfile &activity, Seconds duration) const
+    {
+        return averagePower(activity) * duration;
+    }
+
+    Watts idlePower() const { return idle_; }
+
+  private:
+    const DeviceSpec &spec_;
+    Watts idle_;
+    Watts matrixMax_;
+    Watts vectorMax_;
+    Watts hbmMax_;
+};
+
+} // namespace vespera::hw
+
+#endif // VESPERA_HW_POWER_H

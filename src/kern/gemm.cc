@@ -1,0 +1,25 @@
+#include "kern/gemm.h"
+
+#include "common/logging.h"
+#include "hw/mme.h"
+#include "hw/tensor_core.h"
+
+namespace vespera::kern {
+
+hw::GemmCost
+runGemm(DeviceKind device, const hw::GemmShape &shape, DataType dt)
+{
+    switch (device) {
+      case DeviceKind::Gaudi2: {
+        static const hw::MmeModel mme;
+        return mme.gemm(shape, dt);
+      }
+      case DeviceKind::A100: {
+        static const hw::TensorCoreModel tc;
+        return tc.gemm(shape, dt);
+      }
+    }
+    vpanic("unknown device");
+}
+
+} // namespace vespera::kern

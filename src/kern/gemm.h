@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Device-dispatching GEMM entry point (the PyTorch `torch.matmul` of
+ * Figure 2(a): cuBLAS on "cuda", MME built-ins on "hpu").
+ */
+
+#ifndef VESPERA_KERN_GEMM_H
+#define VESPERA_KERN_GEMM_H
+
+#include "hw/gemm_cost.h"
+
+namespace vespera::kern {
+
+/** Cost a GEMM on the given device's matrix engine. */
+hw::GemmCost runGemm(DeviceKind device, const hw::GemmShape &shape,
+                     DataType dt);
+
+} // namespace vespera::kern
+
+#endif // VESPERA_KERN_GEMM_H

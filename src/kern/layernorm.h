@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Row-wise normalization operators (LayerNorm and RMSNorm) as TPC-C
+ * kernels — the "reduction and normalization operations" the paper's
+ * MLIR-based operation fuser JIT-compiles into TPC kernels
+ * (Section 2.2).
+ */
+
+#ifndef VESPERA_KERN_LAYERNORM_H
+#define VESPERA_KERN_LAYERNORM_H
+
+#include "common/types.h"
+#include "tpc/tensor.h"
+
+namespace vespera::kern {
+
+/** Normalization flavor. */
+enum class NormKind {
+    LayerNorm, ///< (x - mean) / sqrt(var + eps)
+    RmsNorm,   ///< x / sqrt(mean(x^2) + eps)
+};
+
+/** Workload: `rows` independent rows of `cols` elements. */
+struct NormConfig
+{
+    NormKind kind = NormKind::RmsNorm;
+    std::int64_t rows = 1024;
+    std::int64_t cols = 4096;
+    DataType dt = DataType::FP32;
+    int numTpcs = 24;
+    float epsilon = 1e-5f;
+};
+
+/** Outcome. */
+struct NormResult
+{
+    Seconds time = 0;
+    double hbmUtilization = 0;
+    Flops flops = 0;
+};
+
+/** Normalize `input` ([cols, rows]) into `output`. */
+NormResult runNormGaudi(const NormConfig &config,
+                        const tpc::Tensor &input, tpc::Tensor &output);
+
+/** Convenience: deterministic input, runs, and self-verifies. */
+NormResult runNormGaudi(const NormConfig &config);
+
+} // namespace vespera::kern
+
+#endif // VESPERA_KERN_LAYERNORM_H

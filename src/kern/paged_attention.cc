@@ -1,0 +1,137 @@
+#include "kern/paged_attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "hw/device_spec.h"
+
+namespace vespera::kern {
+
+namespace {
+
+/// vLLM_base's generic per-block gather is latency-bound: each 256 B
+/// granule waits most of an HBM round trip with ~1.6 requests in
+/// flight per TPC (no manual unrolling at the PyTorch level).
+constexpr double baseGatherInFlight = 1.6;
+constexpr double baseGatherLatencyCycles = 134;
+
+/// Zero-padded indices repeatedly hit the same physical block, so a
+/// padded gather costs a fraction of a real one (partial locality).
+constexpr double paddedGatherCostFactor = 0.8;
+
+/// vLLM_opt's BlockList gather sustains this fraction of peak HBM
+/// bandwidth (high-MLP flat gather of >=2 KB blocks, minus pipeline
+/// slicing bubbles).
+constexpr double optGatherEfficiency = 0.30;
+
+/// The CUDA fused PagedAttention kernel reads KV once at this fraction
+/// of peak bandwidth (flash-decoding style).
+constexpr double a100FusedEfficiency = 0.80;
+
+/// Effective MME/TC utilization on the small batched attention GEMMs.
+constexpr double attentionGemmEfficiency = 0.35;
+
+} // namespace
+
+Bytes
+PagedAttentionConfig::kvBytes() const
+{
+    return static_cast<Bytes>(batch) * seqLen * 2 * numKvHeads *
+           headDim * dtypeSize(dt);
+}
+
+Flops
+PagedAttentionConfig::flops() const
+{
+    // Per (request, q-head): QK^T is 2*seq*d, PV is 2*seq*d.
+    return static_cast<double>(batch) * numQHeads * 4.0 *
+           static_cast<double>(seqLen) * headDim;
+}
+
+const char *
+pagedAttentionImplName(PagedAttentionImpl impl)
+{
+    switch (impl) {
+      case PagedAttentionImpl::GaudiBase:
+        return "vLLM_base (Gaudi-2)";
+      case PagedAttentionImpl::GaudiOpt:
+        return "vLLM_opt (Gaudi-2)";
+      case PagedAttentionImpl::A100Fused:
+        return "vLLM (A100)";
+    }
+    return "?";
+}
+
+PagedAttentionCost
+runPagedAttention(const PagedAttentionConfig &config,
+                  PagedAttentionImpl impl)
+{
+    vassert(config.batch >= 1 && config.seqLen >= 1, "bad config");
+    vassert(config.paddedFraction >= 0 && config.paddedFraction < 1.0,
+            "padded fraction must be in [0,1)");
+
+    const Bytes kv = config.kvBytes();
+    const double kvf = static_cast<double>(kv);
+    const double pad = config.paddedFraction;
+    // Total BlockTable payload including padding entries.
+    const double padded_kvf = kvf / (1.0 - pad);
+
+    PagedAttentionCost cost;
+    cost.kvBytes = kv;
+
+    switch (impl) {
+      case PagedAttentionImpl::GaudiBase: {
+        const auto &spec = hw::gaudi2Spec();
+        // Latency-bound gather of every BlockTable entry; padded
+        // entries cost a fraction (same zero block re-fetched).
+        const double per_tpc_bw = 256.0 * baseGatherInFlight /
+                                  baseGatherLatencyCycles *
+                                  spec.vectorClock;
+        const double gather_bw = per_tpc_bw * spec.numVectorCores;
+        const double gather_payload =
+            kvf + (padded_kvf - kvf) * paddedGatherCostFactor;
+        cost.gatherTime = gather_payload / gather_bw;
+        // Staging copy written out, then FusedSDPA re-reads it —
+        // both at streaming bandwidth, both including padding.
+        const double stream_bw =
+            spec.hbmBandwidth * spec.streamEfficiency;
+        const Seconds copy_write = padded_kvf / stream_bw;
+        const Seconds sdpa_read = padded_kvf / stream_bw;
+        cost.gemmTime =
+            sdpa_read + config.flops() / (spec.matrixPeak(config.dt) *
+                                          attentionGemmEfficiency);
+        // Serial: gather -> copy -> SDPA; three kernel boundaries.
+        cost.time = cost.gatherTime + copy_write + cost.gemmTime +
+                    3 * spec.launchOverhead;
+        break;
+      }
+      case PagedAttentionImpl::GaudiOpt: {
+        const auto &spec = hw::gaudi2Spec();
+        // Effectual blocks only, gathered with full MLP.
+        cost.gatherTime =
+            kvf / (spec.hbmBandwidth * optGatherEfficiency);
+        cost.gemmTime = config.flops() / (spec.matrixPeak(config.dt) *
+                                          attentionGemmEfficiency);
+        // Graph compiler pipelines TPC gathers with MME batched GEMMs.
+        cost.time = std::max(cost.gatherTime, cost.gemmTime) +
+                    spec.launchOverhead;
+        break;
+      }
+      case PagedAttentionImpl::A100Fused: {
+        const auto &spec = hw::a100Spec();
+        cost.gatherTime =
+            kvf / (spec.hbmBandwidth * a100FusedEfficiency);
+        cost.gemmTime = config.flops() / (spec.matrixPeak(config.dt) *
+                                          attentionGemmEfficiency);
+        cost.time = std::max(cost.gatherTime, cost.gemmTime) +
+                    spec.launchOverhead;
+        break;
+      }
+    }
+
+    cost.tokensPerSec = config.batch / cost.time;
+    return cost;
+}
+
+} // namespace vespera::kern

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PagedAttention decode-kernel cost models (Section 4.2, Figures 16-17).
+ *
+ * Unlike the DLRM case study — where the optimization target was a
+ * custom low-level TPC-C kernel — PagedAttention on Gaudi must be
+ * optimized at the PyTorch level, because the SDK exposes no low-level
+ * MME programming interface. These models therefore cost the three
+ * implementations analytically, reflecting the execution structure of
+ * Figure 16:
+ *
+ *  - GaudiBase (vLLM_base): a 2D BlockTable padded with zero indices.
+ *    TPCs gather every BlockTable entry (padding included) into a
+ *    contiguous staging buffer with a latency-bound generic gather
+ *    (no manual MLP), then FusedSDPA re-reads the staged copy. Gather
+ *    and GEMM run serially — the layout defeats the graph compiler's
+ *    MME-TPC pipelining pass.
+ *  - GaudiOpt (vLLM_opt): a flat BlockList of only-effectual block
+ *    indices; the restructured query tensor lets the graph compiler
+ *    slice the TPC gathers and MME batched GEMMs into pipelined
+ *    sub-operations: time = max(gather, GEMM).
+ *  - A100Fused: vLLM's CUDA PagedAttention kernel — one fused kernel
+ *    reading each KV block exactly once at high random-access
+ *    efficiency.
+ */
+
+#ifndef VESPERA_KERN_PAGED_ATTENTION_H
+#define VESPERA_KERN_PAGED_ATTENTION_H
+
+#include "common/types.h"
+
+namespace vespera::kern {
+
+/** One decode-step attention workload (per model layer). */
+struct PagedAttentionConfig
+{
+    int batch = 32;          ///< Decoding requests in the batch.
+    std::int64_t seqLen = 4096; ///< Context tokens per request.
+    int numQHeads = 32;
+    int numKvHeads = 8;
+    int headDim = 128;
+    int blockTokens = 128;   ///< Tokens per KV-cache block.
+    /// Fraction of BlockTable entries that are zero-padding
+    /// (Figure 17(b) sweeps 0..0.9). Only affects GaudiBase.
+    double paddedFraction = 0;
+    DataType dt = DataType::BF16;
+
+    /** Effectual KV bytes read per decode step (K and V). */
+    Bytes kvBytes() const;
+
+    /** Attention flops per decode step (QK^T and PV). */
+    Flops flops() const;
+};
+
+/** The three implementations Figure 17 compares. */
+enum class PagedAttentionImpl {
+    GaudiBase,
+    GaudiOpt,
+    A100Fused,
+};
+
+const char *pagedAttentionImplName(PagedAttentionImpl impl);
+
+/** Cost breakdown of one decode-step attention call. */
+struct PagedAttentionCost
+{
+    Seconds time = 0;
+    Seconds gatherTime = 0; ///< TPC block-gather component.
+    Seconds gemmTime = 0;   ///< MME/TC attention-GEMM component.
+    Bytes kvBytes = 0;      ///< Effectual KV payload.
+    /// Decode tokens produced per second at this step cost.
+    double tokensPerSec = 0;
+};
+
+/** Cost one PagedAttention decode step. */
+PagedAttentionCost runPagedAttention(const PagedAttentionConfig &config,
+                                     PagedAttentionImpl impl);
+
+} // namespace vespera::kern
+
+#endif // VESPERA_KERN_PAGED_ATTENTION_H

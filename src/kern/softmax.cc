@@ -1,0 +1,126 @@
+#include "kern/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "tpc/dispatcher.h"
+
+namespace vespera::kern {
+
+SoftmaxResult
+runSoftmaxGaudi(const SoftmaxConfig &config, const tpc::Tensor &input,
+                tpc::Tensor &output)
+{
+    vassert(config.rows >= 1 && config.cols >= 1, "bad softmax shape");
+    vassert(input.dim(0) == config.cols && input.dim(1) == config.rows,
+            "input shape mismatch");
+
+    const Bytes es = dtypeSize(config.dt);
+    const auto lanes = static_cast<std::int64_t>(256 / es);
+    const std::int64_t cols = config.cols;
+    // The exp() intermediates for one row are staged in the 80 KB TPC
+    // local memory; longer rows would tile the staging buffer.
+    vassert(cols <= 16 * 1024,
+            "softmax rows longer than local-memory staging (%lld)",
+            static_cast<long long>(cols));
+    vassert(cols % lanes == 0,
+            "softmax requires 256 B-aligned row length (cols %% %lld)",
+            static_cast<long long>(lanes));
+
+    tpc::Kernel kernel = [&input, &output, cols,
+                          lanes](tpc::TpcContext &ctx) {
+        for (std::int64_t row = ctx.memberStart(1);
+             row < ctx.memberEnd(1); row++) {
+            // Phase 1: row maximum (numerical stability).
+            tpc::Vec max1 = ctx.v_zero(1);
+            bool first = true;
+            for (std::int64_t c = 0; c < cols; c += lanes) {
+                tpc::Vec chunk =
+                    ctx.v_ld_tnsr({c, row, 0, 0, 0}, input);
+                tpc::Vec m = ctx.v_reduce_max(chunk);
+                max1 = first ? m : ctx.v_max(max1, m);
+                first = false;
+            }
+            tpc::Vec maxv =
+                ctx.v_broadcast(max1, static_cast<int>(lanes));
+
+            // Phase 2: exp(x - max), staged in local memory; sum.
+            tpc::Vec sum1 = ctx.v_zero(1);
+            for (std::int64_t c = 0; c < cols; c += lanes) {
+                tpc::Vec chunk =
+                    ctx.v_ld_tnsr({c, row, 0, 0, 0}, input);
+                tpc::Vec e = ctx.v_exp(ctx.v_sub(chunk, maxv));
+                ctx.v_st_local(c, e);
+                sum1 = ctx.v_add(sum1, ctx.v_reduce_add(e));
+            }
+            tpc::Vec inv = ctx.v_reciprocal(sum1);
+            tpc::Vec invv =
+                ctx.v_broadcast(inv, static_cast<int>(lanes));
+
+            // Phase 3: normalize and store.
+            for (std::int64_t c = 0; c < cols; c += lanes) {
+                tpc::Vec e =
+                    ctx.v_ld_local(c,
+                                   static_cast<int>(lanes));
+                ctx.v_st_tnsr({c, row, 0, 0, 0}, output,
+                              ctx.v_mul(e, invv));
+            }
+        }
+    };
+
+    static const tpc::TpcDispatcher dispatcher;
+    tpc::IndexSpace space;
+    space.size = {1, config.rows, 1, 1, 1};
+    tpc::LaunchParams params;
+    params.numTpcs = config.numTpcs;
+    auto launch = dispatcher.launch(kernel, space, params);
+
+    SoftmaxResult r;
+    r.time = launch.time;
+    r.hbmUtilization = launch.hbmUtilization;
+    r.flops = launch.totalFlops;
+    return r;
+}
+
+SoftmaxResult
+runSoftmaxGaudi(const SoftmaxConfig &config)
+{
+    tpc::Tensor input({config.cols, config.rows}, config.dt);
+    input.fill([&config](std::int64_t i) {
+        return static_cast<float>((i * 37) % 23) / 4.0f -
+               static_cast<float>(i % 5);
+    });
+    tpc::Tensor output({config.cols, config.rows}, config.dt);
+
+    SoftmaxResult r = runSoftmaxGaudi(config, input, output);
+
+    // Verify a sample of rows against a double-precision reference.
+    const std::int64_t stride =
+        std::max<std::int64_t>(1, config.rows / 13);
+    for (std::int64_t row = 0; row < config.rows; row += stride) {
+        double maxv = -1e300;
+        for (std::int64_t c = 0; c < config.cols; c++)
+            maxv = std::max(maxv, static_cast<double>(
+                                      input.at({c, row, 0, 0, 0})));
+        double sum = 0;
+        for (std::int64_t c = 0; c < config.cols; c++)
+            sum += std::exp(input.at({c, row, 0, 0, 0}) - maxv);
+        double check = 0;
+        for (std::int64_t c = 0; c < config.cols; c += 97) {
+            const double want =
+                std::exp(input.at({c, row, 0, 0, 0}) - maxv) / sum;
+            const double got = output.at({c, row, 0, 0, 0});
+            vassert(std::abs(got - want) < 1e-4,
+                    "softmax mismatch at (%lld,%lld): %f != %f",
+                    static_cast<long long>(c),
+                    static_cast<long long>(row), got, want);
+            check += got;
+        }
+        (void)check;
+    }
+    return r;
+}
+
+} // namespace vespera::kern

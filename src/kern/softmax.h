@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Row-wise softmax as a TPC-C kernel.
+ *
+ * The paper positions the TPCs as the engine for "nonlinear and
+ * non-matrix-based computations, such as ... activation functions"
+ * (Section 2.1); this operator demonstrates the full intrinsic set
+ * (loads, reductions, special functions, local-memory staging) on a
+ * numerically safe three-phase max/exp-sum/normalize softmax, and is
+ * the kind of kernel the graph compiler's MLIR fuser JIT-generates.
+ */
+
+#ifndef VESPERA_KERN_SOFTMAX_H
+#define VESPERA_KERN_SOFTMAX_H
+
+#include "common/types.h"
+#include "tpc/tensor.h"
+
+namespace vespera::kern {
+
+/** Softmax workload: `rows` independent rows of `cols` scores. */
+struct SoftmaxConfig
+{
+    std::int64_t rows = 1024;
+    std::int64_t cols = 1024;
+    DataType dt = DataType::FP32;
+    int numTpcs = 24;
+};
+
+/** Outcome. */
+struct SoftmaxResult
+{
+    Seconds time = 0;
+    double hbmUtilization = 0;
+    Flops flops = 0;
+};
+
+/**
+ * Run softmax over `input` (shape [cols, rows]), writing `output`.
+ * Functionally exact (verified by the caller or tests); timing comes
+ * from the TPC pipeline model.
+ */
+SoftmaxResult runSoftmaxGaudi(const SoftmaxConfig &config,
+                              const tpc::Tensor &input,
+                              tpc::Tensor &output);
+
+/** Convenience: builds deterministic input, runs, and self-verifies. */
+SoftmaxResult runSoftmaxGaudi(const SoftmaxConfig &config);
+
+} // namespace vespera::kern
+
+#endif // VESPERA_KERN_SOFTMAX_H

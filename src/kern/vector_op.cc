@@ -1,0 +1,24 @@
+#include "kern/vector_op.h"
+
+#include <algorithm>
+
+namespace vespera::kern {
+
+VectorOpCost
+vectorOpCost(const hw::DeviceSpec &spec, Bytes hbm_bytes, Flops flops,
+             DataType dt, bool uses_fma, bool include_launch)
+{
+    VectorOpCost c;
+    c.flops = flops;
+    c.hbmBytes = hbm_bytes;
+    c.memoryTime = static_cast<double>(hbm_bytes) /
+                   (spec.hbmBandwidth * spec.streamEfficiency);
+    const double peak = spec.vectorPeak(dt) * (uses_fma ? 1.0 : 0.5);
+    c.computeTime = flops / peak;
+    c.time = std::max(c.memoryTime, c.computeTime);
+    if (include_launch)
+        c.time += spec.launchOverhead;
+    return c;
+}
+
+} // namespace vespera::kern

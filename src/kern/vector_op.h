@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Analytic cost of a device-wide vector (non-GEMM) operation.
+ *
+ * Used by the graph executor for element-wise / normalization ops where
+ * full TPC trace simulation would be overkill: the operation is either
+ * bound by streaming HBM bandwidth or by the vector engines' issue
+ * rate (with non-FMA ops capped at half the FMA-quoted peak, as the
+ * paper's Figure 8(d,e,f) shows for both devices).
+ */
+
+#ifndef VESPERA_KERN_VECTOR_OP_H
+#define VESPERA_KERN_VECTOR_OP_H
+
+#include "hw/device_spec.h"
+
+namespace vespera::kern {
+
+/** Cost of one vector op over the whole device. */
+struct VectorOpCost
+{
+    Seconds time = 0;
+    Seconds computeTime = 0;
+    Seconds memoryTime = 0;
+    Flops flops = 0;
+    Bytes hbmBytes = 0;
+
+    bool memoryBound() const { return memoryTime >= computeTime; }
+};
+
+/**
+ * @param spec Target device.
+ * @param hbm_bytes Global traffic (reads + writes).
+ * @param flops Useful floating-point operations.
+ * @param uses_fma Whether the inner instructions are MACs.
+ * @param include_launch Charge the kernel launch overhead (false for
+ *        ops fused into a neighbouring kernel).
+ */
+VectorOpCost vectorOpCost(const hw::DeviceSpec &spec, Bytes hbm_bytes,
+                          Flops flops, DataType dt, bool uses_fma,
+                          bool include_launch = true);
+
+} // namespace vespera::kern
+
+#endif // VESPERA_KERN_VECTOR_OP_H

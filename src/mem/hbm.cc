@@ -1,0 +1,122 @@
+#include "mem/hbm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vespera::mem {
+
+namespace {
+
+/**
+ * DRAM-side cost, in bus-equivalent bytes, of serving one scattered
+ * transaction (row activation, command overhead). Larger transactions
+ * amortize it; this is what makes 32 B-sectored A100 fetches efficient
+ * at small sizes while Gaudi's 256 B-granule requests still pay full
+ * freight below 256 B.
+ */
+double
+dramOverheadBytes(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::Gaudi2:
+        return 220.0;
+      case DeviceKind::A100:
+        return 64.0;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+HbmModel::HbmModel(const hw::DeviceSpec &spec)
+    : spec_(spec)
+{
+    switch (spec.kind) {
+      case DeviceKind::Gaudi2:
+        concurrencyHalfPoint_ = 20.0;
+        break;
+      case DeviceKind::A100:
+        concurrencyHalfPoint_ = 60.0;
+        break;
+    }
+}
+
+BytesPerSec
+HbmModel::streamBandwidth() const
+{
+    return spec_.hbmBandwidth * spec_.streamEfficiency;
+}
+
+Seconds
+HbmModel::streamTime(Bytes bytes) const
+{
+    return static_cast<double>(bytes) / streamBandwidth();
+}
+
+Bytes
+HbmModel::transactionBytes(Bytes access_size) const
+{
+    vassert(access_size > 0, "zero-size access");
+    const Bytes g = spec_.minAccessGranularity;
+    return (access_size + g - 1) / g * g;
+}
+
+double
+HbmModel::granularityEfficiency(Bytes access_size) const
+{
+    return static_cast<double>(access_size) / transactionBytes(access_size);
+}
+
+double
+HbmModel::parallelismEfficiency(double concurrency) const
+{
+    vassert(concurrency > 0, "non-positive concurrency");
+    return concurrency / (concurrency + concurrencyHalfPoint_);
+}
+
+Seconds
+HbmModel::randomTrafficTime(Bytes bus_bytes, std::uint64_t transactions,
+                            double concurrency) const
+{
+    if (bus_bytes == 0 || transactions == 0)
+        return 0;
+    const double overhead = dramOverheadBytes(spec_.kind);
+    const double effective_bytes =
+        static_cast<double>(bus_bytes) + transactions * overhead;
+    const double bw = spec_.hbmBandwidth * spec_.randomEfficiency *
+                      parallelismEfficiency(std::max(concurrency, 1.0));
+    return effective_bytes / bw;
+}
+
+RandomAccessResult
+HbmModel::randomAccess(const RandomAccessWorkload &w) const
+{
+    vassert(w.accessSize > 0 && w.numAccesses > 0,
+            "empty random-access workload");
+
+    const Bytes txn = transactionBytes(w.accessSize);
+    const double overhead = dramOverheadBytes(spec_.kind);
+    // Effective bus bytes per transaction: payload plus activation cost.
+    const double bus_bytes_per_txn = static_cast<double>(txn) + overhead;
+    const double random_bw = spec_.hbmBandwidth * spec_.randomEfficiency *
+                             parallelismEfficiency(w.concurrency);
+    // Writes (scatter) pay a modest read-modify-write penalty when the
+    // payload is below the granule.
+    const double write_penalty =
+        (w.write && w.accessSize < spec_.minAccessGranularity) ? 1.25 : 1.0;
+
+    const double steady =
+        w.numAccesses * bus_bytes_per_txn * write_penalty / random_bw;
+
+    RandomAccessResult r;
+    r.time = rampLatency_ + steady;
+    r.usefulBytes = w.accessSize * w.numAccesses;
+    r.transactionBytes = txn * w.numAccesses;
+    r.bandwidthUtilization = static_cast<double>(r.usefulBytes) /
+                             (r.time * spec_.hbmBandwidth);
+    return r;
+}
+
+} // namespace vespera::mem

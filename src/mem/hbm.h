@@ -1,0 +1,99 @@
+/**
+ * @file
+ * HBM2E memory-system model.
+ *
+ * Captures the three first-order effects the paper's memory analysis
+ * rests on (Section 3.3):
+ *   1. peak bandwidth (2.46 TB/s Gaudi-2 vs 2.0 TB/s A100),
+ *   2. minimum access granularity (256 B Gaudi vs 32 B A100 sectors) —
+ *      requests smaller than the granularity still move a full-granule
+ *      transaction, wasting bandwidth, and
+ *   3. memory-level parallelism — random-access bandwidth ramps with the
+ *      number of independent in-flight requests the kernel sustains.
+ */
+
+#ifndef VESPERA_MEM_HBM_H
+#define VESPERA_MEM_HBM_H
+
+#include <cstdint>
+
+#include "hw/device_spec.h"
+
+namespace vespera::mem {
+
+/** A batch of same-sized random accesses (vector gather or scatter). */
+struct RandomAccessWorkload
+{
+    /// Useful bytes per access (the vector size).
+    Bytes accessSize = 0;
+    /// Number of accesses performed.
+    std::uint64_t numAccesses = 0;
+    /// Independent in-flight requests the issuing kernel sustains
+    /// (e.g., TPCs x unroll factor, or SMs x warps).
+    double concurrency = 1;
+    /// Scatter (write) instead of gather (read).
+    bool write = false;
+};
+
+/** Outcome of a random-access batch. */
+struct RandomAccessResult
+{
+    Seconds time = 0;
+    Bytes usefulBytes = 0;       ///< accessSize x numAccesses.
+    Bytes transactionBytes = 0;  ///< Bytes actually moved on the bus.
+    double bandwidthUtilization = 0; ///< usefulBytes / (time x peak BW).
+};
+
+/** Per-device HBM model. */
+class HbmModel
+{
+  public:
+    explicit HbmModel(const hw::DeviceSpec &spec);
+
+    /** Time to stream `bytes` sequentially at full parallelism. */
+    Seconds streamTime(Bytes bytes) const;
+
+    /** Sustained sequential bandwidth (peak x stream efficiency). */
+    BytesPerSec streamBandwidth() const;
+
+    /** Peak (theoretical) bandwidth. */
+    BytesPerSec peakBandwidth() const { return spec_.hbmBandwidth; }
+
+    /** Bytes moved on the bus for one access of `accessSize` bytes. */
+    Bytes transactionBytes(Bytes accessSize) const;
+
+    /** accessSize / transactionBytes: wasted-bandwidth factor. */
+    double granularityEfficiency(Bytes accessSize) const;
+
+    /** Saturating MLP curve: concurrency / (concurrency + half point). */
+    double parallelismEfficiency(double concurrency) const;
+
+    /** Cost a batch of random accesses. */
+    RandomAccessResult randomAccess(const RandomAccessWorkload &w) const;
+
+    /**
+     * Time to move pre-aggregated random traffic: `busBytes` of
+     * granule-rounded payload across `transactions` scattered requests,
+     * with `concurrency` requests in flight. Used by kernel dispatchers
+     * that already know their bus footprint.
+     */
+    Seconds randomTrafficTime(Bytes bus_bytes, std::uint64_t transactions,
+                              double concurrency) const;
+
+    Bytes minGranularity() const { return spec_.minAccessGranularity; }
+
+    const hw::DeviceSpec &spec() const { return spec_; }
+
+  private:
+    const hw::DeviceSpec &spec_;
+
+    /// In-flight requests at which random bandwidth reaches half of its
+    /// asymptote (per device; A100's deeper MLP support ramps faster).
+    double concurrencyHalfPoint_;
+    /// Fixed ramp before random-access bandwidth reaches steady state.
+    static constexpr Seconds rampLatency_ = 2e-6;
+};
+
+} // namespace vespera::mem
+
+#endif // VESPERA_MEM_HBM_H

@@ -1,0 +1,226 @@
+#include "models/dlrm.h"
+
+#include <algorithm>
+
+#include "coll/collective.h"
+#include "common/logging.h"
+#include "graph/compiler.h"
+#include "hw/power.h"
+
+namespace vespera::models {
+
+DlrmConfig
+DlrmConfig::rm1()
+{
+    DlrmConfig c;
+    c.name = "RM1";
+    c.numTables = 10;
+    c.pooling = 10;
+    c.rowsPerTable = 1 << 15;
+    c.bottomMlp = {13, 512, 256, 64};
+    c.topMlp = {1024, 1024, 512, 256, 1};
+    c.crossLayers = 3;
+    c.lowRankDim = 512;
+    return c;
+}
+
+DlrmConfig
+DlrmConfig::rm2()
+{
+    DlrmConfig c;
+    c.name = "RM2";
+    c.numTables = 20;
+    c.pooling = 20;
+    c.rowsPerTable = 1 << 15;
+    c.bottomMlp = {13, 256, 64, 64};
+    c.topMlp = {128, 64, 1};
+    c.crossLayers = 2;
+    c.lowRankDim = 64;
+    return c;
+}
+
+DlrmModel::DlrmModel(DlrmConfig config)
+    : config_(std::move(config))
+{
+    vassert(config_.bottomMlp.size() >= 2 && config_.topMlp.size() >= 1,
+            "DLRM needs bottom and top MLPs");
+}
+
+graph::Graph
+DlrmModel::buildDenseGraph(const DlrmRunConfig &run) const
+{
+    const auto es = static_cast<std::int64_t>(dtypeSize(run.dt));
+    const std::int64_t emb_dim =
+        static_cast<std::int64_t>(run.embVectorBytes) / es;
+    const std::int64_t batch = run.batch;
+
+    graph::Graph g;
+
+    // Bottom MLP over the dense features.
+    int x = g.input({{batch, config_.bottomMlp.front()}, run.dt},
+                    "dense_features");
+    for (std::size_t l = 1; l < config_.bottomMlp.size(); l++) {
+        int w = g.input({{config_.bottomMlp[l - 1], config_.bottomMlp[l]},
+                         run.dt},
+                        strfmt("bottom_w%zu", l));
+        x = g.matmul(x, w, strfmt("bottom_mlp%zu", l));
+        x = g.elementwise({x}, 1.0, false, strfmt("bottom_relu%zu", l));
+    }
+
+    // Feature interaction: concat(bottom output, pooled embeddings)
+    // followed by DCNv2 low-rank cross layers:
+    //   x_{l+1} = x_0 * (U_l (V_l x_l) + b_l) + x_l.
+    const std::int64_t d =
+        config_.bottomMlp.back() + config_.numTables * emb_dim;
+    int xl = g.input({{batch, d}, run.dt}, "interaction_in");
+    for (int l = 0; l < config_.crossLayers; l++) {
+        int v = g.input({{d, config_.lowRankDim}, run.dt},
+                        strfmt("cross_v%d", l));
+        int u = g.input({{config_.lowRankDim, d}, run.dt},
+                        strfmt("cross_u%d", l));
+        int t = g.matmul(xl, v, strfmt("cross_down%d", l));
+        t = g.matmul(t, u, strfmt("cross_up%d", l));
+        // Hadamard with x0 plus residual: 2 flops per element.
+        xl = g.elementwise({t, xl}, 2.0, true, strfmt("cross_fma%d", l));
+    }
+
+    // Top MLP over the interaction output.
+    int prev_width = static_cast<int>(d);
+    int y = xl;
+    for (std::size_t l = 0; l < config_.topMlp.size(); l++) {
+        int w = g.input({{prev_width, config_.topMlp[l]}, run.dt},
+                        strfmt("top_w%zu", l));
+        y = g.matmul(y, w, strfmt("top_mlp%zu", l));
+        y = g.elementwise({y}, 1.0, false, strfmt("top_act%zu", l));
+        prev_width = config_.topMlp[l];
+    }
+    return g;
+}
+
+DlrmReport
+DlrmModel::run(DeviceKind device, const DlrmRunConfig &run_cfg, Rng &rng,
+               kern::EmbeddingVariant variant) const
+{
+    // Embedding layer.
+    kern::EmbeddingConfig emb;
+    emb.numTables = config_.numTables;
+    emb.rowsPerTable = config_.rowsPerTable;
+    emb.vectorBytes = run_cfg.embVectorBytes;
+    emb.batch = run_cfg.batch;
+    emb.pooling = config_.pooling;
+    emb.dt = run_cfg.dt;
+
+    kern::EmbeddingResult er;
+    if (device == DeviceKind::Gaudi2) {
+        kern::EmbeddingLayerGaudi layer(emb);
+        er = layer.run(variant, rng);
+    } else {
+        er = kern::runEmbeddingA100(emb);
+    }
+
+    // Dense layers through the graph compiler + executor.
+    graph::Graph g = buildDenseGraph(run_cfg);
+    graph::Compiler compiler;
+    compiler.compile(g);
+    g.validate();
+    graph::Executor executor(device);
+    graph::ExecutionReport dense = executor.run(g);
+
+    const auto &spec = hw::deviceSpec(device);
+    DlrmReport report;
+    report.embeddingTime = er.time;
+    report.denseTime = dense.time;
+    report.time = er.time + dense.time;
+    report.samplesPerSec = run_cfg.batch / report.time;
+
+    // Power: blend the dense graph's activity with the embedding
+    // phase (vector-engine + HBM bound).
+    hw::ActivityProfile act = dense.activity(spec);
+    const double emb_frac = er.time / report.time;
+    act.matrixActivity *= (1.0 - emb_frac);
+    act.vectorActivity =
+        act.vectorActivity * (1.0 - emb_frac) + 0.55 * emb_frac;
+    act.hbmActivity = act.hbmActivity * (1.0 - emb_frac) +
+                      std::min(1.0, er.hbmUtilization * 1.8) * emb_frac;
+
+    hw::PowerModel power(spec);
+    report.power = power.averagePower(act);
+    report.energy = report.power * report.time;
+    report.samplesPerJoule = run_cfg.batch / report.energy;
+    return report;
+}
+
+DlrmReport
+DlrmModel::runMultiDevice(DeviceKind device, const DlrmRunConfig &run_cfg,
+                          int num_devices, Rng &rng,
+                          kern::EmbeddingVariant variant) const
+{
+    vassert(num_devices >= 2 && num_devices <= 8,
+            "num_devices must be 2..8");
+    vassert(run_cfg.batch % num_devices == 0,
+            "batch must divide evenly across devices");
+
+    // Model-parallel embedding: each device holds ~T/N tables and
+    // pools them for the full global batch.
+    kern::EmbeddingConfig emb;
+    emb.numTables = std::max(1, (config_.numTables + num_devices - 1) /
+                                    num_devices);
+    emb.rowsPerTable = config_.rowsPerTable;
+    emb.vectorBytes = run_cfg.embVectorBytes;
+    emb.batch = run_cfg.batch;
+    emb.pooling = config_.pooling;
+    emb.dt = run_cfg.dt;
+
+    kern::EmbeddingResult er;
+    if (device == DeviceKind::Gaudi2) {
+        kern::EmbeddingLayerGaudi layer(emb);
+        er = layer.run(variant, rng);
+    } else {
+        er = kern::runEmbeddingA100(emb);
+    }
+
+    // AllToAll redistributes pooled vectors: after the exchange each
+    // device owns all tables' vectors for batch/N samples.
+    const Bytes exchange = static_cast<Bytes>(run_cfg.batch) *
+                           emb.numTables * run_cfg.embVectorBytes;
+    auto collective = device == DeviceKind::Gaudi2
+                          ? coll::CollectiveModel::hcclOnGaudi2()
+                          : coll::CollectiveModel::ncclOnDgxA100();
+    auto comm = collective.run(coll::CollectiveOp::AllToAll, exchange,
+                               num_devices);
+
+    // Data-parallel dense layers on the local batch shard.
+    DlrmRunConfig local = run_cfg;
+    local.batch = run_cfg.batch / num_devices;
+    graph::Graph g = buildDenseGraph(local);
+    graph::Compiler compiler;
+    compiler.compile(g);
+    graph::Executor executor(device);
+    graph::ExecutionReport dense = executor.run(g);
+
+    const auto &spec = hw::deviceSpec(device);
+    DlrmReport report;
+    report.embeddingTime = er.time;
+    report.commTime = comm.time;
+    report.denseTime = dense.time;
+    report.time = er.time + comm.time + dense.time;
+    report.samplesPerSec = run_cfg.batch / report.time;
+
+    hw::ActivityProfile act = dense.activity(spec);
+    const double emb_frac = er.time / report.time;
+    const double comm_frac = comm.time / report.time;
+    const double dense_frac = 1.0 - emb_frac - comm_frac;
+    act.matrixActivity *= dense_frac;
+    act.vectorActivity =
+        act.vectorActivity * dense_frac + 0.55 * emb_frac;
+    act.hbmActivity = act.hbmActivity * dense_frac +
+                      std::min(1.0, er.hbmUtilization * 1.8) * emb_frac;
+
+    hw::PowerModel power(spec);
+    report.power = power.averagePower(act);
+    report.energy = report.power * report.time * num_devices;
+    report.samplesPerJoule = run_cfg.batch / report.energy;
+    return report;
+}
+
+} // namespace vespera::models

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * DLRM-DCNv2 recommendation models (Table 3: RM1 and RM2) for the
+ * end-to-end RecSys serving comparison of Figure 11.
+ *
+ * RM1 is compute-intensive (feature interaction + MLPs dominate);
+ * RM2 is memory-intensive (embedding lookups dominate). The embedding
+ * layer runs through the TPC-C BatchedTable operator of Section 4.1 on
+ * Gaudi-2 and the FBGEMM model on A100; the dense layers are lowered
+ * to the graph IR and executed on each device's engine models.
+ *
+ * Note: the published table of MLP shapes is partially garbled in the
+ * source text; the shapes below reconstruct the stated structure
+ * (RM1: bottom 512-256-64, top 1024-1024-512-256-1, 3 cross layers of
+ * rank 512; RM2: bottom 256-64-64, top 128-64-1, 2 cross layers of
+ * rank 64) with the classic 13 dense input features.
+ */
+
+#ifndef VESPERA_MODELS_DLRM_H
+#define VESPERA_MODELS_DLRM_H
+
+#include <string>
+#include <vector>
+
+#include "graph/executor.h"
+#include "kern/embedding.h"
+
+namespace vespera::models {
+
+/** Static DLRM architecture description. */
+struct DlrmConfig
+{
+    std::string name;
+    int numTables = 10;
+    std::int64_t rowsPerTable = 1 << 15;
+    int pooling = 10;
+    std::vector<int> bottomMlp;  ///< Including the dense-input width.
+    std::vector<int> topMlp;     ///< Excluding the interaction width.
+    int crossLayers = 3;
+    int lowRankDim = 512;
+
+    /** Table 3 RM1 (compute-intensive). */
+    static DlrmConfig rm1();
+    /** Table 3 RM2 (memory-intensive). */
+    static DlrmConfig rm2();
+};
+
+/** Per-run serving parameters (the Figure 11 sweep axes). */
+struct DlrmRunConfig
+{
+    int batch = 1024;
+    /// Embedding vector size in bytes (Figure 11 x-axis groups).
+    Bytes embVectorBytes = 256;
+    DataType dt = DataType::FP32; ///< Paper: RecSys runs FP32.
+};
+
+/** End-to-end outcome of one inference batch. */
+struct DlrmReport
+{
+    Seconds time = 0;
+    Seconds embeddingTime = 0;
+    Seconds denseTime = 0;
+    Seconds commTime = 0; ///< Multi-device only (AllToAll exchange).
+    double samplesPerSec = 0;
+    Watts power = 0;      ///< Per device.
+    Joules energy = 0;    ///< All devices.
+    double samplesPerJoule = 0;
+};
+
+/** Runs DLRM inference on a simulated device. */
+class DlrmModel
+{
+  public:
+    explicit DlrmModel(DlrmConfig config);
+
+    /**
+     * Serve one batch. On Gaudi the embedding layer executes
+     * functionally as a TPC-C kernel with the given variant; on A100
+     * the FBGEMM model is used and `variant` is ignored.
+     */
+    DlrmReport run(DeviceKind device, const DlrmRunConfig &run,
+                   Rng &rng,
+                   kern::EmbeddingVariant variant =
+                       kern::EmbeddingVariant::BatchedTable) const;
+
+    /**
+     * TorchRec-style multi-device serving (extension beyond the paper,
+     * which evaluates single-device RecSys only because the Gaudi SDK
+     * lacks multi-device support): embedding tables are sharded across
+     * devices (model parallel); each device pools its local tables for
+     * the full batch, an AllToAll exchanges the pooled vectors, and
+     * the dense layers run data-parallel on batch/N samples.
+     */
+    DlrmReport runMultiDevice(DeviceKind device,
+                              const DlrmRunConfig &run, int num_devices,
+                              Rng &rng,
+                              kern::EmbeddingVariant variant =
+                                  kern::EmbeddingVariant::BatchedTable)
+        const;
+
+    /** Dense-layer graph (bottom MLP, DCNv2 interaction, top MLP). */
+    graph::Graph buildDenseGraph(const DlrmRunConfig &run) const;
+
+    const DlrmConfig &config() const { return config_; }
+
+  private:
+    DlrmConfig config_;
+};
+
+} // namespace vespera::models
+
+#endif // VESPERA_MODELS_DLRM_H

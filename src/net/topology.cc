@@ -1,0 +1,61 @@
+#include "net/topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vespera::net {
+
+FabricSpec
+FabricSpec::hlsGaudi2()
+{
+    FabricSpec f{};
+    f.kind = FabricKind::PeerToPeer;
+    f.maxDevices = 8;
+    // 21 of 24 x 100 GbE ports for scale-up: 3 links x 12.5 GB/s per peer.
+    f.perPeerBandwidth = 37.5 * GB;
+    f.perDeviceBandwidth = 300 * GB; // 600 GB/s bidirectional (Table 1).
+    f.linkLatency = 2.2e-6;          // RoCEv2 round through the NIC.
+    return f;
+}
+
+FabricSpec
+FabricSpec::dgxA100()
+{
+    FabricSpec f{};
+    f.kind = FabricKind::Switch;
+    f.maxDevices = 8;
+    f.perPeerBandwidth = 0;
+    f.perDeviceBandwidth = 300 * GB; // NVLink3 via NVSwitch.
+    f.linkLatency = 1.3e-6;
+    return f;
+}
+
+BytesPerSec
+FabricSpec::injectionBandwidth(int participants) const
+{
+    vassert(participants >= 2 && participants <= maxDevices,
+            "participants %d out of range (2..%d)", participants,
+            maxDevices);
+    switch (kind) {
+      case FabricKind::PeerToPeer:
+        // Only the links toward participating peers carry traffic.
+        return std::min(perPeerBandwidth * (participants - 1),
+                        perDeviceBandwidth);
+      case FabricKind::Switch:
+        // The switch lets every device inject at full rate always.
+        return perDeviceBandwidth;
+    }
+    vpanic("unknown fabric kind");
+}
+
+Seconds
+p2pTransferTime(const FabricSpec &fabric, Bytes bytes)
+{
+    const BytesPerSec bw = fabric.kind == FabricKind::PeerToPeer
+                               ? fabric.perPeerBandwidth
+                               : fabric.perDeviceBandwidth;
+    return fabric.linkLatency + static_cast<double>(bytes) / bw;
+}
+
+} // namespace vespera::net

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Intra-node interconnect fabric models.
+ *
+ * The paper's communication analysis (Sections 2.1 and 3.4) hinges on a
+ * single topological difference: HLS-Gaudi-2 wires every pair of the
+ * eight Gaudi-2 chips with three dedicated 100 GbE RoCE links (21 of 24
+ * ports), so the bandwidth usable by a collective scales with the
+ * number of participating devices; DGX A100 routes all traffic through
+ * NVSwitch, so each GPU always gets its full NVLink bandwidth
+ * regardless of participant count.
+ */
+
+#ifndef VESPERA_NET_TOPOLOGY_H
+#define VESPERA_NET_TOPOLOGY_H
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace vespera::net {
+
+/** Fabric style. */
+enum class FabricKind {
+    PeerToPeer, ///< Direct per-pair links (HLS-Gaudi-2 RoCE).
+    Switch,     ///< Full-crossbar switch (DGX A100 NVSwitch).
+};
+
+/** Static description of one server fabric. */
+struct FabricSpec
+{
+    FabricKind kind;
+    int maxDevices;
+    /// P2P: unidirectional bandwidth of one device-pair bundle
+    /// (3 x 100 GbE = 37.5 GB/s). Unused for Switch fabrics.
+    BytesPerSec perPeerBandwidth;
+    /// Per-device unidirectional injection cap (300 GB/s both systems).
+    BytesPerSec perDeviceBandwidth;
+    /// Per-message link latency.
+    Seconds linkLatency;
+
+    /**
+     * Unidirectional bandwidth one device can use when `participants`
+     * devices take part in a collective.
+     */
+    BytesPerSec injectionBandwidth(int participants) const;
+
+    /** The HLS-Gaudi-2 RoCE point-to-point fabric. */
+    static FabricSpec hlsGaudi2();
+
+    /** The DGX A100 NVSwitch fabric. */
+    static FabricSpec dgxA100();
+};
+
+/** Time to move `bytes` point-to-point between two devices. */
+Seconds p2pTransferTime(const FabricSpec &fabric, Bytes bytes);
+
+} // namespace vespera::net
+
+#endif // VESPERA_NET_TOPOLOGY_H

@@ -1,0 +1,316 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace vespera::serve {
+
+Engine::Engine(const models::LlamaModel &model, EngineConfig config)
+    : model_(model), config_(config)
+{
+    vassert(config.maxDecodeBatch >= 1, "bad max batch");
+    servingCfg_.tpDevices = config.tpDevices;
+    servingCfg_.attention = config.attention;
+    servingCfg_.dt = config.dt;
+
+    // Capacity accounting: weights plus KV must fit device HBM.
+    const auto &spec = hw::deviceSpec(config.device);
+    const Bytes weights =
+        model.config().weightBytes(config.tpDevices, config.dt);
+    vassert(weights < spec.hbmCapacity,
+            "%s does not fit on %s with TP=%d (%llu GiB weights)",
+            model.config().name.c_str(), deviceName(config.device),
+            config.tpDevices,
+            static_cast<unsigned long long>(weights >> 30));
+    kvBudget_ = spec.hbmCapacity - weights;
+    if (config_.kvCacheBytes > kvBudget_) {
+        vwarn("kvCacheBytes clamped to %llu GiB (weights take %llu GiB)",
+              static_cast<unsigned long long>(kvBudget_ >> 30),
+              static_cast<unsigned long long>(weights >> 30));
+        config_.kvCacheBytes = kvBudget_;
+    }
+}
+
+Seconds
+Engine::prefillChunkTime(int chunk, std::int64_t ctx)
+{
+    // Chunked prefill co-executes with the decode batch; this costs
+    // the chunk alone (the caller overlaps it with the decode step).
+    const int bucket = (chunk + 63) / 64 * 64;
+    const std::int64_t ctx_bucket = std::max<std::int64_t>(
+        bucket, (ctx + 255) / 256 * 256);
+    return model_.stepTime(config_.device, 1, bucket, ctx_bucket, true,
+                           servingCfg_);
+}
+
+Seconds
+Engine::decodeStepTime(int batch, std::int64_t mean_ctx)
+{
+    const std::int64_t bucket = (mean_ctx + 63) / 64 * 64;
+    const auto key = std::make_pair(batch, bucket);
+    auto it = decodeCache_.find(key);
+    if (it != decodeCache_.end())
+        return it->second;
+    const Seconds t = model_.stepTime(config_.device, batch, 1, bucket,
+                                      false, servingCfg_);
+    decodeCache_.emplace(key, t);
+    return t;
+}
+
+Seconds
+Engine::prefillStepTime(int input_len)
+{
+    const int bucket = (input_len + 63) / 64 * 64;
+    auto it = prefillCache_.find(bucket);
+    if (it != prefillCache_.end())
+        return it->second;
+    const Seconds t = model_.stepTime(config_.device, 1, bucket, bucket,
+                                      true, servingCfg_);
+    prefillCache_.emplace(bucket, t);
+    return t;
+}
+
+ServingMetrics
+Engine::run(std::vector<Request> trace)
+{
+    vassert(!trace.empty(), "empty trace");
+    std::sort(trace.begin(), trace.end(),
+              [](const Request &a, const Request &b) {
+                  return a.arrival < b.arrival;
+              });
+    events_.clear();
+
+    const auto &mc = model_.config();
+    const Bytes per_token = kvBytesPerToken(
+        mc.layers,
+        std::max(1, mc.numKvHeads / config_.tpDevices), mc.headDim,
+        config_.dt);
+    // Under the Contiguous policy every request reserves a full
+    // max-model-length slab up front: modeled as paging with one giant
+    // block per sequence.
+    const bool paged = config_.kvPolicy == KvPolicy::Paged;
+    const int block_tokens =
+        paged ? config_.blockTokens
+              : static_cast<int>(config_.maxModelLen);
+    const Bytes block_bytes = per_token * block_tokens;
+    const std::int64_t total_blocks = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(config_.kvCacheBytes / block_bytes));
+    PagedKvCache kv(total_blocks, block_tokens);
+
+    auto reserve_tokens = [&](const Request &r) {
+        return paged ? static_cast<std::int64_t>(r.inputLen) + 1
+                     : std::max<std::int64_t>(config_.maxModelLen,
+                                              r.inputLen + r.outputLen);
+    };
+
+    std::deque<std::size_t> waiting;
+    for (std::size_t i = 0; i < trace.size(); i++)
+        waiting.push_back(i);
+    std::deque<std::size_t> prefill_queue;
+    std::vector<std::size_t> running;
+
+    Seconds clock = 0;
+    std::int64_t generated_total = 0;
+    Samples ttft, tpot;
+    ServingMetrics m;
+    double batch_sum = 0;
+    std::int64_t decode_steps = 0;
+    std::size_t remaining = trace.size();
+
+    auto finished = [&](const Request &r) {
+        return r.generated >= r.outputLen;
+    };
+
+    auto record = [&](EngineEvent::Kind kind, Seconds start,
+                      Seconds duration, int batch, int chunk) {
+        if (!config_.recordEvents)
+            return;
+        EngineEvent e;
+        e.kind = kind;
+        e.start = start;
+        e.duration = duration;
+        e.decodeBatch = batch;
+        e.prefillTokens = chunk;
+        events_.push_back(e);
+    };
+
+    // Completes a request's prefill: its first token materializes.
+    auto finish_prefill = [&](std::size_t idx) {
+        Request &r = trace[idx];
+        r.prefilled = true;
+        r.generated = 1;
+        r.firstTokenTime = clock;
+        ttft.add(clock - r.arrival);
+        generated_total++;
+        if (finished(r)) {
+            r.finishTime = clock;
+            kv.release(r.id);
+            remaining--;
+        } else {
+            running.push_back(idx);
+        }
+    };
+
+    while (remaining > 0) {
+        // Shortest-prompt-first: reorder the arrived prefix of the
+        // waiting queue by prompt length before admitting.
+        if (config_.schedPolicy == SchedPolicy::ShortestPromptFirst &&
+            waiting.size() > 1) {
+            auto arrived_end = waiting.begin();
+            while (arrived_end != waiting.end() &&
+                   trace[*arrived_end].arrival <= clock) {
+                ++arrived_end;
+            }
+            std::stable_sort(waiting.begin(), arrived_end,
+                             [&](std::size_t a, std::size_t b) {
+                                 return trace[a].inputLen <
+                                        trace[b].inputLen;
+                             });
+        }
+
+        // Admission: arrived requests into free slots, KV permitting.
+        while (!waiting.empty()) {
+            const Request &r = trace[waiting.front()];
+            const bool slot_free =
+                static_cast<int>(running.size() + prefill_queue.size()) <
+                config_.maxDecodeBatch;
+            if (r.arrival > clock || !slot_free ||
+                !kv.canGrow(r.id, reserve_tokens(r))) {
+                break;
+            }
+            kv.grow(r.id, reserve_tokens(r));
+            prefill_queue.push_back(waiting.front());
+            waiting.pop_front();
+        }
+
+        const bool chunked = config_.chunkedPrefillTokens > 0;
+
+        if (!chunked && !prefill_queue.empty()) {
+            // Monolithic prefill of one request (stalls decodes).
+            const std::size_t idx = prefill_queue.front();
+            prefill_queue.pop_front();
+            Request &r = trace[idx];
+            const Seconds t = prefillStepTime(r.inputLen);
+            record(EngineEvent::Kind::Prefill, clock, t, 0, r.inputLen);
+            clock += t;
+            finish_prefill(idx);
+            continue;
+        }
+
+        const bool has_decodes = !running.empty();
+        const bool has_chunk = chunked && !prefill_queue.empty();
+
+        if (!has_decodes && !has_chunk) {
+            // Idle: jump to the next arrival.
+            vassert(!waiting.empty(),
+                    "deadlock: nothing running or waiting");
+            clock = std::max(clock, trace[waiting.front()].arrival);
+            continue;
+        }
+
+        // Grow KV for every decoding sequence; preempt the newest on
+        // exhaustion (vLLM's recompute-on-preemption policy).
+        for (std::size_t k = running.size(); k-- > 0;) {
+            Request &r = trace[running[k]];
+            if (!kv.grow(r.id, r.inputLen + r.generated + 1)) {
+                kv.release(r.id);
+                r.generated = 0;
+                r.prefilled = false;
+                r.prefillProgress = 0;
+                waiting.push_front(running[k]);
+                running.erase(running.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+                m.preemptions++;
+            }
+        }
+        if (running.empty() && !has_chunk)
+            continue;
+
+        Seconds decode_time = 0;
+        if (!running.empty()) {
+            std::int64_t ctx_sum = 0;
+            for (auto i : running)
+                ctx_sum += trace[i].inputLen + trace[i].generated;
+            decode_time = decodeStepTime(
+                static_cast<int>(running.size()),
+                ctx_sum / static_cast<std::int64_t>(running.size()));
+        }
+
+        Seconds chunk_time = 0;
+        int chunk = 0;
+        std::size_t chunk_idx = 0;
+        if (has_chunk) {
+            chunk_idx = prefill_queue.front();
+            Request &r = trace[chunk_idx];
+            chunk = std::min(config_.chunkedPrefillTokens,
+                             r.inputLen - r.prefillProgress);
+            chunk_time = prefillChunkTime(chunk, r.prefillProgress);
+        }
+
+        // Compute-bound prefill chunks overlap with memory-bound
+        // decode steps on real hardware; charge the longer plus a
+        // small serialization tax.
+        Seconds step;
+        EngineEvent::Kind kind;
+        if (decode_time > 0 && chunk_time > 0) {
+            step = std::max(decode_time, chunk_time) +
+                   0.15 * std::min(decode_time, chunk_time);
+            kind = EngineEvent::Kind::Mixed;
+        } else if (chunk_time > 0) {
+            step = chunk_time;
+            kind = EngineEvent::Kind::Prefill;
+        } else {
+            step = decode_time;
+            kind = EngineEvent::Kind::Decode;
+        }
+        record(kind, clock, step, static_cast<int>(running.size()),
+               chunk);
+        clock += step;
+
+        if (has_chunk) {
+            Request &r = trace[chunk_idx];
+            r.prefillProgress += chunk;
+            if (r.prefillProgress >= r.inputLen) {
+                prefill_queue.pop_front();
+                finish_prefill(chunk_idx);
+            }
+        }
+
+        if (!running.empty()) {
+            batch_sum += static_cast<double>(running.size());
+            decode_steps++;
+            for (std::size_t k = running.size(); k-- > 0;) {
+                Request &r = trace[running[k]];
+                r.generated++;
+                generated_total++;
+                if (finished(r)) {
+                    r.finishTime = clock;
+                    if (r.outputLen > 1) {
+                        tpot.add((r.finishTime - r.firstTokenTime) /
+                                 (r.outputLen - 1));
+                    }
+                    kv.release(r.id);
+                    running.erase(running.begin() +
+                                  static_cast<std::ptrdiff_t>(k));
+                    remaining--;
+                }
+            }
+        }
+    }
+
+    m.makespan = clock;
+    m.throughputTokensPerSec =
+        static_cast<double>(generated_total) / clock;
+    m.meanTtft = ttft.mean();
+    m.p99Ttft = ttft.percentile(99);
+    m.meanTpot = tpot.mean();
+    m.completed = static_cast<int>(trace.size());
+    m.avgDecodeBatch =
+        decode_steps ? batch_sum / static_cast<double>(decode_steps) : 0;
+    return m;
+}
+
+} // namespace vespera::serve

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Continuous-batching LLM serving engine (the vLLM substitute used for
+ * Figure 17(d,e)).
+ *
+ * Iteration-level scheduling in the ORCA/vLLM style: each engine step
+ * either prefills one admitted request or decodes one token for every
+ * running request. KV blocks are allocated on demand from a
+ * PagedKvCache; when the pool runs dry the newest running request is
+ * preempted and re-queued. Step latencies come from the LlamaModel's
+ * graph execution with the configured attention backend.
+ */
+
+#ifndef VESPERA_SERVE_ENGINE_H
+#define VESPERA_SERVE_ENGINE_H
+
+#include <map>
+#include <vector>
+
+#include "models/llama.h"
+#include "serve/kv_cache.h"
+#include "serve/trace.h"
+
+namespace vespera::serve {
+
+/** Admission-order policy for waiting requests. */
+enum class SchedPolicy {
+    Fcfs,                ///< First come, first served.
+    ShortestPromptFirst, ///< Among arrived requests, prefill the
+                         ///< shortest prompt first (lower mean TTFT,
+                         ///< at some fairness cost).
+};
+
+/** KV-cache allocation policy. */
+enum class KvPolicy {
+    Paged,      ///< vLLM block-based on-demand allocation.
+    Contiguous, ///< Reserve max-model-length per admitted request
+                ///< (the fragmentation-prone pre-vLLM baseline).
+};
+
+/** Engine configuration (Figure 17(d,e) sweeps maxDecodeBatch). */
+struct EngineConfig
+{
+    DeviceKind device = DeviceKind::Gaudi2;
+    /// Maximum decode-stage batch size.
+    int maxDecodeBatch = 64;
+    int tpDevices = 1;
+    models::AttentionBackend attention =
+        models::AttentionBackend::VllmOpt;
+    /// HBM reserved for the KV cache (per device).
+    Bytes kvCacheBytes = 40ull << 30;
+    int blockTokens = 128;
+    KvPolicy kvPolicy = KvPolicy::Paged;
+    SchedPolicy schedPolicy = SchedPolicy::Fcfs;
+    /// Tokens reserved per request under the Contiguous policy.
+    std::int64_t maxModelLen = 4096;
+    /// When nonzero, prefills are split into chunks of this many
+    /// tokens and co-scheduled with the decode batch (vLLM's chunked
+    /// prefill): long prompts no longer stall running decodes, at the
+    /// cost of slightly later first tokens for the prefilling request.
+    int chunkedPrefillTokens = 0;
+    /// Record per-step engine events (see events()).
+    bool recordEvents = false;
+    DataType dt = DataType::BF16;
+};
+
+/** One engine iteration, for profiling/visualization. */
+struct EngineEvent
+{
+    enum class Kind { Prefill, Decode, Mixed };
+    Kind kind = Kind::Decode;
+    Seconds start = 0;
+    Seconds duration = 0;
+    int decodeBatch = 0;
+    int prefillTokens = 0;
+};
+
+/** Serving-level metrics (Figure 17(d,e) y-axes). */
+struct ServingMetrics
+{
+    Seconds makespan = 0;
+    double throughputTokensPerSec = 0; ///< Generated tokens / makespan.
+    Seconds meanTtft = 0;              ///< Mean time-to-first-token.
+    Seconds meanTpot = 0;              ///< Mean time-per-output-token.
+    Seconds p99Ttft = 0;
+    int completed = 0;
+    int preemptions = 0;
+    double avgDecodeBatch = 0; ///< Mean running batch per decode step.
+};
+
+/** The engine. */
+class Engine
+{
+  public:
+    Engine(const models::LlamaModel &model, EngineConfig config);
+
+    /** Simulate serving the trace to completion. */
+    ServingMetrics run(std::vector<Request> trace);
+
+    /** Per-step events of the last run (if recordEvents was set). */
+    const std::vector<EngineEvent> &events() const { return events_; }
+
+    /**
+     * HBM bytes left for KV after model weights on this device; the
+     * constructor clamps kvCacheBytes to it.
+     */
+    Bytes kvBudget() const { return kvBudget_; }
+
+  private:
+    Seconds decodeStepTime(int batch, std::int64_t mean_ctx);
+    Seconds prefillStepTime(int input_len);
+    Seconds prefillChunkTime(int chunk, std::int64_t ctx);
+
+    const models::LlamaModel &model_;
+    EngineConfig config_;
+    models::LlamaServingConfig servingCfg_;
+    /// Memoized step times keyed by (batch, ctx bucket).
+    std::map<std::pair<int, std::int64_t>, Seconds> decodeCache_;
+    std::map<int, Seconds> prefillCache_;
+    std::vector<EngineEvent> events_;
+    Bytes kvBudget_ = 0;
+};
+
+} // namespace vespera::serve
+
+#endif // VESPERA_SERVE_ENGINE_H

@@ -1,0 +1,98 @@
+#include "serve/kv_cache.h"
+
+#include "common/logging.h"
+
+namespace vespera::serve {
+
+PagedKvCache::PagedKvCache(std::int64_t total_blocks, int block_tokens)
+    : totalBlocks_(total_blocks), blockTokens_(block_tokens),
+      freeBlocks_(total_blocks)
+{
+    vassert(total_blocks > 0 && block_tokens > 0, "bad KV pool");
+}
+
+std::int64_t
+PagedKvCache::blocksFor(std::int64_t tokens) const
+{
+    return (tokens + blockTokens_ - 1) / blockTokens_;
+}
+
+bool
+PagedKvCache::canGrow(std::int64_t seq_id, std::int64_t want_tokens) const
+{
+    auto it = held_.find(seq_id);
+    const std::int64_t have = it == held_.end() ? 0 : it->second;
+    const std::int64_t need = blocksFor(want_tokens) - have;
+    return need <= freeBlocks_;
+}
+
+bool
+PagedKvCache::grow(std::int64_t seq_id, std::int64_t tokens)
+{
+    const std::int64_t have = held_.count(seq_id) ? held_[seq_id] : 0;
+    const std::int64_t want = blocksFor(tokens);
+    const std::int64_t need = want - have;
+    if (need > freeBlocks_)
+        return false;
+    if (need > 0) {
+        freeBlocks_ -= need;
+        held_[seq_id] = want;
+    }
+    return true;
+}
+
+void
+PagedKvCache::release(std::int64_t seq_id)
+{
+    auto it = held_.find(seq_id);
+    if (it == held_.end())
+        return;
+    freeBlocks_ += it->second;
+    held_.erase(it);
+    vassert(freeBlocks_ <= totalBlocks_, "double release");
+}
+
+ContiguousKvCache::ContiguousKvCache(std::int64_t total_tokens,
+                                     std::int64_t max_seq_tokens)
+    : totalTokens_(total_tokens), maxSeqTokens_(max_seq_tokens),
+      freeTokens_(total_tokens)
+{
+    vassert(total_tokens > 0 && max_seq_tokens > 0, "bad KV pool");
+}
+
+bool
+ContiguousKvCache::admit(std::int64_t seq_id)
+{
+    if (maxSeqTokens_ > freeTokens_)
+        return false;
+    vassert(!held_.count(seq_id), "sequence admitted twice");
+    freeTokens_ -= maxSeqTokens_;
+    held_[seq_id] = maxSeqTokens_;
+    return true;
+}
+
+void
+ContiguousKvCache::release(std::int64_t seq_id)
+{
+    auto it = held_.find(seq_id);
+    if (it == held_.end())
+        return;
+    freeTokens_ += it->second;
+    held_.erase(it);
+    vassert(freeTokens_ <= totalTokens_, "double release");
+}
+
+std::int64_t
+ContiguousKvCache::capacitySequences() const
+{
+    return totalTokens_ / maxSeqTokens_;
+}
+
+Bytes
+kvBytesPerToken(int layers, int kv_heads, int head_dim, DataType dt)
+{
+    return static_cast<Bytes>(layers) * 2 * kv_heads * head_dim *
+           dtypeSize(dt);
+}
+
+} // namespace vespera::serve

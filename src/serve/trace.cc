@@ -1,0 +1,56 @@
+#include "serve/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vespera::serve {
+
+std::vector<Request>
+makeDynamicTrace(const TraceConfig &config, Rng &rng)
+{
+    vassert(config.numRequests > 0, "empty trace");
+    std::vector<Request> trace;
+    trace.reserve(static_cast<std::size_t>(config.numRequests));
+    Seconds clock = 0;
+    for (int i = 0; i < config.numRequests; i++) {
+        Request r;
+        r.id = i;
+        const double in =
+            rng.logNormal(config.inputLogMean, config.inputLogSigma);
+        const double out =
+            rng.logNormal(config.outputLogMean, config.outputLogSigma);
+        r.inputLen = std::clamp(static_cast<int>(in),
+                                config.minInputLen, config.maxInputLen);
+        r.outputLen = std::clamp(static_cast<int>(out),
+                                 config.minOutputLen,
+                                 config.maxOutputLen);
+        if (config.arrivalRate > 0) {
+            // Poisson process: exponential inter-arrival times.
+            clock += -std::log(1.0 - rng.uniform()) / config.arrivalRate;
+            r.arrival = clock;
+        }
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+std::vector<Request>
+makeFixedTrace(int num_requests, int input_len, int output_len)
+{
+    vassert(num_requests > 0 && input_len > 0 && output_len > 0,
+            "bad fixed trace");
+    std::vector<Request> trace;
+    trace.reserve(static_cast<std::size_t>(num_requests));
+    for (int i = 0; i < num_requests; i++) {
+        Request r;
+        r.id = i;
+        r.inputLen = input_len;
+        r.outputLen = output_len;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace vespera::serve

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Serving request traces.
+ *
+ * The paper's end-to-end vLLM experiments use the Dynamic-Sonnet
+ * dataset to exercise variable input/output lengths. We synthesize an
+ * equivalent trace: log-normal input lengths and output lengths,
+ * clipped to the dataset's ranges (the serving-system dynamics only
+ * depend on the length distributions, not the token contents).
+ */
+
+#ifndef VESPERA_SERVE_TRACE_H
+#define VESPERA_SERVE_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace vespera::serve {
+
+/** One serving request. */
+struct Request
+{
+    std::int64_t id = 0;
+    Seconds arrival = 0;
+    int inputLen = 0;
+    int outputLen = 0;
+
+    /// @name Engine-filled progress fields.
+    /// @{
+    int generated = 0;
+    bool prefilled = false;
+    int prefillProgress = 0; ///< Tokens prefilled (chunked prefill).
+    Seconds firstTokenTime = -1;
+    Seconds finishTime = -1;
+    /// @}
+};
+
+/** Trace synthesis parameters. */
+struct TraceConfig
+{
+    int numRequests = 256;
+    /// Log-normal parameters of the input-length distribution.
+    double inputLogMean = 6.2;  ///< exp(6.2) ~ 493 tokens.
+    double inputLogSigma = 0.5;
+    int minInputLen = 64;
+    int maxInputLen = 2048;
+    /// Output lengths.
+    double outputLogMean = 5.3; ///< exp(5.3) ~ 200 tokens.
+    double outputLogSigma = 0.6;
+    int minOutputLen = 16;
+    int maxOutputLen = 1024;
+    /// All requests arrive at time zero (offline throughput test) when
+    /// zero; otherwise Poisson arrivals at this rate (req/s).
+    double arrivalRate = 0;
+};
+
+/** Synthesize a Dynamic-Sonnet-like trace. */
+std::vector<Request> makeDynamicTrace(const TraceConfig &config,
+                                      Rng &rng);
+
+/** Fixed-shape trace (Figure 12's synthetic dataset). */
+std::vector<Request> makeFixedTrace(int num_requests, int input_len,
+                                    int output_len);
+
+} // namespace vespera::serve
+
+#endif // VESPERA_SERVE_TRACE_H

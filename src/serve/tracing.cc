@@ -1,0 +1,116 @@
+#include "serve/tracing.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace vespera::serve {
+
+namespace {
+
+/// One "complete" (ph:X) trace event. Times are microseconds.
+std::string
+completeEvent(const std::string &name, const char *category,
+              Seconds start, Seconds duration, int tid, bool last)
+{
+    return strfmt("    {\"name\": \"%s\", \"cat\": \"%s\", "
+                  "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"pid\": 1, \"tid\": %d}%s\n",
+                  name.c_str(), category, start * 1e6, duration * 1e6,
+                  tid, last ? "" : ",");
+}
+
+std::string
+wrap(std::string events)
+{
+    return "{\n  \"traceEvents\": [\n" + std::move(events) +
+           "  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+} // namespace
+
+std::string
+engineEventsToChromeTrace(const std::vector<EngineEvent> &events)
+{
+    std::string out;
+    for (std::size_t i = 0; i < events.size(); i++) {
+        const EngineEvent &e = events[i];
+        const char *cat = "decode";
+        std::string name;
+        int tid = 1;
+        switch (e.kind) {
+          case EngineEvent::Kind::Prefill:
+            cat = "prefill";
+            name = strfmt("prefill %d tok", e.prefillTokens);
+            tid = 2;
+            break;
+          case EngineEvent::Kind::Decode:
+            name = strfmt("decode b%d", e.decodeBatch);
+            break;
+          case EngineEvent::Kind::Mixed:
+            cat = "mixed";
+            name = strfmt("decode b%d + chunk %d", e.decodeBatch,
+                          e.prefillTokens);
+            break;
+        }
+        out += completeEvent(name, cat, e.start, e.duration, tid,
+                             i + 1 == events.size());
+    }
+    return wrap(std::move(out));
+}
+
+std::string
+timelineToChromeTrace(const std::vector<graph::TimelineEntry> &timeline)
+{
+    std::string out;
+    for (std::size_t i = 0; i < timeline.size(); i++) {
+        const auto &e = timeline[i];
+        const char *cat = "op";
+        int tid = 1;
+        switch (e.kind) {
+          case graph::OpKind::MatMul:
+            cat = "mme";
+            tid = 1;
+            break;
+          case graph::OpKind::Elementwise:
+          case graph::OpKind::Normalization:
+            cat = "tpc";
+            tid = 2;
+            break;
+          case graph::OpKind::AllReduce:
+            cat = "comm";
+            tid = 3;
+            break;
+          case graph::OpKind::Custom:
+            cat = "custom";
+            tid = 2;
+            break;
+          case graph::OpKind::Input:
+            continue;
+        }
+        out += completeEvent(e.name, cat, e.start, e.duration, tid,
+                             i + 1 == timeline.size());
+    }
+    // The last emitted event may not be the vector's last element
+    // (inputs are skipped), so normalize the trailing comma.
+    const auto pos = out.find_last_of('}');
+    if (pos != std::string::npos && pos + 1 < out.size() &&
+        out[pos + 1] == ',') {
+        out.erase(pos + 1, 1);
+    }
+    return wrap(std::move(out));
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::size_t n =
+        std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return n == content.size();
+}
+
+} // namespace vespera::serve

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Export engine events and graph-execution timelines to the Chrome
+ * tracing JSON format (view at chrome://tracing or ui.perfetto.dev) —
+ * the observability role the Intel Gaudi Profiler plays in the paper's
+ * reverse-engineering workflow.
+ */
+
+#ifndef VESPERA_SERVE_TRACING_H
+#define VESPERA_SERVE_TRACING_H
+
+#include <string>
+#include <vector>
+
+#include "graph/executor.h"
+#include "serve/engine.h"
+
+namespace vespera::serve {
+
+/** Chrome-trace JSON for a serving run's engine events. */
+std::string engineEventsToChromeTrace(
+    const std::vector<EngineEvent> &events);
+
+/** Chrome-trace JSON for one graph execution's op timeline. */
+std::string timelineToChromeTrace(
+    const std::vector<graph::TimelineEntry> &timeline);
+
+/** Write a string to a file; returns false on I/O failure. */
+bool writeFile(const std::string &path, const std::string &content);
+
+} // namespace vespera::serve
+
+#endif // VESPERA_SERVE_TRACING_H

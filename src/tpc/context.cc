@@ -1,0 +1,391 @@
+#include "tpc/context.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vespera::tpc {
+
+TpcContext::TpcContext(Program &program, const MemberRange &range,
+                       Bytes default_vector_bytes, Bytes local_memory_bytes)
+    : program_(program), range_(range),
+      defaultVectorBytes_(default_vector_bytes),
+      localMemoryBytes_(local_memory_bytes),
+      localMem_(local_memory_bytes / 4, 0.0f)
+{
+    vassert(default_vector_bytes > 0, "zero vector width");
+}
+
+Vec
+TpcContext::v_ld_tnsr(const Int5 &coord, const Tensor &t, Bytes bytes,
+                      Access access)
+{
+    if (bytes == 0)
+        bytes = defaultVectorBytes_;
+    const Bytes es = dtypeSize(t.dtype());
+    vassert(bytes >= es, "load smaller than one element");
+    const auto lanes = static_cast<std::int64_t>(bytes / es);
+
+    Vec v;
+    v.id = program_.newValue();
+    v.lanes.resize(static_cast<std::size_t>(lanes), 0.0f);
+    const std::int64_t base = t.flatten(coord);
+    const std::int64_t limit = std::min(lanes, t.numElements() - base);
+    for (std::int64_t i = 0; i < limit; i++)
+        v.lanes[static_cast<std::size_t>(i)] = t.at(base + i);
+
+    Instr instr;
+    instr.slot = Slot::Load;
+    instr.dst = v.id;
+    instr.memBytes = bytes;
+    instr.access = access;
+    instr.lanes = static_cast<std::int32_t>(lanes);
+    program_.append(instr);
+    return v;
+}
+
+void
+TpcContext::v_st_tnsr(const Int5 &coord, Tensor &t, const Vec &v,
+                      Access access)
+{
+    vassert(v.id >= 0, "storing an uninitialized vector");
+    const std::int64_t base = t.flatten(coord);
+    const std::int64_t limit =
+        std::min<std::int64_t>(v.laneCount(), t.numElements() - base);
+    for (std::int64_t i = 0; i < limit; i++)
+        t.at(base + i) = v.lanes[static_cast<std::size_t>(i)];
+
+    Instr instr;
+    instr.slot = Slot::Store;
+    instr.src0 = v.id;
+    instr.memBytes = static_cast<Bytes>(v.laneCount()) *
+                     dtypeSize(t.dtype());
+    instr.access = access;
+    instr.lanes = v.laneCount();
+    program_.append(instr);
+}
+
+Vec
+TpcContext::binaryOp(const Vec &a, const Vec &b, float flops_per_lane,
+                     float (*op)(float, float))
+{
+    vassert(a.laneCount() == b.laneCount(),
+            "lane mismatch: %d vs %d", a.laneCount(), b.laneCount());
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.resize(a.lanes.size());
+    for (std::size_t i = 0; i < a.lanes.size(); i++)
+        r.lanes[i] = op(a.lanes[i], b.lanes[i]);
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    instr.src1 = b.id;
+    instr.flopsPerLane = flops_per_lane;
+    instr.lanes = a.laneCount();
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_add(const Vec &a, const Vec &b)
+{
+    return binaryOp(a, b, 1.0f, [](float x, float y) { return x + y; });
+}
+
+Vec
+TpcContext::v_sub(const Vec &a, const Vec &b)
+{
+    return binaryOp(a, b, 1.0f, [](float x, float y) { return x - y; });
+}
+
+Vec
+TpcContext::v_mul(const Vec &a, const Vec &b)
+{
+    return binaryOp(a, b, 1.0f, [](float x, float y) { return x * y; });
+}
+
+Vec
+TpcContext::v_max(const Vec &a, const Vec &b)
+{
+    return binaryOp(a, b, 1.0f,
+                    [](float x, float y) { return std::max(x, y); });
+}
+
+Vec
+TpcContext::v_mac(const Vec &a, const Vec &b, const Vec &acc)
+{
+    vassert(a.laneCount() == b.laneCount() &&
+            a.laneCount() == acc.laneCount(),
+            "lane mismatch in v_mac");
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.resize(a.lanes.size());
+    for (std::size_t i = 0; i < a.lanes.size(); i++)
+        r.lanes[i] = a.lanes[i] * b.lanes[i] + acc.lanes[i];
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    instr.src1 = b.id;
+    instr.src2 = acc.id;
+    instr.flopsPerLane = 2.0f;
+    instr.lanes = a.laneCount();
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_mul_s(const Vec &a, float scalar)
+{
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.resize(a.lanes.size());
+    for (std::size_t i = 0; i < a.lanes.size(); i++)
+        r.lanes[i] = a.lanes[i] * scalar;
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    instr.flopsPerLane = 1.0f;
+    instr.lanes = a.laneCount();
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_mac_s(const Vec &a, float scalar, const Vec &acc)
+{
+    vassert(a.laneCount() == acc.laneCount(), "lane mismatch in v_mac_s");
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.resize(a.lanes.size());
+    for (std::size_t i = 0; i < a.lanes.size(); i++)
+        r.lanes[i] = a.lanes[i] * scalar + acc.lanes[i];
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    instr.src1 = acc.id;
+    instr.flopsPerLane = 2.0f;
+    instr.lanes = a.laneCount();
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_zero(int lanes)
+{
+    vassert(lanes > 0, "zero-lane vector");
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.assign(static_cast<std::size_t>(lanes), 0.0f);
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.lanes = lanes;
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_exp(const Vec &a)
+{
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.resize(a.lanes.size());
+    for (std::size_t i = 0; i < a.lanes.size(); i++)
+        r.lanes[i] = std::exp(a.lanes[i]);
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    // Special-function unit: several flops worth of issue per lane.
+    instr.flopsPerLane = 4.0f;
+    instr.lanes = a.laneCount();
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_reciprocal(const Vec &a)
+{
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.resize(a.lanes.size());
+    for (std::size_t i = 0; i < a.lanes.size(); i++)
+        r.lanes[i] = 1.0f / a.lanes[i];
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    instr.flopsPerLane = 2.0f;
+    instr.lanes = a.laneCount();
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_rsqrt(const Vec &a)
+{
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.resize(a.lanes.size());
+    for (std::size_t i = 0; i < a.lanes.size(); i++)
+        r.lanes[i] = 1.0f / std::sqrt(a.lanes[i]);
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    instr.flopsPerLane = 2.0f;
+    instr.lanes = a.laneCount();
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_splat(float value, int lanes)
+{
+    vassert(lanes > 0, "zero-lane splat");
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.assign(static_cast<std::size_t>(lanes), value);
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.lanes = lanes;
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_reduce_max(const Vec &a)
+{
+    vassert(a.laneCount() > 0, "reducing empty vector");
+    Vec r;
+    r.id = program_.newValue();
+    float m = a.lanes[0];
+    for (float v : a.lanes)
+        m = std::max(m, v);
+    r.lanes = {m};
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    instr.flopsPerLane = 1.0f; // Tree reduction, ~1 op per lane.
+    instr.lanes = a.laneCount();
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_reduce_add(const Vec &a)
+{
+    vassert(a.laneCount() > 0, "reducing empty vector");
+    Vec r;
+    r.id = program_.newValue();
+    double s = 0;
+    for (float v : a.lanes)
+        s += v;
+    r.lanes = {static_cast<float>(s)};
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    instr.flopsPerLane = 1.0f;
+    instr.lanes = a.laneCount();
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_broadcast(const Vec &a, int lanes)
+{
+    vassert(a.laneCount() >= 1 && lanes > 0, "bad broadcast");
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.assign(static_cast<std::size_t>(lanes), a.lanes[0]);
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = a.id;
+    instr.lanes = lanes;
+    program_.append(instr);
+    return r;
+}
+
+float
+TpcContext::s_ld(const Int5 &coord, const Tensor &t, Access access)
+{
+    const float value = t.at(coord);
+
+    Instr instr;
+    instr.slot = Slot::Scalar;
+    instr.dst = program_.newValue();
+    instr.memBytes = dtypeSize(t.dtype());
+    instr.access = access;
+    instr.lanes = 1;
+    program_.append(instr);
+    return value;
+}
+
+void
+TpcContext::v_st_local(std::int64_t elem_offset, const Vec &v)
+{
+    vassert(elem_offset >= 0, "negative local offset");
+    const std::int64_t end = elem_offset + v.laneCount();
+    vassert(static_cast<Bytes>(end) * 4 <= localMemoryBytes_,
+            "local memory overflow: %lld lanes > %llu bytes",
+            static_cast<long long>(end),
+            static_cast<unsigned long long>(localMemoryBytes_));
+    for (int i = 0; i < v.laneCount(); i++)
+        localMem_[static_cast<std::size_t>(elem_offset + i)] =
+            v.lanes[static_cast<std::size_t>(i)];
+    localHighWater_ = std::max(localHighWater_, end);
+
+    Instr instr;
+    instr.slot = Slot::Store;
+    instr.src0 = v.id;
+    instr.memBytes = static_cast<Bytes>(v.laneCount()) * 4;
+    instr.access = Access::Local;
+    instr.lanes = v.laneCount();
+    program_.append(instr);
+}
+
+Vec
+TpcContext::v_ld_local(std::int64_t elem_offset, int lanes)
+{
+    vassert(elem_offset >= 0 && lanes > 0, "bad local load");
+    vassert(static_cast<Bytes>(elem_offset + lanes) * 4 <=
+            localMemoryBytes_, "local memory read out of bounds");
+    Vec v;
+    v.id = program_.newValue();
+    v.lanes.resize(static_cast<std::size_t>(lanes));
+    for (int i = 0; i < lanes; i++)
+        v.lanes[static_cast<std::size_t>(i)] =
+            localMem_[static_cast<std::size_t>(elem_offset + i)];
+
+    Instr instr;
+    instr.slot = Slot::Load;
+    instr.dst = v.id;
+    instr.memBytes = static_cast<Bytes>(lanes) * 4;
+    instr.access = Access::Local;
+    instr.lanes = lanes;
+    program_.append(instr);
+    return v;
+}
+
+} // namespace vespera::tpc

@@ -1,0 +1,90 @@
+#include "tpc/dispatcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vespera::tpc {
+
+TpcDispatcher::TpcDispatcher(const hw::DeviceSpec &spec)
+    : spec_(spec), hbm_(spec)
+{
+    vassert(spec.kind == DeviceKind::Gaudi2,
+            "TpcDispatcher simulates the Gaudi TPC array");
+}
+
+LaunchResult
+TpcDispatcher::launch(const Kernel &kernel, const IndexSpace &space,
+                      const LaunchParams &params) const
+{
+    vassert(params.numTpcs >= 1 && params.numTpcs <= spec_.numVectorCores,
+            "numTpcs %d out of range (1..%d)", params.numTpcs,
+            spec_.numVectorCores);
+    vassert(params.partitionDim >= 0 && params.partitionDim < 5,
+            "bad partition dimension");
+
+    const std::int64_t extent = space.size[params.partitionDim];
+    vassert(extent >= 1, "empty index space");
+
+    LaunchResult result;
+    Bytes stream_bus = 0;
+    Bytes random_bus = 0;
+    std::uint64_t random_accesses = 0;
+    double chip_concurrency = 0;
+
+    const std::int64_t per_tpc =
+        (extent + params.numTpcs - 1) / params.numTpcs;
+
+    for (int t = 0; t < params.numTpcs; t++) {
+        MemberRange range;
+        for (int d = 0; d < 5; d++) {
+            range.start[d] = 0;
+            range.end[d] = space.size[d];
+        }
+        range.start[params.partitionDim] =
+            std::min<std::int64_t>(t * per_tpc, extent);
+        range.end[params.partitionDim] =
+            std::min<std::int64_t>((t + 1) * per_tpc, extent);
+        if (range.empty())
+            continue;
+
+        Program program;
+        TpcContext ctx(program, range, params.vectorBytes);
+        kernel(ctx);
+        if (program.empty())
+            continue;
+
+        PipelineResult pr = evaluatePipeline(program, params.tpc);
+        result.slowestTpcTime = std::max(result.slowestTpcTime, pr.time);
+        result.totalFlops += pr.flops;
+        result.busBytes += pr.busBytes;
+        result.usefulBytes +=
+            program.streamBytes() + program.randomBytes();
+        result.localMemHighWater =
+            std::max(result.localMemHighWater, ctx.localHighWater());
+        random_accesses += pr.randomAccesses;
+        chip_concurrency += pr.memConcurrency;
+        random_bus += pr.randomTxns * params.tpc.granule;
+        result.activeTpcs++;
+    }
+    vassert(result.activeTpcs > 0, "kernel produced no work");
+    stream_bus = result.busBytes - random_bus;
+
+    // Chip-level HBM bound: streaming traffic at sustained stream
+    // bandwidth plus random traffic at MLP-dependent random bandwidth.
+    result.memoryBoundTime = hbm_.streamTime(stream_bus);
+    if (random_accesses > 0) {
+        result.memoryBoundTime += hbm_.randomTrafficTime(
+            random_bus, random_accesses,
+            std::max(chip_concurrency, 1.0));
+    }
+
+    result.time = std::max(result.slowestTpcTime, result.memoryBoundTime) +
+                  spec_.launchOverhead;
+    result.achievedFlopsPerSec = result.totalFlops / result.time;
+    result.hbmUtilization = static_cast<double>(result.usefulBytes) /
+                            (result.time * spec_.hbmBandwidth);
+    return result;
+}
+
+} // namespace vespera::tpc

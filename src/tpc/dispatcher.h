@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Multi-TPC kernel launcher.
+ *
+ * Mirrors the Gaudi runtime's index-space distribution (Section 2.2):
+ * the workload's index space is partitioned along one dimension across
+ * the chip's 24 TPCs; each TPC executes the same kernel over its slice.
+ * The dispatcher runs each TPC's trace through the pipeline model and
+ * combines per-TPC times with the chip-level HBM bandwidth bound.
+ */
+
+#ifndef VESPERA_TPC_DISPATCHER_H
+#define VESPERA_TPC_DISPATCHER_H
+
+#include <functional>
+
+#include "hw/device_spec.h"
+#include "mem/hbm.h"
+#include "tpc/context.h"
+#include "tpc/pipeline.h"
+
+namespace vespera::tpc {
+
+/** The grid over which a kernel is distributed (up to 5 dims). */
+struct IndexSpace
+{
+    Int5 size{1, 1, 1, 1, 1};
+
+    std::int64_t
+    members() const
+    {
+        std::int64_t n = 1;
+        for (auto s : size)
+            n *= s;
+        return n;
+    }
+};
+
+/** A TPC kernel: a callable receiving the per-TPC context. */
+using Kernel = std::function<void(TpcContext &)>;
+
+/** Launch configuration. */
+struct LaunchParams
+{
+    /// TPCs to use (weak-scaling experiments sweep this).
+    int numTpcs = 24;
+    /// Index-space dimension split across TPCs.
+    int partitionDim = 1;
+    /// Default global access width handed to the context.
+    Bytes vectorBytes = 256;
+    /// Per-TPC timing parameters.
+    TpcParams tpc = TpcParams::forGaudi2();
+};
+
+/** Chip-level outcome of a kernel launch. */
+struct LaunchResult
+{
+    Seconds time = 0;            ///< End-to-end incl. launch overhead.
+    Seconds slowestTpcTime = 0;  ///< Pipeline-limited component.
+    Seconds memoryBoundTime = 0; ///< Chip HBM bandwidth bound.
+    Flops totalFlops = 0;
+    Bytes usefulBytes = 0;       ///< Payload moved (no granule padding).
+    Bytes busBytes = 0;          ///< Granule-rounded bus traffic.
+    double achievedFlopsPerSec = 0;
+    double hbmUtilization = 0;   ///< usefulBytes / (time x peak BW).
+    int activeTpcs = 0;
+    Bytes localMemHighWater = 0; ///< Max per-TPC local memory footprint.
+};
+
+/** Launches kernels onto the simulated Gaudi-2 TPC array. */
+class TpcDispatcher
+{
+  public:
+    explicit TpcDispatcher(const hw::DeviceSpec &spec = hw::gaudi2Spec());
+
+    /** Run `kernel` over `space` with the given launch parameters. */
+    LaunchResult launch(const Kernel &kernel, const IndexSpace &space,
+                        const LaunchParams &params) const;
+
+    const mem::HbmModel &hbm() const { return hbm_; }
+    const hw::DeviceSpec &spec() const { return spec_; }
+
+  private:
+    const hw::DeviceSpec &spec_;
+    mem::HbmModel hbm_;
+};
+
+} // namespace vespera::tpc
+
+#endif // VESPERA_TPC_DISPATCHER_H

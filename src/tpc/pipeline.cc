@@ -1,0 +1,100 @@
+#include "tpc/pipeline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vespera::tpc {
+
+TpcParams
+TpcParams::forGaudi2()
+{
+    TpcParams p;
+    p.clock = hw::gaudi2Spec().vectorClock;
+    p.vectorLatency = hw::gaudi2Spec().vectorInstrLatency;
+    return p;
+}
+
+PipelineResult
+evaluatePipeline(const Program &program, const TpcParams &params)
+{
+    vassert(params.clock > 0 && params.granule > 0, "bad TPC parameters");
+
+    // Per-SSA-value ready times.
+    std::vector<double> ready(static_cast<std::size_t>(program.numValues()),
+                              0.0);
+    double slot_free[numSlots] = {0, 0, 0, 0};
+    double mem_next_free = 0;   ///< Global-memory interface availability.
+    double last_issue = 0;      ///< In-order constraint.
+    double completion = 0;
+
+    PipelineResult r;
+
+    for (const Instr &instr : program.instrs()) {
+        double t = last_issue;
+        t = std::max(t, slot_free[static_cast<int>(instr.slot)]);
+        for (std::int32_t src : {instr.src0, instr.src1, instr.src2}) {
+            if (src >= 0)
+                t = std::max(t, ready[static_cast<std::size_t>(src)]);
+        }
+
+        const bool is_mem =
+            instr.slot == Slot::Load || instr.slot == Slot::Store ||
+            (instr.slot == Slot::Scalar && instr.memBytes > 0);
+        double result_latency = 0;
+        switch (instr.slot) {
+          case Slot::Vector:
+            result_latency = params.vectorLatency;
+            break;
+          case Slot::Scalar:
+            result_latency = params.scalarLatency;
+            break;
+          case Slot::Load:
+          case Slot::Store:
+            result_latency = 0; // Set below for loads.
+            break;
+        }
+
+        if (is_mem && instr.access != Access::Local) {
+            // Global memory: every access moves whole granules through
+            // the per-TPC memory interface at a bounded sustained rate.
+            const std::uint64_t txns =
+                (instr.memBytes + params.granule - 1) / params.granule;
+            t = std::max(t, mem_next_free);
+            mem_next_free = t + txns * params.memIssueIntervalCycles;
+            r.busBytes += txns * params.granule;
+            if (instr.access == Access::Random) {
+                r.randomTxns += txns;
+                r.randomAccesses++;
+            }
+            if (instr.dst >= 0) {
+                result_latency = instr.access == Access::Random
+                                     ? params.loadLatencyRandom
+                                     : params.loadLatencyStream;
+            }
+        } else if (is_mem) {
+            // TPC-local scratchpad: no global traffic, short latency.
+            if (instr.dst >= 0)
+                result_latency = params.loadLatencyLocal;
+        }
+
+        if (instr.dst >= 0)
+            ready[static_cast<std::size_t>(instr.dst)] = t + result_latency;
+
+        slot_free[static_cast<int>(instr.slot)] = t + 1;
+        last_issue = t;
+        completion = std::max(completion, t + std::max(result_latency, 1.0));
+    }
+
+    r.cycles = std::max(completion, mem_next_free);
+    r.time = r.cycles / params.clock;
+    r.flops = program.flops();
+    if (r.cycles > 0) {
+        r.memConcurrency = static_cast<double>(r.randomAccesses) *
+                           params.loadLatencyRandom / r.cycles;
+    }
+    return r;
+}
+
+} // namespace vespera::tpc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * VLIW timing model for a single TPC.
+ *
+ * Replays a recorded Program trace under the TPC's issue rules:
+ * in-order issue, one instruction per VLIW slot per cycle, a 4-cycle
+ * architectural latency on vector results (the paper's motivation for
+ * loop unrolling), and a global-memory interface that moves data in
+ * 256 B granules at a bounded per-TPC rate.
+ */
+
+#ifndef VESPERA_TPC_PIPELINE_H
+#define VESPERA_TPC_PIPELINE_H
+
+#include "common/types.h"
+#include "hw/device_spec.h"
+#include "tpc/program.h"
+
+namespace vespera::tpc {
+
+/** Microarchitectural parameters of the simulated TPC. */
+struct TpcParams
+{
+    Hertz clock = 1.79e9;
+    /// Architectural latency of vector-ALU results (paper: 4 cycles).
+    int vectorLatency = 4;
+    /// Latency of scalar-unit results.
+    int scalarLatency = 2;
+    /// Load-to-use latency for streaming global loads (prefetched).
+    int loadLatencyStream = 6;
+    /// Load-to-use latency for random global loads (full HBM round trip).
+    int loadLatencyRandom = 130;
+    /// Load-to-use latency for TPC-local memory.
+    int loadLatencyLocal = 2;
+    /// Sustained cycles per 256 B global-memory transaction per TPC.
+    double memIssueIntervalCycles = 2.2;
+    /// Minimum global access granularity.
+    Bytes granule = 256;
+
+    /** Parameters derived from the Gaudi-2 spec. */
+    static TpcParams forGaudi2();
+};
+
+/** Timing outcome of one TPC's trace. */
+struct PipelineResult
+{
+    double cycles = 0;
+    Seconds time = 0;
+    Flops flops = 0;
+    /// Global bus bytes moved (payload rounded up to granules).
+    Bytes busBytes = 0;
+    /// Granule transactions issued by random accesses (bus traffic).
+    std::uint64_t randomTxns = 0;
+    /// Random accesses issued (scattered requests; each pays one DRAM
+    /// activation regardless of how many granules it spans).
+    std::uint64_t randomAccesses = 0;
+    /// Little's-law estimate of this TPC's in-flight random requests.
+    double memConcurrency = 0;
+};
+
+/** Evaluate the trace under the timing model. */
+PipelineResult evaluatePipeline(const Program &program,
+                                const TpcParams &params);
+
+} // namespace vespera::tpc
+
+#endif // VESPERA_TPC_PIPELINE_H

@@ -1,0 +1,107 @@
+#include "tpc/program.h"
+
+#include "common/logging.h"
+
+namespace vespera::tpc {
+
+Flops
+Program::flops() const
+{
+    double total = 0;
+    for (const auto &i : instrs_)
+        total += static_cast<double>(i.flopsPerLane) * i.lanes;
+    return total;
+}
+
+Bytes
+Program::streamBytes() const
+{
+    Bytes total = 0;
+    for (const auto &i : instrs_) {
+        if ((i.slot == Slot::Load || i.slot == Slot::Store) &&
+            i.access == Access::Stream) {
+            total += i.memBytes;
+        }
+    }
+    return total;
+}
+
+Bytes
+Program::randomBytes() const
+{
+    Bytes total = 0;
+    for (const auto &i : instrs_) {
+        if ((i.slot == Slot::Load || i.slot == Slot::Store) &&
+            i.access == Access::Random) {
+            total += i.memBytes;
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+Program::randomTransactions(Bytes granule) const
+{
+    vassert(granule > 0, "zero granule");
+    std::uint64_t txns = 0;
+    for (const auto &i : instrs_) {
+        if ((i.slot == Slot::Load || i.slot == Slot::Store) &&
+            i.access == Access::Random) {
+            txns += (i.memBytes + granule - 1) / granule;
+        }
+    }
+    return txns;
+}
+
+Bytes
+Program::busBytes(Bytes granule) const
+{
+    vassert(granule > 0, "zero granule");
+    Bytes total = 0;
+    for (const auto &i : instrs_) {
+        if (i.slot != Slot::Load && i.slot != Slot::Store)
+            continue;
+        if (i.access == Access::Local)
+            continue;
+        total += (i.memBytes + granule - 1) / granule * granule;
+    }
+    return total;
+}
+
+Program::Stats
+Program::stats() const
+{
+    Stats s;
+    for (const auto &i : instrs_) {
+        switch (i.slot) {
+          case Slot::Load:
+            s.loads++;
+            break;
+          case Slot::Store:
+            s.stores++;
+            break;
+          case Slot::Vector:
+            s.vectorOps++;
+            break;
+          case Slot::Scalar:
+            s.scalarOps++;
+            break;
+        }
+        if (i.memBytes > 0) {
+            switch (i.access) {
+              case Access::Stream:
+                s.streamAccesses++;
+                break;
+              case Access::Random:
+                s.randomAccesses++;
+                break;
+              case Access::Local:
+                s.localAccesses++;
+                break;
+            }
+        }
+    }
+    return s;
+}
+
+} // namespace vespera::tpc

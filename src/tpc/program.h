@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-TPC instruction trace container with flop / traffic accounting.
+ */
+
+#ifndef VESPERA_TPC_PROGRAM_H
+#define VESPERA_TPC_PROGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tpc/isa.h"
+
+namespace vespera::tpc {
+
+/** The recorded instruction stream of one TPC's kernel invocation. */
+class Program
+{
+  public:
+    /** Append an instruction, returning its position. */
+    std::size_t
+    append(const Instr &instr)
+    {
+        instrs_.push_back(instr);
+        return instrs_.size() - 1;
+    }
+
+    /** Allocate a fresh SSA value id. */
+    std::int32_t newValue() { return nextValue_++; }
+
+    const std::vector<Instr> &instrs() const { return instrs_; }
+    std::int32_t numValues() const { return nextValue_; }
+    bool empty() const { return instrs_.empty(); }
+
+    /** Total useful flops executed by the trace. */
+    Flops flops() const;
+
+    /** Useful payload bytes moved to/from global memory, by class. */
+    Bytes streamBytes() const;
+    Bytes randomBytes() const;
+
+    /** Number of random-access global transactions (for MLP modeling). */
+    std::uint64_t randomTransactions(Bytes granule) const;
+
+    /** Bus bytes for the given granule (payload rounded up per access). */
+    Bytes busBytes(Bytes granule) const;
+
+    /** Instruction-mix statistics (for kernel tuning / debugging). */
+    struct Stats
+    {
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t vectorOps = 0;
+        std::uint64_t scalarOps = 0;
+        std::uint64_t streamAccesses = 0;
+        std::uint64_t randomAccesses = 0;
+        std::uint64_t localAccesses = 0;
+
+        std::uint64_t
+        total() const
+        {
+            return loads + stores + vectorOps + scalarOps;
+        }
+    };
+
+    Stats stats() const;
+
+  private:
+    std::vector<Instr> instrs_;
+    std::int32_t nextValue_ = 0;
+};
+
+} // namespace vespera::tpc
+
+#endif // VESPERA_TPC_PROGRAM_H

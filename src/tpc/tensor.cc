@@ -1,0 +1,59 @@
+#include "tpc/tensor.h"
+
+#include "common/logging.h"
+
+namespace vespera::tpc {
+
+Tensor::Tensor(std::vector<std::int64_t> shape, DataType dt)
+    : shape_(std::move(shape)), dtype_(dt)
+{
+    vassert(!shape_.empty() && shape_.size() <= 5,
+            "tensor rank must be 1..5, got %zu", shape_.size());
+    numElements_ = 1;
+    strides_.resize(shape_.size());
+    for (std::size_t d = 0; d < shape_.size(); d++) {
+        vassert(shape_[d] > 0, "non-positive tensor dim %zu", d);
+        strides_[d] = numElements_;
+        numElements_ *= shape_[d];
+    }
+    data_.assign(static_cast<std::size_t>(numElements_), 0.0f);
+}
+
+std::int64_t
+Tensor::flatten(const Int5 &coord) const
+{
+    std::int64_t flat = 0;
+    for (std::size_t d = 0; d < shape_.size(); d++) {
+        vassert(coord[d] >= 0 && coord[d] < shape_[d],
+                "coordinate %lld out of bounds for dim %zu (size %lld)",
+                static_cast<long long>(coord[d]), d,
+                static_cast<long long>(shape_[d]));
+        flat += coord[d] * strides_[d];
+    }
+    for (std::size_t d = shape_.size(); d < 5; d++) {
+        vassert(coord[d] == 0, "nonzero coordinate beyond tensor rank");
+    }
+    return flat;
+}
+
+float &
+Tensor::at(std::int64_t flat)
+{
+    vassert(flat >= 0 && flat < numElements_,
+            "flat index %lld out of bounds (%lld elements)",
+            static_cast<long long>(flat),
+            static_cast<long long>(numElements_));
+    return data_[static_cast<std::size_t>(flat)];
+}
+
+float
+Tensor::at(std::int64_t flat) const
+{
+    vassert(flat >= 0 && flat < numElements_,
+            "flat index %lld out of bounds (%lld elements)",
+            static_cast<long long>(flat),
+            static_cast<long long>(numElements_));
+    return data_[static_cast<std::size_t>(flat)];
+}
+
+} // namespace vespera::tpc

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "coll/collective.h"
+
+namespace vespera::coll {
+namespace {
+
+const std::array<CollectiveOp, 6> allOps = {
+    CollectiveOp::AllReduce,     CollectiveOp::AllGather,
+    CollectiveOp::ReduceScatter, CollectiveOp::AllToAll,
+    CollectiveOp::Reduce,        CollectiveOp::Broadcast,
+};
+
+class CollectiveTest : public ::testing::Test
+{
+  protected:
+    CollectiveModel hccl_ = CollectiveModel::hcclOnGaudi2();
+    CollectiveModel nccl_ = CollectiveModel::ncclOnDgxA100();
+};
+
+TEST_F(CollectiveTest, BusFactors)
+{
+    EXPECT_DOUBLE_EQ(CollectiveModel::busFactor(CollectiveOp::AllReduce, 8),
+                     2.0 * 7 / 8);
+    EXPECT_DOUBLE_EQ(CollectiveModel::busFactor(CollectiveOp::AllGather, 8),
+                     7.0 / 8);
+    EXPECT_DOUBLE_EQ(CollectiveModel::busFactor(CollectiveOp::Broadcast, 8),
+                     1.0);
+}
+
+TEST_F(CollectiveTest, UtilizationGrowsWithMessageSize)
+{
+    double prev = 0;
+    for (Bytes s = 2 * 1024; s <= 32 * 1024 * 1024; s *= 4) {
+        auto r = hccl_.run(CollectiveOp::AllReduce, s, 8);
+        EXPECT_GT(r.busBandwidthUtilization, prev);
+        prev = r.busBandwidthUtilization;
+    }
+    EXPECT_GT(prev, 0.5);
+}
+
+// Key takeaway #4: Gaudi's bus bandwidth declines roughly linearly as
+// fewer devices participate; A100's stays flat thanks to NVSwitch.
+TEST_F(CollectiveTest, GaudiDeclinesWithFewerDevices)
+{
+    const Bytes big = 32 * 1024 * 1024;
+    auto g8 = hccl_.run(CollectiveOp::AllReduce, big, 8);
+    auto g4 = hccl_.run(CollectiveOp::AllReduce, big, 4);
+    auto g2 = hccl_.run(CollectiveOp::AllReduce, big, 2);
+    EXPECT_GT(g8.busBandwidthUtilization,
+              1.8 * g4.busBandwidthUtilization);
+    EXPECT_GT(g4.busBandwidthUtilization,
+              2.0 * g2.busBandwidthUtilization);
+}
+
+TEST_F(CollectiveTest, A100FlatAcrossDeviceCounts)
+{
+    const Bytes big = 32 * 1024 * 1024;
+    auto a8 = nccl_.run(CollectiveOp::AllReduce, big, 8);
+    auto a2 = nccl_.run(CollectiveOp::AllReduce, big, 2);
+    EXPECT_NEAR(a8.busBandwidthUtilization / a2.busBandwidthUtilization,
+                1.0, 0.1);
+}
+
+// Figure 10 at 8 devices: Gaudi-2 wins 5 of 6 collectives; AllToAll is
+// the exception (the crossbar switch's natural workload).
+TEST_F(CollectiveTest, GaudiWinsFiveOfSixAtEightDevices)
+{
+    const Bytes big = 32 * 1024 * 1024;
+    int gaudi_wins = 0;
+    for (CollectiveOp op : allOps) {
+        auto g = hccl_.run(op, big, 8);
+        auto a = nccl_.run(op, big, 8);
+        if (g.busBandwidthUtilization > a.busBandwidthUtilization)
+            gaudi_wins++;
+        else
+            EXPECT_EQ(op, CollectiveOp::AllToAll);
+    }
+    EXPECT_EQ(gaudi_wins, 5);
+}
+
+TEST_F(CollectiveTest, A100WinsAtTwoDevices)
+{
+    const Bytes big = 32 * 1024 * 1024;
+    for (CollectiveOp op : allOps) {
+        auto g = hccl_.run(op, big, 2);
+        auto a = nccl_.run(op, big, 2);
+        EXPECT_GT(a.busBandwidthUtilization, g.busBandwidthUtilization)
+            << collectiveName(op);
+    }
+}
+
+TEST_F(CollectiveTest, BusBandwidthConsistentWithTime)
+{
+    const Bytes s = 8 * 1024 * 1024;
+    auto r = hccl_.run(CollectiveOp::AllGather, s, 8);
+    double algo = static_cast<double>(s) / r.time;
+    EXPECT_NEAR(r.algoBandwidth, algo, 1.0);
+    EXPECT_NEAR(r.busBandwidth, algo * 7 / 8, 1.0);
+}
+
+TEST_F(CollectiveTest, UtilizationNeverExceedsOne)
+{
+    for (CollectiveOp op : allOps) {
+        for (int n : {2, 4, 8}) {
+            auto g = hccl_.run(op, 32 * 1024 * 1024, n);
+            auto a = nccl_.run(op, 32 * 1024 * 1024, n);
+            EXPECT_LE(g.busBandwidthUtilization, 1.0);
+            EXPECT_LE(a.busBandwidthUtilization, 1.0);
+        }
+    }
+}
+
+} // namespace
+} // namespace vespera::coll

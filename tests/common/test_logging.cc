@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace vespera {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("x=%d", 42), "x=42");
+    EXPECT_EQ(strfmt("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Strfmt, HandlesLongStrings)
+{
+    std::string big(5000, 'x');
+    std::string out = strfmt("[%s]", big.c_str());
+    EXPECT_EQ(out.size(), 5002u);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out.back(), ']');
+}
+
+TEST(Strfmt, EmptyResult)
+{
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Assertions, VassertPassesOnTrue)
+{
+    vassert(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(AssertionsDeath, VassertAbortsWithMessage)
+{
+    EXPECT_DEATH(vassert(false, "custom %d", 7), "custom 7");
+}
+
+TEST(AssertionsDeath, PanicAborts)
+{
+    EXPECT_DEATH(vpanic("boom %s", "now"), "boom now");
+}
+
+TEST(AssertionsDeath, FatalExitsCleanly)
+{
+    EXPECT_EXIT(vfatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace vespera

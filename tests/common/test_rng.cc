@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace vespera {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; i++)
+        ASSERT_LT(rng.below(17), 17u);
+    // Bound of 1 always returns 0.
+    EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, NormalMomentsReasonable)
+{
+    Rng rng(11);
+    double sum = 0, sumsq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) {
+        double x = rng.normal();
+        sum += x;
+        sumsq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LogNormalIsPositive)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; i++)
+        ASSERT_GT(rng.logNormal(3.0, 1.0), 0.0);
+}
+
+} // namespace
+} // namespace vespera

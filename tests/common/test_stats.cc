@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace vespera {
+namespace {
+
+TEST(Accumulator, StartsEmpty)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, TracksMoments)
+{
+    Accumulator a;
+    for (double v : {4.0, 1.0, 7.0, 2.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.sum(), 14.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.add(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    a.add(-3.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), -3.0);
+}
+
+TEST(Samples, PercentileInterpolates)
+{
+    Samples s;
+    for (double v : {10.0, 20.0, 30.0, 40.0, 50.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(s.median(), 30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+    EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);
+}
+
+TEST(Samples, SingleValue)
+{
+    Samples s;
+    s.add(7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(1), 7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 7.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+}
+
+TEST(Samples, MeanOfEmptyIsZero)
+{
+    Samples s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(GeoMean, MatchesClosedForm)
+{
+    EXPECT_NEAR(geoMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geoMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+}
+
+} // namespace
+} // namespace vespera

@@ -1,0 +1,98 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace vespera {
+namespace {
+
+TEST(Table, FormatsNumbers)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+    EXPECT_EQ(Table::pct(0.5), "50.0%");
+    EXPECT_EQ(Table::pct(0.123, 2), "12.30%");
+    EXPECT_EQ(Table::integer(-42), "-42");
+}
+
+TEST(Table, CountsRows)
+{
+    Table t({"a", "b"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"x", "1"});
+    t.addRow({"y", "2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, PrintsAlignedColumns)
+{
+    Table t({"name", "val"});
+    t.addRow({"alpha", "1.00"});
+    t.addRow({"b", "12.50"});
+
+    char buf[4096] = {};
+    std::FILE *f = fmemopen(buf, sizeof(buf), "w");
+    ASSERT_NE(f, nullptr);
+    t.print(f);
+    std::fclose(f);
+
+    std::string out(buf);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12.50"), std::string::npos);
+    // Separator rule present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, WritesCsv)
+{
+    Table t({"name", "value"});
+    t.addRow({"plain", "1.5"});
+    t.addRow({"with,comma", "quote\"inside"});
+    const std::string path = "/tmp/vespera_table_test.csv";
+    ASSERT_TRUE(t.writeCsv(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[256] = {};
+    (void)!std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::string csv(buf);
+    EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("plain,1.5\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Table, CsvFailsOnBadPath)
+{
+    Table t({"a"});
+    EXPECT_FALSE(t.writeCsv("/no_such_dir/t.csv"));
+}
+
+TEST(Table, CsvDirEnvAutoExport)
+{
+    setenv("VESPERA_CSV_DIR", "/tmp/vespera_csv_test", 1);
+    (void)std::system("mkdir -p /tmp/vespera_csv_test && "
+                      "rm -f /tmp/vespera_csv_test/table_*.csv");
+    Table t({"k", "v"});
+    t.addRow({"x", "1"});
+    std::FILE *sink = fmemopen(nullptr, 1024, "w");
+    t.print(sink);
+    std::fclose(sink);
+    unsetenv("VESPERA_CSV_DIR");
+
+    // A CSV appeared in the directory.
+    std::FILE *p = popen("ls /tmp/vespera_csv_test/table_*.csv "
+                         "2>/dev/null | wc -l", "r");
+    ASSERT_NE(p, nullptr);
+    int count = 0;
+    (void)!fscanf(p, "%d", &count);
+    pclose(p);
+    EXPECT_GE(count, 1);
+}
+
+} // namespace
+} // namespace vespera

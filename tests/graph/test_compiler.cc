@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "graph/compiler.h"
+
+namespace vespera::graph {
+namespace {
+
+Graph
+chainGraph()
+{
+    // matmul -> relu -> scale -> bias-add (three fusable vector ops).
+    Graph g;
+    int a = g.input({{512, 512}, DataType::BF16}, "a");
+    int b = g.input({{512, 512}, DataType::BF16}, "b");
+    int mm = g.matmul(a, b, "mm");
+    int r = g.elementwise({mm}, 1.0, false, "relu");
+    int s = g.elementwise({r}, 1.0, false, "scale");
+    (void)g.elementwise({s}, 1.0, false, "bias");
+    return g;
+}
+
+TEST(Compiler, FusesElementwiseChain)
+{
+    Graph g = chainGraph();
+    Compiler compiler;
+    CompileStats stats = compiler.compile(g);
+    EXPECT_EQ(stats.fusedOps, 2);
+    // Each fusion removes one intermediate write + read.
+    EXPECT_EQ(stats.trafficSaved, 2u * 2 * 512 * 512 * 2);
+
+    int alive_vector_ops = 0;
+    for (const auto &n : g.nodes()) {
+        if (!n.fusedAway && n.kind == OpKind::Elementwise)
+            alive_vector_ops++;
+    }
+    EXPECT_EQ(alive_vector_ops, 1);
+}
+
+TEST(Compiler, FusedNodeAccumulatesFlops)
+{
+    Graph g = chainGraph();
+    Compiler().compile(g);
+    for (const auto &n : g.nodes()) {
+        if (!n.fusedAway && n.kind == OpKind::Elementwise) {
+            EXPECT_DOUBLE_EQ(n.flopsPerElement, 3.0);
+            EXPECT_EQ(n.numFusedOps, 3);
+        }
+    }
+}
+
+TEST(Compiler, MarksMmeTpcPipelining)
+{
+    Graph g = chainGraph();
+    CompileStats stats = Compiler().compile(g);
+    EXPECT_EQ(stats.pipelinedPairs, 1);
+    bool found = false;
+    for (const auto &n : g.nodes()) {
+        if (!n.fusedAway && n.kind == OpKind::Elementwise) {
+            EXPECT_TRUE(n.pipelinedWithProducer);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Compiler, DoesNotFuseAcrossFanout)
+{
+    Graph g;
+    int a = g.input({{256, 256}, DataType::BF16}, "a");
+    int r = g.elementwise({a}, 1.0, false, "relu");
+    (void)g.elementwise({r}, 1.0, false, "user1");
+    (void)g.elementwise({r}, 1.0, false, "user2");
+    CompileStats stats = Compiler().compile(g);
+    // r has two consumers: must stay materialized. The consumers have
+    // no further consumers, so nothing fuses.
+    EXPECT_EQ(stats.fusedOps, 0);
+}
+
+TEST(Compiler, PassesCanBeDisabled)
+{
+    Graph g = chainGraph();
+    CompilerOptions opts;
+    opts.fuseElementwise = false;
+    opts.pipelineMmeTpc = false;
+    CompileStats stats = Compiler(opts).compile(g);
+    EXPECT_EQ(stats.fusedOps, 0);
+    EXPECT_EQ(stats.pipelinedPairs, 0);
+}
+
+TEST(Compiler, RewiresFusedInputs)
+{
+    Graph g;
+    int a = g.input({{128, 128}, DataType::BF16}, "a");
+    int b = g.input({{128, 128}, DataType::BF16}, "b");
+    int x = g.elementwise({a}, 1.0, false, "x");
+    int y = g.elementwise({x, b}, 1.0, false, "y");
+    Compiler().compile(g);
+    EXPECT_TRUE(g.node(x).fusedAway);
+    // y now reads a directly (plus b).
+    EXPECT_EQ(g.node(y).inputs, (std::vector<int>{a, b}));
+}
+
+} // namespace
+} // namespace vespera::graph

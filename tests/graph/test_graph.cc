@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace vespera::graph {
+namespace {
+
+TEST(Graph, MatmulShapeInference)
+{
+    Graph g;
+    int a = g.input({{64, 128}, DataType::BF16}, "a");
+    int b = g.input({{128, 32}, DataType::BF16}, "b");
+    int c = g.matmul(a, b);
+    const Node &n = g.node(c);
+    EXPECT_EQ(n.output.shape, (std::vector<std::int64_t>{64, 32}));
+    EXPECT_EQ(n.gemm.m, 64);
+    EXPECT_EQ(n.gemm.k, 128);
+    EXPECT_EQ(n.gemm.n, 32);
+    EXPECT_EQ(n.gemm.batch, 1);
+}
+
+TEST(Graph, BatchedMatmul)
+{
+    Graph g;
+    int a = g.input({{8, 4, 64, 128}, DataType::BF16}, "a");
+    int b = g.input({{128, 32}, DataType::BF16}, "b");
+    int c = g.matmul(a, b);
+    EXPECT_EQ(g.node(c).gemm.batch, 32);
+    EXPECT_EQ(g.node(c).output.shape,
+              (std::vector<std::int64_t>{8, 4, 64, 32}));
+}
+
+TEST(Graph, ElementwiseTraffic)
+{
+    Graph g;
+    int a = g.input({{1024}, DataType::FP32}, "a");
+    int b = g.input({{1024}, DataType::FP32}, "b");
+    int c = g.elementwise({a, b}, 1.0, false, "add");
+    // Two reads + one write of 4 KiB each.
+    EXPECT_EQ(g.node(c).trafficBytes, 3u * 4096);
+}
+
+TEST(Graph, NormalizationTraffic)
+{
+    Graph g;
+    int a = g.input({{1024}, DataType::FP32}, "a");
+    int n = g.normalization(a, 2, 4.0, "softmax");
+    EXPECT_EQ(g.node(n).trafficBytes, 4u * 4096);
+}
+
+TEST(Graph, ConsumersTracksEdges)
+{
+    Graph g;
+    int a = g.input({{16, 16}, DataType::BF16}, "a");
+    int b = g.input({{16, 16}, DataType::BF16}, "b");
+    int c = g.matmul(a, b);
+    int d = g.elementwise({c}, 1.0, false);
+    int e = g.elementwise({c}, 1.0, false);
+    auto cons = g.consumers(c);
+    EXPECT_EQ(cons.size(), 2u);
+    EXPECT_EQ(cons[0], d);
+    EXPECT_EQ(cons[1], e);
+}
+
+TEST(Graph, TensorDescBytes)
+{
+    TensorDesc d{{3, 5}, DataType::FP32};
+    EXPECT_EQ(d.elements(), 15);
+    EXPECT_EQ(d.bytes(), 60u);
+}
+
+TEST(GraphDeath, MatmulKMismatch)
+{
+    Graph g;
+    int a = g.input({{4, 8}, DataType::BF16}, "a");
+    int b = g.input({{16, 4}, DataType::BF16}, "b");
+    EXPECT_DEATH((void)g.matmul(a, b), "K mismatch");
+}
+
+TEST(GraphDeath, ForwardReferenceRejected)
+{
+    Graph g;
+    int a = g.input({{4, 4}, DataType::BF16}, "a");
+    (void)a;
+    EXPECT_DEATH((void)g.elementwise({5}, 1.0, false), "bad");
+}
+
+} // namespace
+} // namespace vespera::graph

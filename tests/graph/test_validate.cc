@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "graph/compiler.h"
+#include "graph/graph.h"
+
+namespace vespera::graph {
+namespace {
+
+Graph
+smallGraph()
+{
+    Graph g;
+    int a = g.input({{64, 64}, DataType::BF16}, "a");
+    int b = g.input({{64, 64}, DataType::BF16}, "b");
+    int mm = g.matmul(a, b, "mm");
+    int r = g.elementwise({mm}, 1.0, false, "relu");
+    (void)g.elementwise({r}, 1.0, false, "scale");
+    return g;
+}
+
+TEST(Validate, AcceptsWellFormedGraph)
+{
+    Graph g = smallGraph();
+    EXPECT_EQ(g.validate(), 5);
+}
+
+TEST(Validate, CountsLiveNodesAfterFusion)
+{
+    Graph g = smallGraph();
+    Compiler().compile(g);
+    // relu fused into scale: 5 -> 4 live nodes.
+    EXPECT_EQ(g.validate(), 4);
+}
+
+TEST(Validate, RejectsReadOfFusedNode)
+{
+    Graph g = smallGraph();
+    Compiler().compile(g);
+    // Corrupt: point the surviving elementwise at the fused-away node.
+    for (auto &n : g.nodes()) {
+        if (!n.fusedAway && n.kind == OpKind::Elementwise)
+            n.inputs = {3}; // "relu" was node 3 and is fused away.
+    }
+    EXPECT_DEATH((void)g.validate(), "fused-away");
+}
+
+TEST(Validate, RejectsDegenerateGemm)
+{
+    Graph g = smallGraph();
+    g.nodes()[2].gemm.k = 0;
+    EXPECT_DEATH((void)g.validate(), "degenerate GEMM");
+}
+
+TEST(Validate, RejectsMissingCustomCost)
+{
+    Graph g;
+    int a = g.input({{4}, DataType::BF16}, "a");
+    (void)g.custom({a}, {{4}, DataType::BF16},
+                   [](DeviceKind) { return OpCost{}; }, "c");
+    g.nodes()[1].customCost = nullptr;
+    EXPECT_DEATH((void)g.validate(), "missing cost callback");
+}
+
+TEST(Dot, ContainsLiveNodesAndEdges)
+{
+    Graph g = smallGraph();
+    Compiler().compile(g);
+    std::string dot = g.toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("\"mm\""), std::string::npos);
+    EXPECT_NE(dot.find("\"scale\""), std::string::npos);
+    // Fused node omitted.
+    EXPECT_EQ(dot.find("\"relu\""), std::string::npos);
+    // Edge from matmul into the fused survivor.
+    EXPECT_NE(dot.find("n2 -> n4"), std::string::npos);
+}
+
+TEST(Dot, StylesByOpKind)
+{
+    Graph g;
+    int a = g.input({{1024, 1024}, DataType::BF16}, "a");
+    int ar = g.allReduce(a, 4, "ar");
+    (void)g.normalization(ar, 1, 4.0, "norm");
+    std::string dot = g.toDot();
+    EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+    EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+}
+
+} // namespace
+} // namespace vespera::graph

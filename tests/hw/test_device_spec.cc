@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "hw/device_spec.h"
+
+namespace vespera::hw {
+namespace {
+
+// Table 1 of the paper: the spec ratios the analysis leans on.
+TEST(DeviceSpec, Table1Ratios)
+{
+    const auto &g = gaudi2Spec();
+    const auto &a = a100Spec();
+
+    EXPECT_NEAR(g.matrixPeakBf16 / a.matrixPeakBf16, 1.4, 0.05);
+    EXPECT_NEAR(a.vectorPeakBf16 / g.vectorPeakBf16, 3.5, 0.1);
+    EXPECT_NEAR(g.hbmBandwidth / a.hbmBandwidth, 1.2, 0.05);
+    EXPECT_NEAR(static_cast<double>(g.hbmCapacity) / a.hbmCapacity, 1.2,
+                0.01);
+    EXPECT_NEAR(static_cast<double>(g.sramCapacity) / a.sramCapacity, 1.2,
+                0.01);
+    EXPECT_DOUBLE_EQ(g.commBandwidthBidir, a.commBandwidthBidir);
+    EXPECT_NEAR(g.tdp / a.tdp, 1.5, 0.01);
+}
+
+TEST(DeviceSpec, AccessGranularity)
+{
+    EXPECT_EQ(gaudi2Spec().minAccessGranularity, 256u);
+    EXPECT_EQ(a100Spec().minAccessGranularity, 32u);
+}
+
+TEST(DeviceSpec, VectorClockConsistentWithPeak)
+{
+    for (const auto *s : {&gaudi2Spec(), &a100Spec()}) {
+        const double lanes = s->vectorLanes(DataType::BF16);
+        const double peak =
+            s->numVectorCores * lanes * 2.0 * s->vectorClock;
+        EXPECT_NEAR(peak / s->vectorPeakBf16, 1.0, 1e-9);
+    }
+}
+
+TEST(DeviceSpec, Fp32HalfRate)
+{
+    const auto &g = gaudi2Spec();
+    EXPECT_DOUBLE_EQ(g.matrixPeak(DataType::FP32),
+                     g.matrixPeakBf16 * g.fp32MatrixRatio);
+    EXPECT_DOUBLE_EQ(g.vectorPeak(DataType::FP32),
+                     g.vectorPeakBf16 / 2);
+    EXPECT_DOUBLE_EQ(g.matrixPeak(DataType::BF16), g.matrixPeakBf16);
+}
+
+TEST(DeviceSpec, LanesByDtype)
+{
+    const auto &g = gaudi2Spec();
+    // 2048-bit TPC vector: 128 BF16 lanes, 64 FP32 lanes.
+    EXPECT_EQ(g.vectorLanes(DataType::BF16), 128);
+    EXPECT_EQ(g.vectorLanes(DataType::FP32), 64);
+}
+
+TEST(DeviceSpec, LookupByKind)
+{
+    EXPECT_EQ(&deviceSpec(DeviceKind::Gaudi2), &gaudi2Spec());
+    EXPECT_EQ(&deviceSpec(DeviceKind::A100), &a100Spec());
+}
+
+} // namespace
+} // namespace vespera::hw

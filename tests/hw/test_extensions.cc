@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "hw/mme.h"
+#include "mem/hbm.h"
+
+namespace vespera::hw {
+namespace {
+
+TEST(Gaudi3, ProjectedSpecScalesGaudi2)
+{
+    const auto &g2 = gaudi2Spec();
+    const auto &g3 = gaudi3Spec();
+    // Same architecture family, scaled up.
+    EXPECT_EQ(g3.kind, DeviceKind::Gaudi2);
+    EXPECT_GT(g3.matrixPeakBf16, 4 * g2.matrixPeakBf16);
+    EXPECT_GT(g3.hbmBandwidth, g2.hbmBandwidth);
+    EXPECT_EQ(g3.minAccessGranularity, g2.minAccessGranularity);
+    EXPECT_EQ(g3.numVectorCores, 64);
+}
+
+TEST(Gaudi3, WorksWithMmeModel)
+{
+    MmeModel mme(gaudi3Spec());
+    auto c = mme.gemm({8192, 8192, 8192}, DataType::BF16);
+    EXPECT_GT(c.utilization, 0.9);
+    EXPECT_GT(c.achievedFlops, gaudi2Spec().matrixPeakBf16);
+}
+
+TEST(Gaudi3, WorksWithHbmModel)
+{
+    mem::HbmModel m(gaudi3Spec());
+    EXPECT_GT(m.streamBandwidth(),
+              mem::HbmModel(gaudi2Spec()).streamBandwidth());
+}
+
+TEST(AccessGranularity, WhatIfCopiesSpec)
+{
+    DeviceSpec g = withAccessGranularity(gaudi2Spec(), 32);
+    EXPECT_EQ(g.minAccessGranularity, 32u);
+    EXPECT_EQ(g.hbmBandwidth, gaudi2Spec().hbmBandwidth);
+    // Original untouched.
+    EXPECT_EQ(gaudi2Spec().minAccessGranularity, 256u);
+}
+
+TEST(AccessGranularity, FinerGranuleImprovesSmallGathers)
+{
+    DeviceSpec fine_spec = withAccessGranularity(gaudi2Spec(), 32);
+    mem::HbmModel coarse(gaudi2Spec());
+    mem::HbmModel fine(fine_spec);
+    mem::RandomAccessWorkload w;
+    w.accessSize = 64;
+    w.numAccesses = 1 << 20;
+    w.concurrency = 256;
+    EXPECT_GT(fine.randomAccess(w).bandwidthUtilization,
+              1.5 * coarse.randomAccess(w).bandwidthUtilization);
+}
+
+TEST(AccessGranularity, NoEffectOnLargeTransfers)
+{
+    DeviceSpec fine_spec = withAccessGranularity(gaudi2Spec(), 32);
+    mem::HbmModel coarse(gaudi2Spec());
+    mem::HbmModel fine(fine_spec);
+    mem::RandomAccessWorkload w;
+    w.accessSize = 2048;
+    w.numAccesses = 1 << 18;
+    w.concurrency = 256;
+    EXPECT_NEAR(fine.randomAccess(w).bandwidthUtilization /
+                    coarse.randomAccess(w).bandwidthUtilization,
+                1.0, 0.02);
+}
+
+TEST(AccessGranularityDeath, RejectsNonPowerOfTwo)
+{
+    EXPECT_DEATH((void)withAccessGranularity(gaudi2Spec(), 100),
+                 "power of two");
+}
+
+} // namespace
+} // namespace vespera::hw

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "hw/mme.h"
+
+namespace vespera::hw {
+namespace {
+
+class MmeTest : public ::testing::Test
+{
+  protected:
+    MmeModel mme_;
+};
+
+// Paper Figure 4: Gaudi-2 reaches 429 TFLOPS (99.3% utilization) at
+// M=K=N=8192. Verify the model lands in that regime.
+TEST_F(MmeTest, LargeSquareGemmNearPeak)
+{
+    GemmCost c = mme_.gemm({8192, 8192, 8192}, DataType::BF16);
+    EXPECT_GT(c.utilization, 0.97);
+    EXPECT_LE(c.utilization, 1.0);
+    EXPECT_GT(c.achievedFlops, 425 * TFLOPS);
+}
+
+TEST_F(MmeTest, UtilizationGrowsWithSize)
+{
+    double prev = 0;
+    for (std::int64_t s : {512, 1024, 2048, 4096, 8192}) {
+        GemmCost c = mme_.gemm({s, s, s}, DataType::BF16);
+        EXPECT_GT(c.utilization, prev);
+        prev = c.utilization;
+    }
+}
+
+// Irregular (tall-skinny, N=16) GEMMs are memory-bound GEMV-like
+// operations (Figure 4 triangle markers).
+TEST_F(MmeTest, IrregularGemmIsMemoryBound)
+{
+    GemmCost c = mme_.gemm({16384, 16384, 16}, DataType::BF16);
+    EXPECT_TRUE(c.memoryBound());
+    // Attainable flops bounded by OI x BW: well below 15% of peak.
+    EXPECT_LT(c.utilization, 0.15);
+}
+
+// Figure 6/7: the configurable MME beats a fixed 2x(256x256) array on
+// shapes misaligned with the fixed geometry.
+TEST_F(MmeTest, ConfigurableBeatsFixedOnIrregularShapes)
+{
+    const GemmShape shape{16384, 16384, 64};
+    GemmCost fixed = mme_.gemmWithGeometry(shape, DataType::BF16,
+                                           MmeModel::fixedGeometry());
+    GemmCost configurable = mme_.gemm(shape, DataType::BF16);
+    EXPECT_LT(configurable.time, fixed.time);
+    EXPECT_GT(configurable.utilization, fixed.utilization);
+}
+
+TEST_F(MmeTest, ConfigurableNeverWorseThanFixed)
+{
+    for (std::int64_t n : {16, 32, 64, 128, 256, 1024, 4096}) {
+        GemmShape shape{16384, 16384, n};
+        GemmCost fixed = mme_.gemmWithGeometry(
+            shape, DataType::BF16, MmeModel::fixedGeometry());
+        GemmCost best = mme_.gemm(shape, DataType::BF16);
+        EXPECT_LE(best.time, fixed.time * (1 + 1e-12))
+            << "N=" << n;
+    }
+}
+
+// Figure 7(a): tall-skinny shapes select tall geometries; small shapes
+// select power-gated subsets.
+TEST_F(MmeTest, GeometryTracksShape)
+{
+    MmeGeometry tall = mme_.selectGeometry({16384, 16384, 64},
+                                           DataType::BF16);
+    EXPECT_GT(tall.height, tall.width);
+
+    MmeGeometry small = mme_.selectGeometry({128, 16384, 128},
+                                            DataType::BF16);
+    EXPECT_LT(small.totalMacs(), MmeModel::fixedGeometry().totalMacs());
+}
+
+TEST_F(MmeTest, PowerGatedGeometryReportsActiveFraction)
+{
+    GemmCost c = mme_.gemm({64, 4096, 64}, DataType::BF16);
+    EXPECT_LT(c.activeMacFraction, 1.0);
+    EXPECT_GT(c.activeMacFraction, 0.0);
+}
+
+TEST_F(MmeTest, Fp32HalvesThroughput)
+{
+    GemmShape shape{4096, 4096, 4096};
+    GemmCost bf16 = mme_.gemm(shape, DataType::BF16);
+    GemmCost fp32 = mme_.gemm(shape, DataType::FP32);
+    EXPECT_GT(fp32.time, bf16.time * 1.5);
+}
+
+TEST_F(MmeTest, BatchScalesTime)
+{
+    GemmCost one = mme_.gemm({1024, 1024, 1024, 1}, DataType::BF16);
+    GemmCost eight = mme_.gemm({1024, 1024, 1024, 8}, DataType::BF16);
+    EXPECT_GT(eight.time, one.time * 4);
+    EXPECT_LT(eight.time, one.time * 9);
+}
+
+TEST_F(MmeTest, GeometryLabels)
+{
+    EXPECT_EQ(MmeGeometry({256, 256, 2}).label(), "2x(256x256)");
+    EXPECT_EQ(MmeGeometry({1024, 128, 1}).label(), "1024x128");
+}
+
+} // namespace
+} // namespace vespera::hw

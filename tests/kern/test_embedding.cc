@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "kern/embedding.h"
+
+namespace vespera::kern {
+namespace {
+
+EmbeddingConfig
+smallConfig()
+{
+    EmbeddingConfig c;
+    c.numTables = 4;
+    c.rowsPerTable = 1 << 12;
+    c.vectorBytes = 256;
+    c.batch = 128;
+    c.pooling = 8;
+    return c;
+}
+
+TEST(Embedding, AllVariantsVerifyFunctionally)
+{
+    EmbeddingLayerGaudi layer(smallConfig());
+    for (auto v : {EmbeddingVariant::SdkSingleTable,
+                   EmbeddingVariant::SingleTable,
+                   EmbeddingVariant::BatchedTable}) {
+        Rng rng(7);
+        EmbeddingResult r = layer.run(v, rng);
+        EXPECT_GT(r.time, 0) << embeddingVariantName(v);
+        EXPECT_LE(r.hbmUtilization, 1.0);
+    }
+}
+
+TEST(Embedding, LaunchCounts)
+{
+    EmbeddingLayerGaudi layer(smallConfig());
+    Rng rng(8);
+    EXPECT_EQ(layer.run(EmbeddingVariant::BatchedTable, rng)
+                  .kernelLaunches, 1);
+    EXPECT_EQ(layer.run(EmbeddingVariant::SingleTable, rng)
+                  .kernelLaunches, 4);
+}
+
+// Section 4.1 footnote: the optimized SingleTable is ~1.6x the SDK's
+// un-unrolled operator.
+TEST(Embedding, OptimizedSingleTableBeatsSdk)
+{
+    EmbeddingConfig c = smallConfig();
+    c.batch = 512;
+    EmbeddingLayerGaudi layer(c);
+    Rng rng(9);
+    auto sdk = layer.run(EmbeddingVariant::SdkSingleTable, rng);
+    auto opt = layer.run(EmbeddingVariant::SingleTable, rng);
+    double speedup = sdk.time / opt.time;
+    EXPECT_GT(speedup, 1.15);
+    EXPECT_LT(speedup, 3.5);
+}
+
+// Figure 15(a): BatchedTable's advantage grows with the table count at
+// small batch; SingleTable utilization stays flat.
+TEST(Embedding, BatchedAdvantageGrowsWithTables)
+{
+    double gain_few, gain_many;
+    {
+        EmbeddingConfig c = smallConfig();
+        c.numTables = 2;
+        c.batch = 64;
+        EmbeddingLayerGaudi layer(c);
+        Rng rng(10);
+        auto single = layer.run(EmbeddingVariant::SingleTable, rng);
+        auto batched = layer.run(EmbeddingVariant::BatchedTable, rng);
+        gain_few = single.time / batched.time;
+    }
+    {
+        EmbeddingConfig c = smallConfig();
+        c.numTables = 16;
+        c.batch = 64;
+        EmbeddingLayerGaudi layer(c);
+        Rng rng(10);
+        auto single = layer.run(EmbeddingVariant::SingleTable, rng);
+        auto batched = layer.run(EmbeddingVariant::BatchedTable, rng);
+        gain_many = single.time / batched.time;
+    }
+    EXPECT_GT(gain_many, gain_few);
+    EXPECT_GT(gain_many, 1.5);
+}
+
+// Figures 15(b,c): the Single-vs-Batched gap narrows at large batch.
+TEST(Embedding, GapNarrowsWithBatch)
+{
+    auto gap_at = [](int batch) {
+        EmbeddingConfig c = smallConfig();
+        c.batch = batch;
+        EmbeddingLayerGaudi layer(c);
+        Rng rng(11);
+        auto single = layer.run(EmbeddingVariant::SingleTable, rng);
+        auto batched = layer.run(EmbeddingVariant::BatchedTable, rng);
+        return single.time / batched.time;
+    };
+    EXPECT_GT(gap_at(32), gap_at(1024));
+}
+
+// Key takeaway #6: >=256 B vectors: Gaudi ~95% of A100; <256 B: ~47%.
+TEST(Embedding, GaudiVsA100ByVectorSize)
+{
+    auto ratio_at = [](Bytes vec) {
+        EmbeddingConfig c = smallConfig();
+        c.vectorBytes = vec;
+        c.batch = 1024;
+        c.numTables = 8;
+        EmbeddingLayerGaudi layer(c);
+        Rng rng(12);
+        auto g = layer.run(EmbeddingVariant::BatchedTable, rng);
+        auto a = runEmbeddingA100(c);
+        return a.time / g.time; // Gaudi throughput relative to A100.
+    };
+    const double big = ratio_at(512);
+    const double small = ratio_at(64);
+    EXPECT_GT(big, 0.55);
+    EXPECT_LT(small, 0.75);
+    EXPECT_GT(big, small * 1.3);
+}
+
+TEST(Embedding, UtilizationGrowsWithVectorSize)
+{
+    double prev = 0;
+    for (Bytes vec : {64, 128, 256, 512}) {
+        EmbeddingConfig c = smallConfig();
+        c.vectorBytes = vec;
+        c.batch = 1024;
+        EmbeddingLayerGaudi layer(c);
+        Rng rng(13);
+        auto r = layer.run(EmbeddingVariant::BatchedTable, rng);
+        EXPECT_GT(r.hbmUtilization, prev) << vec;
+        prev = r.hbmUtilization;
+    }
+}
+
+TEST(EmbeddingDeath, RejectsBadVectorSize)
+{
+    EmbeddingConfig c = smallConfig();
+    c.vectorBytes = 3;
+    EXPECT_DEATH(EmbeddingLayerGaudi{c}, "multiple of the element size");
+}
+
+} // namespace
+} // namespace vespera::kern

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "kern/gemm.h"
+#include "kern/vector_op.h"
+
+namespace vespera::kern {
+namespace {
+
+TEST(GemmDispatch, RoutesToBothDevices)
+{
+    hw::GemmShape shape{4096, 4096, 4096};
+    auto g = runGemm(DeviceKind::Gaudi2, shape, DataType::BF16);
+    auto a = runGemm(DeviceKind::A100, shape, DataType::BF16);
+    EXPECT_GT(g.achievedFlops, 0);
+    EXPECT_GT(a.achievedFlops, 0);
+    // Gaudi geometry labels come from the MME; A100's from CTA tiles.
+    EXPECT_NE(g.geometry, "");
+    EXPECT_NE(a.geometry, "");
+}
+
+TEST(VectorOp, MemoryBoundCase)
+{
+    auto c = vectorOpCost(hw::gaudi2Spec(), 1ull << 30, 1e6,
+                          DataType::BF16, false);
+    EXPECT_TRUE(c.memoryBound());
+    EXPECT_GT(c.time, c.computeTime);
+}
+
+TEST(VectorOp, ComputeBoundCase)
+{
+    auto c = vectorOpCost(hw::gaudi2Spec(), 1 << 10, 1e12,
+                          DataType::BF16, true);
+    EXPECT_FALSE(c.memoryBound());
+}
+
+TEST(VectorOp, NonFmaHalvesPeak)
+{
+    auto fma = vectorOpCost(hw::gaudi2Spec(), 0, 1e12, DataType::BF16,
+                            true, false);
+    auto add = vectorOpCost(hw::gaudi2Spec(), 0, 1e12, DataType::BF16,
+                            false, false);
+    EXPECT_NEAR(add.computeTime / fma.computeTime, 2.0, 1e-9);
+}
+
+TEST(VectorOp, LaunchOverheadToggle)
+{
+    auto with = vectorOpCost(hw::a100Spec(), 1 << 20, 1e6,
+                             DataType::BF16, false, true);
+    auto without = vectorOpCost(hw::a100Spec(), 1 << 20, 1e6,
+                                DataType::BF16, false, false);
+    EXPECT_NEAR(with.time - without.time,
+                hw::a100Spec().launchOverhead, 1e-12);
+}
+
+} // namespace
+} // namespace vespera::kern

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "kern/layernorm.h"
+#include "tpc/dispatcher.h"
+
+namespace vespera::kern {
+namespace {
+
+TEST(Norm, RmsNormSelfVerifies)
+{
+    NormConfig c;
+    c.kind = NormKind::RmsNorm;
+    c.rows = 32;
+    c.cols = 1024;
+    auto r = runNormGaudi(c);
+    EXPECT_GT(r.time, 0);
+    EXPECT_GT(r.flops, 0);
+}
+
+TEST(Norm, LayerNormSelfVerifies)
+{
+    NormConfig c;
+    c.kind = NormKind::LayerNorm;
+    c.rows = 32;
+    c.cols = 1024;
+    auto r = runNormGaudi(c);
+    EXPECT_GT(r.time, 0);
+}
+
+TEST(Norm, LayerNormOutputHasZeroMeanUnitVariance)
+{
+    NormConfig c;
+    c.kind = NormKind::LayerNorm;
+    c.rows = 4;
+    c.cols = 512;
+    tpc::Tensor in({c.cols, c.rows}, c.dt);
+    in.fill([](std::int64_t i) {
+        return static_cast<float>((i * 7) % 19) - 9.0f;
+    });
+    tpc::Tensor out({c.cols, c.rows}, c.dt);
+    runNormGaudi(c, in, out);
+    for (std::int64_t row = 0; row < c.rows; row++) {
+        double sum = 0, sq = 0;
+        for (std::int64_t col = 0; col < c.cols; col++) {
+            const double y = out.at({col, row, 0, 0, 0});
+            sum += y;
+            sq += y * y;
+        }
+        EXPECT_NEAR(sum / c.cols, 0.0, 1e-3);
+        EXPECT_NEAR(sq / c.cols, 1.0, 1e-2);
+    }
+}
+
+TEST(Norm, RmsNormScalesLinearly)
+{
+    // RMSNorm(k*x) == RMSNorm(x) for k > 0 (scale invariance).
+    NormConfig c;
+    c.kind = NormKind::RmsNorm;
+    c.rows = 2;
+    c.cols = 256;
+    c.epsilon = 0; // Exact invariance requires eps = 0.
+    tpc::Tensor a({c.cols, c.rows}, c.dt), b({c.cols, c.rows}, c.dt);
+    a.fill([](std::int64_t i) {
+        return static_cast<float>(i % 11) + 1.0f;
+    });
+    b.fill([](std::int64_t i) {
+        return 3.0f * (static_cast<float>(i % 11) + 1.0f);
+    });
+    tpc::Tensor oa({c.cols, c.rows}, c.dt), ob({c.cols, c.rows}, c.dt);
+    runNormGaudi(c, a, oa);
+    runNormGaudi(c, b, ob);
+    for (std::int64_t i = 0; i < oa.numElements(); i += 17)
+        EXPECT_NEAR(oa.at(i), ob.at(i), 1e-4);
+}
+
+TEST(Norm, MemoryBoundAtScale)
+{
+    // Two read passes + one write: normalization is bandwidth-bound.
+    NormConfig c;
+    c.rows = 256;
+    c.cols = 4096;
+    auto r = runNormGaudi(c);
+    EXPECT_GT(r.hbmUtilization, 0.3);
+}
+
+TEST(NormDeath, RejectsUnalignedRows)
+{
+    NormConfig c;
+    c.cols = 100;
+    EXPECT_DEATH(runNormGaudi(c), "aligned");
+}
+
+TEST(ProgramStats, CountsInstructionMix)
+{
+    tpc::Program p;
+    tpc::MemberRange range{{0, 0, 0, 0, 0}, {1, 1, 1, 1, 1}};
+    tpc::TpcContext ctx(p, range);
+    tpc::Tensor t({256}, DataType::FP32);
+    tpc::Vec a = ctx.v_ld_tnsr({0, 0, 0, 0, 0}, t);
+    tpc::Vec b = ctx.v_ld_tnsr({64, 0, 0, 0, 0}, t, 256,
+                               tpc::Access::Random);
+    tpc::Vec s = ctx.v_add(a, b);
+    ctx.v_st_local(0, s);
+    ctx.v_st_tnsr({0, 0, 0, 0, 0}, t, s);
+    (void)ctx.s_ld({0, 0, 0, 0, 0}, t);
+
+    auto stats = p.stats();
+    EXPECT_EQ(stats.loads, 2u);
+    EXPECT_EQ(stats.stores, 2u);
+    EXPECT_EQ(stats.vectorOps, 1u);
+    EXPECT_EQ(stats.scalarOps, 1u);
+    EXPECT_EQ(stats.streamAccesses, 2u); // One load + one store.
+    EXPECT_EQ(stats.randomAccesses, 2u); // Vector load + scalar load.
+    EXPECT_EQ(stats.localAccesses, 1u);
+    EXPECT_EQ(stats.total(), 6u);
+}
+
+TEST(Intrinsics, RsqrtAndSplat)
+{
+    tpc::Program p;
+    tpc::MemberRange range{{0, 0, 0, 0, 0}, {1, 1, 1, 1, 1}};
+    tpc::TpcContext ctx(p, range);
+    tpc::Vec four = ctx.v_splat(4.0f, 8);
+    ASSERT_EQ(four.laneCount(), 8);
+    EXPECT_FLOAT_EQ(four.lanes[7], 4.0f);
+    tpc::Vec half = ctx.v_rsqrt(four);
+    EXPECT_FLOAT_EQ(half.lanes[0], 0.5f);
+}
+
+} // namespace
+} // namespace vespera::kern

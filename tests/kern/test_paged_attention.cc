@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "kern/paged_attention.h"
+
+namespace vespera::kern {
+namespace {
+
+PagedAttentionConfig
+defaultConfig()
+{
+    PagedAttentionConfig c;
+    c.batch = 32;
+    c.seqLen = 4096;
+    return c;
+}
+
+TEST(PagedAttention, KvBytesFormula)
+{
+    PagedAttentionConfig c = defaultConfig();
+    // 32 x 4096 x 2 x 8 x 128 x 2 B.
+    EXPECT_EQ(c.kvBytes(), 32ull * 4096 * 2 * 8 * 128 * 2);
+}
+
+// Figure 17(a): vLLM_opt ~7.4x over vLLM_base at 0% padding.
+TEST(PagedAttention, OptSpeedupAtZeroPadding)
+{
+    PagedAttentionConfig c = defaultConfig();
+    auto base = runPagedAttention(c, PagedAttentionImpl::GaudiBase);
+    auto opt = runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
+    double speedup = base.time / opt.time;
+    EXPECT_GT(speedup, 5.0);
+    EXPECT_LT(speedup, 10.0);
+}
+
+// Figure 17(b): speedup grows to ~55x at 90% padding.
+TEST(PagedAttention, SpeedupGrowsWithPadding)
+{
+    PagedAttentionConfig c = defaultConfig();
+    double prev = 0;
+    for (double pad : {0.0, 0.3, 0.6, 0.9}) {
+        c.paddedFraction = pad;
+        auto base = runPagedAttention(c, PagedAttentionImpl::GaudiBase);
+        c.paddedFraction = 0; // Opt ignores padding by construction.
+        auto opt = runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
+        double speedup = base.time / opt.time;
+        EXPECT_GT(speedup, prev);
+        prev = speedup;
+    }
+    EXPECT_GT(prev, 35.0);
+    EXPECT_LT(prev, 75.0);
+}
+
+TEST(PagedAttention, PaddingDoesNotAffectOptOrA100)
+{
+    PagedAttentionConfig c = defaultConfig();
+    auto opt0 = runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
+    auto a0 = runPagedAttention(c, PagedAttentionImpl::A100Fused);
+    c.paddedFraction = 0.8;
+    auto opt8 = runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
+    auto a8 = runPagedAttention(c, PagedAttentionImpl::A100Fused);
+    EXPECT_DOUBLE_EQ(opt0.time, opt8.time);
+    EXPECT_DOUBLE_EQ(a0.time, a8.time);
+}
+
+// Figure 17(c): vLLM_opt reaches ~45% of A100's PagedAttention
+// throughput.
+TEST(PagedAttention, OptVsA100Band)
+{
+    PagedAttentionConfig c = defaultConfig();
+    auto opt = runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
+    auto a100 = runPagedAttention(c, PagedAttentionImpl::A100Fused);
+    double relative = a100.time / opt.time;
+    EXPECT_GT(relative, 0.33);
+    EXPECT_LT(relative, 0.60);
+}
+
+TEST(PagedAttention, TimeScalesWithContext)
+{
+    PagedAttentionConfig c = defaultConfig();
+    auto short_ctx = runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
+    c.seqLen = 8192;
+    auto long_ctx = runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
+    EXPECT_NEAR(long_ctx.time / short_ctx.time, 2.0, 0.25);
+}
+
+TEST(PagedAttention, TokensPerSecondConsistent)
+{
+    PagedAttentionConfig c = defaultConfig();
+    auto r = runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
+    EXPECT_NEAR(r.tokensPerSec, c.batch / r.time, 1e-6);
+}
+
+TEST(PagedAttentionDeath, RejectsFullPadding)
+{
+    PagedAttentionConfig c = defaultConfig();
+    c.paddedFraction = 1.0;
+    EXPECT_DEATH(runPagedAttention(c, PagedAttentionImpl::GaudiBase),
+                 "padded fraction");
+}
+
+} // namespace
+} // namespace vespera::kern

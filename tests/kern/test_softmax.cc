@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "kern/softmax.h"
+#include "tpc/context.h"
+
+namespace vespera::kern {
+namespace {
+
+TEST(Softmax, SelfVerifiesFunctionally)
+{
+    SoftmaxConfig c;
+    c.rows = 64;
+    c.cols = 512;
+    auto r = runSoftmaxGaudi(c); // Panics internally on mismatch.
+    EXPECT_GT(r.time, 0);
+    EXPECT_GT(r.flops, 0);
+    EXPECT_LE(r.hbmUtilization, 1.0);
+}
+
+TEST(Softmax, RowsSumToOne)
+{
+    SoftmaxConfig c;
+    c.rows = 8;
+    c.cols = 256;
+    tpc::Tensor input({c.cols, c.rows}, c.dt);
+    input.fill([](std::int64_t i) {
+        return static_cast<float>((i % 17)) / 3.0f;
+    });
+    tpc::Tensor output({c.cols, c.rows}, c.dt);
+    runSoftmaxGaudi(c, input, output);
+    for (std::int64_t row = 0; row < c.rows; row++) {
+        double sum = 0;
+        for (std::int64_t col = 0; col < c.cols; col++)
+            sum += output.at({col, row, 0, 0, 0});
+        EXPECT_NEAR(sum, 1.0, 1e-4) << "row " << row;
+    }
+}
+
+TEST(Softmax, InvariantToConstantShift)
+{
+    SoftmaxConfig c;
+    c.rows = 2;
+    c.cols = 128;
+    tpc::Tensor a({c.cols, c.rows}, c.dt), b({c.cols, c.rows}, c.dt);
+    a.fill([](std::int64_t i) { return static_cast<float>(i % 9); });
+    b.fill([](std::int64_t i) {
+        return static_cast<float>(i % 9) + 50.0f;
+    });
+    tpc::Tensor oa({c.cols, c.rows}, c.dt), ob({c.cols, c.rows}, c.dt);
+    runSoftmaxGaudi(c, a, oa);
+    runSoftmaxGaudi(c, b, ob);
+    for (std::int64_t i = 0; i < oa.numElements(); i++)
+        EXPECT_NEAR(oa.at(i), ob.at(i), 1e-5);
+}
+
+TEST(Softmax, ScalesAcrossTpcs)
+{
+    SoftmaxConfig c;
+    c.rows = 96;
+    c.cols = 1024;
+    c.numTpcs = 1;
+    auto one = runSoftmaxGaudi(c);
+    c.numTpcs = 24;
+    auto many = runSoftmaxGaudi(c);
+    EXPECT_LT(many.time, one.time / 4);
+}
+
+TEST(SoftmaxDeath, RejectsOversizedRows)
+{
+    SoftmaxConfig c;
+    c.rows = 1;
+    c.cols = 1 << 18;
+    EXPECT_DEATH(runSoftmaxGaudi(c), "local-memory staging");
+}
+
+// New intrinsics behave functionally.
+TEST(Intrinsics, ExpReciprocalReduceBroadcast)
+{
+    tpc::Program p;
+    tpc::MemberRange range{{0, 0, 0, 0, 0}, {1, 1, 1, 1, 1}};
+    tpc::TpcContext ctx(p, range);
+    tpc::Tensor t({64}, DataType::FP32);
+    t.fill([](std::int64_t i) { return static_cast<float>(i % 4); });
+
+    tpc::Vec v = ctx.v_ld_tnsr({0, 0, 0, 0, 0}, t);
+    tpc::Vec e = ctx.v_exp(v);
+    EXPECT_FLOAT_EQ(e.lanes[0], 1.0f);
+    EXPECT_NEAR(e.lanes[1], 2.71828f, 1e-4);
+
+    tpc::Vec r = ctx.v_reciprocal(e);
+    EXPECT_NEAR(r.lanes[1], 1.0f / 2.71828f, 1e-4);
+
+    tpc::Vec mx = ctx.v_reduce_max(v);
+    ASSERT_EQ(mx.laneCount(), 1);
+    EXPECT_FLOAT_EQ(mx.lanes[0], 3.0f);
+
+    tpc::Vec sum = ctx.v_reduce_add(v);
+    EXPECT_FLOAT_EQ(sum.lanes[0], 96.0f); // 16 x (0+1+2+3).
+
+    tpc::Vec b = ctx.v_broadcast(mx, 64);
+    ASSERT_EQ(b.laneCount(), 64);
+    EXPECT_FLOAT_EQ(b.lanes[63], 3.0f);
+
+    // Transcendentals cost more issue than simple ALU ops.
+    double exp_flops = 0, add_flops = 0;
+    for (const auto &instr : p.instrs()) {
+        if (instr.dst == e.id)
+            exp_flops = instr.flopsPerLane;
+        if (instr.dst == sum.id)
+            add_flops = instr.flopsPerLane;
+    }
+    EXPECT_GT(exp_flops, add_flops);
+}
+
+} // namespace
+} // namespace vespera::kern

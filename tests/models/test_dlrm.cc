@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "models/dlrm.h"
+
+namespace vespera::models {
+namespace {
+
+DlrmConfig
+tinyRm(const DlrmConfig &base)
+{
+    DlrmConfig c = base;
+    c.rowsPerTable = 1 << 12; // Keep functional tables small in tests.
+    return c;
+}
+
+TEST(Dlrm, ConfigsMatchTable3)
+{
+    auto rm1 = DlrmConfig::rm1();
+    EXPECT_EQ(rm1.bottomMlp, (std::vector<int>{13, 512, 256, 64}));
+    EXPECT_EQ(rm1.topMlp, (std::vector<int>{1024, 1024, 512, 256, 1}));
+    EXPECT_EQ(rm1.crossLayers, 3);
+    EXPECT_EQ(rm1.lowRankDim, 512);
+
+    auto rm2 = DlrmConfig::rm2();
+    EXPECT_EQ(rm2.bottomMlp, (std::vector<int>{13, 256, 64, 64}));
+    EXPECT_EQ(rm2.topMlp, (std::vector<int>{128, 64, 1}));
+    EXPECT_EQ(rm2.lowRankDim, 64);
+}
+
+TEST(Dlrm, RunsOnBothDevices)
+{
+    DlrmModel model(tinyRm(DlrmConfig::rm1()));
+    DlrmRunConfig run;
+    run.batch = 256;
+    Rng rng(1);
+    auto g = model.run(DeviceKind::Gaudi2, run, rng);
+    auto a = model.run(DeviceKind::A100, run, rng);
+    EXPECT_GT(g.time, 0);
+    EXPECT_GT(a.time, 0);
+    EXPECT_GT(g.power, hw::gaudi2Spec().idlePower);
+    EXPECT_LT(g.power, hw::gaudi2Spec().tdp);
+    EXPECT_GT(a.power, hw::a100Spec().idlePower);
+}
+
+// RM2 is the memory-intensive configuration: embedding dominates.
+TEST(Dlrm, Rm2EmbeddingDominated)
+{
+    DlrmModel rm2(tinyRm(DlrmConfig::rm2()));
+    DlrmRunConfig run;
+    run.batch = 1024;
+    Rng rng(2);
+    auto r = rm2.run(DeviceKind::Gaudi2, run, rng);
+    EXPECT_GT(r.embeddingTime, r.denseTime);
+}
+
+// RM1 is compute-intensive: dense layers outweigh embedding.
+TEST(Dlrm, Rm1DenseHeavy)
+{
+    DlrmModel rm1(tinyRm(DlrmConfig::rm1()));
+    DlrmRunConfig run;
+    run.batch = 1024;
+    Rng rng(3);
+    auto r = rm1.run(DeviceKind::Gaudi2, run, rng);
+    EXPECT_GT(r.denseTime, 0.5 * r.embeddingTime);
+}
+
+// Figure 11 / key takeaway #5: Gaudi-2 generally trails A100 on
+// RecSys (~20% slower on average), with small embedding vectors being
+// the worst case.
+TEST(Dlrm, A100WinsSmallVectors)
+{
+    DlrmModel rm2(tinyRm(DlrmConfig::rm2()));
+    DlrmRunConfig run;
+    run.batch = 1024;
+    run.embVectorBytes = 64;
+    Rng rng(4);
+    auto g = rm2.run(DeviceKind::Gaudi2, run, rng);
+    auto a = rm2.run(DeviceKind::A100, run, rng);
+    EXPECT_LT(g.samplesPerSec, a.samplesPerSec);
+}
+
+// ...while wide vectors and large batches favour Gaudi's bandwidth
+// and compute (paper: up to 1.36x).
+TEST(Dlrm, GaudiCompetitiveWideVectors)
+{
+    DlrmModel rm1(tinyRm(DlrmConfig::rm1()));
+    DlrmRunConfig run;
+    run.batch = 4096;
+    run.embVectorBytes = 512;
+    Rng rng(5);
+    auto g = rm1.run(DeviceKind::Gaudi2, run, rng);
+    auto a = rm1.run(DeviceKind::A100, run, rng);
+    EXPECT_GT(g.samplesPerSec, 0.8 * a.samplesPerSec);
+}
+
+TEST(Dlrm, EnergyConsistent)
+{
+    DlrmModel rm1(tinyRm(DlrmConfig::rm1()));
+    DlrmRunConfig run;
+    run.batch = 512;
+    Rng rng(6);
+    auto r = rm1.run(DeviceKind::Gaudi2, run, rng);
+    EXPECT_NEAR(r.energy, r.power * r.time, 1e-9);
+    EXPECT_NEAR(r.samplesPerJoule, run.batch / r.energy, 1e-6);
+}
+
+TEST(Dlrm, DenseGraphShape)
+{
+    DlrmModel rm1(tinyRm(DlrmConfig::rm1()));
+    DlrmRunConfig run;
+    run.batch = 128;
+    auto g = rm1.buildDenseGraph(run);
+    int matmuls = 0;
+    for (const auto &n : g.nodes())
+        if (n.kind == graph::OpKind::MatMul)
+            matmuls++;
+    // 3 bottom + 2x3 cross + 5 top.
+    EXPECT_EQ(matmuls, 3 + 6 + 5);
+}
+
+} // namespace
+} // namespace vespera::models

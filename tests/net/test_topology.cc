@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace vespera::net {
+namespace {
+
+TEST(Topology, GaudiInjectionScalesWithParticipants)
+{
+    FabricSpec f = FabricSpec::hlsGaudi2();
+    EXPECT_DOUBLE_EQ(f.injectionBandwidth(2), 37.5 * GB);
+    EXPECT_DOUBLE_EQ(f.injectionBandwidth(4), 3 * 37.5 * GB);
+    EXPECT_DOUBLE_EQ(f.injectionBandwidth(8), 7 * 37.5 * GB);
+}
+
+TEST(Topology, SwitchInjectionFlat)
+{
+    FabricSpec f = FabricSpec::dgxA100();
+    EXPECT_DOUBLE_EQ(f.injectionBandwidth(2), 300 * GB);
+    EXPECT_DOUBLE_EQ(f.injectionBandwidth(8), 300 * GB);
+}
+
+TEST(Topology, GaudiNeverExceedsPerDeviceCap)
+{
+    FabricSpec f = FabricSpec::hlsGaudi2();
+    for (int n = 2; n <= 8; n++)
+        EXPECT_LE(f.injectionBandwidth(n), f.perDeviceBandwidth);
+}
+
+TEST(Topology, P2pTransferIncludesLatency)
+{
+    FabricSpec f = FabricSpec::hlsGaudi2();
+    Seconds tiny = p2pTransferTime(f, 1);
+    EXPECT_GE(tiny, f.linkLatency);
+    Seconds big = p2pTransferTime(f, 1ull << 30);
+    EXPECT_GT(big, 0.02); // ~1 GiB over 37.5 GB/s ~ 28 ms.
+}
+
+TEST(TopologyDeath, ParticipantsOutOfRange)
+{
+    FabricSpec f = FabricSpec::hlsGaudi2();
+    EXPECT_DEATH((void)f.injectionBandwidth(1), "out of range");
+    EXPECT_DEATH((void)f.injectionBandwidth(9), "out of range");
+}
+
+} // namespace
+} // namespace vespera::net

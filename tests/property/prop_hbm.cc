@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Property-based tests of the HBM model across devices, access sizes,
+ * and concurrency levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hbm.h"
+
+namespace vespera::mem {
+namespace {
+
+struct HbmCase
+{
+    DeviceKind device;
+    Bytes accessSize;
+    double concurrency;
+};
+
+void
+PrintTo(const HbmCase &c, std::ostream *os)
+{
+    *os << deviceName(c.device) << " " << c.accessSize << "B c"
+        << c.concurrency;
+}
+
+class HbmProperty : public ::testing::TestWithParam<HbmCase>
+{
+  protected:
+    const hw::DeviceSpec &
+    spec() const
+    {
+        return hw::deviceSpec(GetParam().device);
+    }
+};
+
+TEST_P(HbmProperty, TransactionCoversPayload)
+{
+    HbmModel m(spec());
+    const Bytes txn = m.transactionBytes(GetParam().accessSize);
+    EXPECT_GE(txn, GetParam().accessSize);
+    EXPECT_EQ(txn % m.minGranularity(), 0u);
+    EXPECT_LT(txn - GetParam().accessSize, m.minGranularity());
+}
+
+TEST_P(HbmProperty, GranularityEfficiencyIsRatio)
+{
+    HbmModel m(spec());
+    const Bytes size = GetParam().accessSize;
+    EXPECT_DOUBLE_EQ(m.granularityEfficiency(size),
+                     static_cast<double>(size) /
+                         m.transactionBytes(size));
+    EXPECT_LE(m.granularityEfficiency(size), 1.0);
+}
+
+TEST_P(HbmProperty, RandomAccessWellFormed)
+{
+    HbmModel m(spec());
+    RandomAccessWorkload w;
+    w.accessSize = GetParam().accessSize;
+    w.numAccesses = 100000;
+    w.concurrency = GetParam().concurrency;
+    auto r = m.randomAccess(w);
+    EXPECT_GT(r.time, 0);
+    EXPECT_GT(r.bandwidthUtilization, 0);
+    EXPECT_LE(r.bandwidthUtilization, 1.0);
+    EXPECT_EQ(r.usefulBytes, w.accessSize * w.numAccesses);
+    EXPECT_GE(r.transactionBytes, r.usefulBytes);
+}
+
+TEST_P(HbmProperty, MoreConcurrencyNeverSlower)
+{
+    HbmModel m(spec());
+    RandomAccessWorkload w;
+    w.accessSize = GetParam().accessSize;
+    w.numAccesses = 100000;
+    w.concurrency = GetParam().concurrency;
+    auto base = m.randomAccess(w);
+    w.concurrency *= 4;
+    auto more = m.randomAccess(w);
+    EXPECT_LE(more.time, base.time);
+}
+
+TEST_P(HbmProperty, RandomNeverBeatsStreaming)
+{
+    HbmModel m(spec());
+    RandomAccessWorkload w;
+    w.accessSize = GetParam().accessSize;
+    w.numAccesses = 1 << 20;
+    w.concurrency = GetParam().concurrency;
+    auto r = m.randomAccess(w);
+    const Seconds stream = m.streamTime(r.usefulBytes);
+    EXPECT_GE(r.time, stream);
+}
+
+TEST_P(HbmProperty, TimeLinearInAccessCount)
+{
+    HbmModel m(spec());
+    RandomAccessWorkload w;
+    w.accessSize = GetParam().accessSize;
+    w.concurrency = GetParam().concurrency;
+    w.numAccesses = 1 << 18;
+    const Seconds t1 = m.randomAccess(w).time;
+    w.numAccesses = 1 << 19;
+    const Seconds t2 = m.randomAccess(w).time;
+    // Doubling accesses roughly doubles the steady-state time.
+    EXPECT_GT(t2, 1.6 * t1 - 2e-6);
+    EXPECT_LT(t2, 2.1 * t1);
+}
+
+std::vector<HbmCase>
+hbmCases()
+{
+    std::vector<HbmCase> cases;
+    for (DeviceKind dev : {DeviceKind::Gaudi2, DeviceKind::A100})
+        for (Bytes size : {16, 64, 256, 1000, 2048})
+            for (double conc : {1.0, 16.0, 256.0})
+                cases.push_back({dev, size, conc});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HbmProperty,
+                         ::testing::ValuesIn(hbmCases()));
+
+} // namespace
+} // namespace vespera::mem

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Property-based tests of the TPC pipeline timing model over unroll
+ * factors and access granularities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tpc/context.h"
+#include "tpc/pipeline.h"
+
+namespace vespera::tpc {
+namespace {
+
+struct PipeCase
+{
+    int unroll;
+    Bytes granularity;
+};
+
+void
+PrintTo(const PipeCase &c, std::ostream *os)
+{
+    *os << "u" << c.unroll << " g" << c.granularity;
+}
+
+/// Total payload held constant across parameters.
+constexpr std::int64_t payloadBytes = 256 * 1024;
+
+Program
+buildTrace(const PipeCase &c)
+{
+    Program p;
+    MemberRange range{{0, 0, 0, 0, 0}, {1, 1, 1, 1, 1}};
+    TpcContext ctx(p, range, c.granularity);
+    Tensor a({payloadBytes / 4}, DataType::FP32);
+    Tensor b({payloadBytes / 4}, DataType::FP32);
+    Tensor out({payloadBytes / 4}, DataType::FP32);
+    const auto lanes = static_cast<std::int64_t>(c.granularity / 4);
+    const std::int64_t iters = payloadBytes / 4 / lanes;
+    for (std::int64_t i = 0; i < iters; i += c.unroll) {
+        std::vector<Vec> xs, ys;
+        for (int u = 0; u < c.unroll && i + u < iters; u++) {
+            Int5 coord{(i + u) * lanes, 0, 0, 0, 0};
+            xs.push_back(ctx.v_ld_tnsr(coord, a, c.granularity));
+            ys.push_back(ctx.v_ld_tnsr(coord, b, c.granularity));
+        }
+        for (std::size_t u = 0; u < xs.size(); u++) {
+            Vec sum = ctx.v_add(xs[u], ys[u]);
+            Int5 coord{(i + static_cast<std::int64_t>(u)) * lanes, 0, 0,
+                       0, 0};
+            ctx.v_st_tnsr(coord, out, sum);
+        }
+    }
+    return p;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<PipeCase>
+{
+};
+
+TEST_P(PipelineProperty, ResultWellFormed)
+{
+    Program p = buildTrace(GetParam());
+    auto r = evaluatePipeline(p, TpcParams::forGaudi2());
+    EXPECT_GT(r.cycles, 0);
+    EXPECT_GT(r.time, 0);
+    // Work is parameter-invariant: 1 flop per FP32 element.
+    EXPECT_DOUBLE_EQ(r.flops, payloadBytes / 4.0);
+}
+
+TEST_P(PipelineProperty, BusBytesRoundedToGranules)
+{
+    Program p = buildTrace(GetParam());
+    auto r = evaluatePipeline(p, TpcParams::forGaudi2());
+    EXPECT_EQ(r.busBytes % 256, 0u);
+    // Payload is 3 arrays; bus traffic covers at least that.
+    EXPECT_GE(r.busBytes, 3u * payloadBytes);
+}
+
+TEST_P(PipelineProperty, CyclesLowerBoundedByMemInterface)
+{
+    TpcParams params = TpcParams::forGaudi2();
+    Program p = buildTrace(GetParam());
+    auto r = evaluatePipeline(p, params);
+    const double min_cycles =
+        static_cast<double>(r.busBytes) / params.granule *
+        params.memIssueIntervalCycles;
+    EXPECT_GE(r.cycles, min_cycles - 1);
+}
+
+TEST_P(PipelineProperty, PrefixNeverSlower)
+{
+    // Evaluating a prefix of the trace never takes longer than the
+    // whole trace.
+    Program full = buildTrace(GetParam());
+    Program prefix;
+    const std::size_t half = full.instrs().size() / 2;
+    for (std::size_t i = 0; i < half; i++)
+        prefix.append(full.instrs()[i]);
+    // Value ids are shared; allocate enough.
+    while (prefix.numValues() < full.numValues())
+        prefix.newValue();
+    auto rf = evaluatePipeline(full, TpcParams::forGaudi2());
+    auto rp = evaluatePipeline(prefix, TpcParams::forGaudi2());
+    EXPECT_LE(rp.cycles, rf.cycles);
+}
+
+TEST_P(PipelineProperty, MoreUnrollNeverSlower)
+{
+    PipeCase c = GetParam();
+    auto base = evaluatePipeline(buildTrace(c), TpcParams::forGaudi2());
+    c.unroll *= 2;
+    auto more = evaluatePipeline(buildTrace(c), TpcParams::forGaudi2());
+    EXPECT_LE(more.cycles, base.cycles * 1.001);
+}
+
+TEST_P(PipelineProperty, HigherClockProportionallyFaster)
+{
+    Program p = buildTrace(GetParam());
+    TpcParams params = TpcParams::forGaudi2();
+    auto slow = evaluatePipeline(p, params);
+    params.clock *= 2;
+    auto fast = evaluatePipeline(p, params);
+    EXPECT_DOUBLE_EQ(slow.cycles, fast.cycles);
+    EXPECT_NEAR(slow.time / fast.time, 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineProperty,
+    ::testing::Values(PipeCase{1, 64}, PipeCase{1, 256},
+                      PipeCase{2, 256}, PipeCase{4, 128},
+                      PipeCase{4, 256}, PipeCase{4, 1024},
+                      PipeCase{8, 256}, PipeCase{16, 512}));
+
+} // namespace
+} // namespace vespera::tpc

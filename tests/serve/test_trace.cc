@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "serve/trace.h"
+
+namespace vespera::serve {
+namespace {
+
+TEST(Trace, FixedTraceShape)
+{
+    auto t = makeFixedTrace(8, 100, 50);
+    ASSERT_EQ(t.size(), 8u);
+    for (const auto &r : t) {
+        EXPECT_EQ(r.inputLen, 100);
+        EXPECT_EQ(r.outputLen, 50);
+        EXPECT_DOUBLE_EQ(r.arrival, 0);
+    }
+}
+
+TEST(Trace, DynamicLengthsWithinBounds)
+{
+    TraceConfig cfg;
+    cfg.numRequests = 500;
+    Rng rng(1);
+    auto t = makeDynamicTrace(cfg, rng);
+    ASSERT_EQ(t.size(), 500u);
+    for (const auto &r : t) {
+        EXPECT_GE(r.inputLen, cfg.minInputLen);
+        EXPECT_LE(r.inputLen, cfg.maxInputLen);
+        EXPECT_GE(r.outputLen, cfg.minOutputLen);
+        EXPECT_LE(r.outputLen, cfg.maxOutputLen);
+    }
+}
+
+TEST(Trace, DynamicLengthsActuallyVary)
+{
+    TraceConfig cfg;
+    cfg.numRequests = 100;
+    Rng rng(2);
+    auto t = makeDynamicTrace(cfg, rng);
+    int distinct_in = 0;
+    for (std::size_t i = 1; i < t.size(); i++)
+        if (t[i].inputLen != t[0].inputLen)
+            distinct_in++;
+    EXPECT_GT(distinct_in, 50);
+}
+
+TEST(Trace, OfflineArrivalsAtZero)
+{
+    TraceConfig cfg;
+    cfg.arrivalRate = 0;
+    Rng rng(3);
+    auto t = makeDynamicTrace(cfg, rng);
+    for (const auto &r : t)
+        EXPECT_DOUBLE_EQ(r.arrival, 0);
+}
+
+TEST(Trace, PoissonArrivalsIncrease)
+{
+    TraceConfig cfg;
+    cfg.numRequests = 50;
+    cfg.arrivalRate = 10.0;
+    Rng rng(4);
+    auto t = makeDynamicTrace(cfg, rng);
+    for (std::size_t i = 1; i < t.size(); i++)
+        EXPECT_GE(t[i].arrival, t[i - 1].arrival);
+    // Mean inter-arrival ~ 1/rate.
+    EXPECT_NEAR(t.back().arrival / 50.0, 0.1, 0.06);
+}
+
+TEST(Trace, Deterministic)
+{
+    TraceConfig cfg;
+    Rng a(5), b(5);
+    auto t1 = makeDynamicTrace(cfg, a);
+    auto t2 = makeDynamicTrace(cfg, b);
+    for (std::size_t i = 0; i < t1.size(); i++) {
+        EXPECT_EQ(t1[i].inputLen, t2[i].inputLen);
+        EXPECT_EQ(t1[i].outputLen, t2[i].outputLen);
+    }
+}
+
+} // namespace
+} // namespace vespera::serve

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "graph/compiler.h"
+#include "serve/tracing.h"
+
+namespace vespera::serve {
+namespace {
+
+std::vector<EngineEvent>
+sampleEvents()
+{
+    std::vector<EngineEvent> events;
+    EngineEvent prefill;
+    prefill.kind = EngineEvent::Kind::Prefill;
+    prefill.start = 0;
+    prefill.duration = 1e-3;
+    prefill.prefillTokens = 512;
+    events.push_back(prefill);
+
+    EngineEvent decode;
+    decode.kind = EngineEvent::Kind::Decode;
+    decode.start = 1e-3;
+    decode.duration = 2e-4;
+    decode.decodeBatch = 8;
+    events.push_back(decode);
+
+    EngineEvent mixed;
+    mixed.kind = EngineEvent::Kind::Mixed;
+    mixed.start = 1.2e-3;
+    mixed.duration = 5e-4;
+    mixed.decodeBatch = 8;
+    mixed.prefillTokens = 256;
+    events.push_back(mixed);
+    return events;
+}
+
+TEST(Tracing, EngineEventsJsonStructure)
+{
+    std::string json = engineEventsToChromeTrace(sampleEvents());
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("prefill 512 tok"), std::string::npos);
+    EXPECT_NE(json.find("decode b8"), std::string::npos);
+    EXPECT_NE(json.find("chunk 256"), std::string::npos);
+    // Times are microseconds: 1 ms -> 1000.
+    EXPECT_NE(json.find("\"dur\": 1000.000"), std::string::npos);
+    // No trailing comma before the closing bracket.
+    EXPECT_EQ(json.find("},\n  ]"), std::string::npos);
+}
+
+TEST(Tracing, TimelineJsonFromRealGraph)
+{
+    graph::Graph g;
+    int a = g.input({{1024, 1024}, DataType::BF16}, "a");
+    int w = g.input({{1024, 1024}, DataType::BF16}, "w");
+    int mm = g.matmul(a, w, "mm");
+    (void)g.elementwise({mm}, 1.0, false, "act");
+    graph::Compiler().compile(g);
+    graph::Executor exec(DeviceKind::Gaudi2);
+    auto rep = exec.run(g);
+
+    std::string json = timelineToChromeTrace(rep.timeline);
+    EXPECT_NE(json.find("\"mm\""), std::string::npos);
+    EXPECT_NE(json.find("\"act\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"mme\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"tpc\""), std::string::npos);
+    // Inputs are omitted.
+    EXPECT_EQ(json.find("\"a\""), std::string::npos);
+    EXPECT_EQ(json.find("},\n  ]"), std::string::npos);
+}
+
+TEST(Tracing, WriteFileRoundTrip)
+{
+    const std::string path = "/tmp/vespera_test_trace.json";
+    ASSERT_TRUE(writeFile(path, "{\"x\": 1}\n"));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[32] = {};
+    (void)!std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    EXPECT_STREQ(buf, "{\"x\": 1}\n");
+    std::remove(path.c_str());
+}
+
+TEST(Tracing, WriteFileFailsOnBadPath)
+{
+    EXPECT_FALSE(writeFile("/nonexistent_dir/x.json", "data"));
+}
+
+} // namespace
+} // namespace vespera::serve

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "tpc/dispatcher.h"
+
+namespace vespera::tpc {
+namespace {
+
+/// The paper's Figure 2(c) kernel: element-wise vector add over an
+/// index space of (depth, width) with the depth step at 256 B.
+Kernel
+makeAddKernel(const Tensor &a, const Tensor &b, Tensor &c,
+              std::int64_t depth_elems, int unroll = 4)
+{
+    return [&a, &b, &c, depth_elems, unroll](TpcContext &ctx) {
+        const auto lanes =
+            static_cast<std::int64_t>(ctx.defaultVectorBytes() /
+                                      dtypeSize(a.dtype()));
+        for (std::int64_t w = ctx.memberStart(1); w < ctx.memberEnd(1);
+             w++) {
+            for (std::int64_t d = 0; d < depth_elems;
+                 d += lanes * unroll) {
+                // Manually unrolled body (paper best practice #2).
+                std::vector<Vec> xs, ys;
+                for (int u = 0; u < unroll; u++) {
+                    if (d + u * lanes >= depth_elems)
+                        break;
+                    Int5 coord{d + u * lanes, w, 0, 0, 0};
+                    xs.push_back(ctx.v_ld_tnsr(coord, a));
+                    ys.push_back(ctx.v_ld_tnsr(coord, b));
+                }
+                for (std::size_t u = 0; u < xs.size(); u++) {
+                    Vec sum = ctx.v_add(xs[u], ys[u]);
+                    Int5 coord{d + static_cast<std::int64_t>(u) * lanes,
+                               w, 0, 0, 0};
+                    ctx.v_st_tnsr(coord, c, sum);
+                }
+            }
+        }
+    };
+}
+
+class DispatcherTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::int64_t depth_ = 4096; // Elements per column.
+    static constexpr std::int64_t width_ = 48;   // Index-space width.
+
+    DispatcherTest()
+        : a_({depth_, width_}, DataType::FP32),
+          b_({depth_, width_}, DataType::FP32),
+          c_({depth_, width_}, DataType::FP32)
+    {
+        a_.fill([](std::int64_t i) { return static_cast<float>(i % 97); });
+        b_.fill([](std::int64_t i) { return static_cast<float>(i % 31); });
+    }
+
+    TpcDispatcher dispatcher_;
+    Tensor a_, b_, c_;
+};
+
+TEST_F(DispatcherTest, FunctionalResultCorrect)
+{
+    IndexSpace space;
+    space.size = {1, width_, 1, 1, 1};
+    LaunchParams params;
+    dispatcher_.launch(makeAddKernel(a_, b_, c_, depth_), space, params);
+    for (std::int64_t i = 0; i < a_.numElements(); i++) {
+        ASSERT_FLOAT_EQ(c_.at(i), a_.at(i) + b_.at(i)) << "elem " << i;
+    }
+}
+
+TEST_F(DispatcherTest, AllTpcsParticipate)
+{
+    IndexSpace space;
+    space.size = {1, width_, 1, 1, 1};
+    LaunchParams params;
+    params.numTpcs = 24;
+    auto r = dispatcher_.launch(makeAddKernel(a_, b_, c_, depth_), space,
+                                params);
+    EXPECT_EQ(r.activeTpcs, 24);
+}
+
+TEST_F(DispatcherTest, FewerMembersThanTpcs)
+{
+    IndexSpace space;
+    space.size = {1, 5, 1, 1, 1};
+    LaunchParams params;
+    params.numTpcs = 24;
+    auto r = dispatcher_.launch(makeAddKernel(a_, b_, c_, depth_), space,
+                                params);
+    EXPECT_EQ(r.activeTpcs, 5);
+}
+
+// Weak scaling (Figure 8c): throughput scales with TPC count until the
+// chip HBM bandwidth bound takes over.
+TEST_F(DispatcherTest, WeakScalingSaturates)
+{
+    double one_tpc, twelve_tpc, twentyfour_tpc;
+
+    // Weak scaling: each TPC gets one column of 256 Ki elements.
+    const std::int64_t col = 1 << 18;
+    auto run = [&](int n) {
+        Tensor a({col, n}, DataType::FP32);
+        Tensor b({col, n}, DataType::FP32);
+        Tensor c({col, n}, DataType::FP32);
+        IndexSpace space;
+        space.size = {1, n, 1, 1, 1};
+        LaunchParams p;
+        p.numTpcs = n;
+        auto r = dispatcher_.launch(makeAddKernel(a, b, c, col), space,
+                                    p);
+        return r.achievedFlopsPerSec;
+    };
+
+    one_tpc = run(1);
+    twelve_tpc = run(12);
+    twentyfour_tpc = run(24);
+
+    // Near-linear early on.
+    EXPECT_GT(twelve_tpc, one_tpc * 6);
+    // Saturating by 24 (well below 24x).
+    EXPECT_LT(twentyfour_tpc, one_tpc * 20);
+}
+
+TEST_F(DispatcherTest, ReportsBandwidthUtilization)
+{
+    IndexSpace space;
+    space.size = {1, width_, 1, 1, 1};
+    auto r = dispatcher_.launch(makeAddKernel(a_, b_, c_, depth_), space,
+                                LaunchParams{});
+    EXPECT_GT(r.hbmUtilization, 0.0);
+    EXPECT_LE(r.hbmUtilization, 1.0);
+    EXPECT_EQ(r.usefulBytes, 3u * a_.bytes());
+}
+
+TEST_F(DispatcherTest, TimeIncludesLaunchOverhead)
+{
+    IndexSpace space;
+    space.size = {1, 1, 1, 1, 1};
+    Tensor a({64}, DataType::FP32), b({64}, DataType::FP32);
+    Tensor c({64}, DataType::FP32);
+    auto r = dispatcher_.launch(makeAddKernel(a, b, c, 64), space,
+                                LaunchParams{});
+    EXPECT_GE(r.time, hw::gaudi2Spec().launchOverhead);
+}
+
+TEST_F(DispatcherTest, RejectsBadConfig)
+{
+    IndexSpace space;
+    space.size = {1, 4, 1, 1, 1};
+    LaunchParams params;
+    params.numTpcs = 99;
+    EXPECT_DEATH(dispatcher_.launch(makeAddKernel(a_, b_, c_, depth_),
+                                    space, params),
+                 "numTpcs");
+}
+
+} // namespace
+} // namespace vespera::tpc

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "tpc/tensor.h"
+
+namespace vespera::tpc {
+namespace {
+
+TEST(Tensor, ShapeAndSize)
+{
+    Tensor t({64, 3}, DataType::FP32);
+    EXPECT_EQ(t.rank(), 2);
+    EXPECT_EQ(t.dim(0), 64);
+    EXPECT_EQ(t.dim(1), 3);
+    EXPECT_EQ(t.numElements(), 192);
+    EXPECT_EQ(t.bytes(), 192u * 4);
+}
+
+TEST(Tensor, Bf16Bytes)
+{
+    Tensor t({100}, DataType::BF16);
+    EXPECT_EQ(t.bytes(), 200u);
+}
+
+TEST(Tensor, Dim0Fastest)
+{
+    Tensor t({4, 3}, DataType::FP32);
+    // flat = c0 + 4*c1.
+    EXPECT_EQ(t.flatten({0, 0, 0, 0, 0}), 0);
+    EXPECT_EQ(t.flatten({1, 0, 0, 0, 0}), 1);
+    EXPECT_EQ(t.flatten({0, 1, 0, 0, 0}), 4);
+    EXPECT_EQ(t.flatten({3, 2, 0, 0, 0}), 11);
+}
+
+TEST(Tensor, FillAndRead)
+{
+    Tensor t({8}, DataType::FP32);
+    t.fill([](std::int64_t i) { return static_cast<float>(i * i); });
+    EXPECT_FLOAT_EQ(t.at(std::int64_t{3}), 9.0f);
+    EXPECT_FLOAT_EQ(t.at(Int5{7, 0, 0, 0, 0}), 49.0f);
+}
+
+TEST(Tensor, WriteThroughCoord)
+{
+    Tensor t({2, 2}, DataType::FP32);
+    t.at(Int5{1, 1, 0, 0, 0}) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at(std::int64_t{3}), 5.0f);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({16}, DataType::BF16);
+    for (std::int64_t i = 0; i < 16; i++)
+        EXPECT_FLOAT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorDeath, OutOfBounds)
+{
+    Tensor t({4}, DataType::FP32);
+    EXPECT_DEATH((void)t.at(std::int64_t{4}), "out of bounds");
+    EXPECT_DEATH((void)t.flatten({0, 1, 0, 0, 0}), "beyond tensor rank");
+}
+
+} // namespace
+} // namespace vespera::tpc
