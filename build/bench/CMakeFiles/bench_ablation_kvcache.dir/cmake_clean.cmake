@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kvcache.dir/bench_ablation_kvcache.cc.o"
+  "CMakeFiles/bench_ablation_kvcache.dir/bench_ablation_kvcache.cc.o.d"
+  "bench_ablation_kvcache"
+  "bench_ablation_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multidevice_recsys.dir/bench_ext_multidevice_recsys.cc.o"
+  "CMakeFiles/bench_ext_multidevice_recsys.dir/bench_ext_multidevice_recsys.cc.o.d"
+  "bench_ext_multidevice_recsys"
+  "bench_ext_multidevice_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multidevice_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

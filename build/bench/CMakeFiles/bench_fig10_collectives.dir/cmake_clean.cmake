@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_collectives.dir/bench_fig10_collectives.cc.o"
+  "CMakeFiles/bench_fig10_collectives.dir/bench_fig10_collectives.cc.o.d"
+  "bench_fig10_collectives"
+  "bench_fig10_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_recsys.dir/bench_fig11_recsys.cc.o"
+  "CMakeFiles/bench_fig11_recsys.dir/bench_fig11_recsys.cc.o.d"
+  "bench_fig11_recsys"
+  "bench_fig11_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_llm_energy.cc" "bench/CMakeFiles/bench_fig13_llm_energy.dir/bench_fig13_llm_energy.cc.o" "gcc" "bench/CMakeFiles/bench_fig13_llm_energy.dir/bench_fig13_llm_energy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serve/CMakeFiles/vespera_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/vespera_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vespera_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/vespera_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vespera_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/vespera_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpc/CMakeFiles/vespera_tpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/vespera_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vespera_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vespera_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vespera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

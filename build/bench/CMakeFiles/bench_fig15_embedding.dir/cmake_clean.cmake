@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_embedding.dir/bench_fig15_embedding.cc.o"
+  "CMakeFiles/bench_fig15_embedding.dir/bench_fig15_embedding.cc.o.d"
+  "bench_fig15_embedding"
+  "bench_fig15_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

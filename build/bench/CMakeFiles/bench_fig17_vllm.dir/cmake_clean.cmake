@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_vllm.dir/bench_fig17_vllm.cc.o"
+  "CMakeFiles/bench_fig17_vllm.dir/bench_fig17_vllm.cc.o.d"
+  "bench_fig17_vllm"
+  "bench_fig17_vllm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_vllm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

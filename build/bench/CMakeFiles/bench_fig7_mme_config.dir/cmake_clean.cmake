@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mme_config.dir/bench_fig7_mme_config.cc.o"
+  "CMakeFiles/bench_fig7_mme_config.dir/bench_fig7_mme_config.cc.o.d"
+  "bench_fig7_mme_config"
+  "bench_fig7_mme_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mme_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gather.dir/bench_fig9_gather.cc.o"
+  "CMakeFiles/bench_fig9_gather.dir/bench_fig9_gather.cc.o.d"
+  "bench_fig9_gather"
+  "bench_fig9_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

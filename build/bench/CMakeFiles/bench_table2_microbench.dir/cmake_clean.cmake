@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_microbench.dir/bench_table2_microbench.cc.o"
+  "CMakeFiles/bench_table2_microbench.dir/bench_table2_microbench.cc.o.d"
+  "bench_table2_microbench"
+  "bench_table2_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

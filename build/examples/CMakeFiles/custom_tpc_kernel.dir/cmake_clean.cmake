@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_tpc_kernel.dir/custom_tpc_kernel.cpp.o"
+  "CMakeFiles/custom_tpc_kernel.dir/custom_tpc_kernel.cpp.o.d"
+  "custom_tpc_kernel"
+  "custom_tpc_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_tpc_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_step.dir/profile_step.cpp.o"
+  "CMakeFiles/profile_step.dir/profile_step.cpp.o.d"
+  "profile_step"
+  "profile_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_hardware.dir/what_if_hardware.cpp.o"
+  "CMakeFiles/what_if_hardware.dir/what_if_hardware.cpp.o.d"
+  "what_if_hardware"
+  "what_if_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_coll.dir/collective.cc.o"
+  "CMakeFiles/vespera_coll.dir/collective.cc.o.d"
+  "libvespera_coll.a"
+  "libvespera_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_common.dir/logging.cc.o"
+  "CMakeFiles/vespera_common.dir/logging.cc.o.d"
+  "CMakeFiles/vespera_common.dir/stats.cc.o"
+  "CMakeFiles/vespera_common.dir/stats.cc.o.d"
+  "CMakeFiles/vespera_common.dir/table.cc.o"
+  "CMakeFiles/vespera_common.dir/table.cc.o.d"
+  "libvespera_common.a"
+  "libvespera_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_cuda.dir/simt.cc.o"
+  "CMakeFiles/vespera_cuda.dir/simt.cc.o.d"
+  "libvespera_cuda.a"
+  "libvespera_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_graph.dir/compiler.cc.o"
+  "CMakeFiles/vespera_graph.dir/compiler.cc.o.d"
+  "CMakeFiles/vespera_graph.dir/executor.cc.o"
+  "CMakeFiles/vespera_graph.dir/executor.cc.o.d"
+  "CMakeFiles/vespera_graph.dir/graph.cc.o"
+  "CMakeFiles/vespera_graph.dir/graph.cc.o.d"
+  "libvespera_graph.a"
+  "libvespera_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

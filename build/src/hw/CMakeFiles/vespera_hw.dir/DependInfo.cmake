@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/device_spec.cc" "src/hw/CMakeFiles/vespera_hw.dir/device_spec.cc.o" "gcc" "src/hw/CMakeFiles/vespera_hw.dir/device_spec.cc.o.d"
+  "/root/repo/src/hw/mme.cc" "src/hw/CMakeFiles/vespera_hw.dir/mme.cc.o" "gcc" "src/hw/CMakeFiles/vespera_hw.dir/mme.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/hw/CMakeFiles/vespera_hw.dir/power.cc.o" "gcc" "src/hw/CMakeFiles/vespera_hw.dir/power.cc.o.d"
+  "/root/repo/src/hw/tensor_core.cc" "src/hw/CMakeFiles/vespera_hw.dir/tensor_core.cc.o" "gcc" "src/hw/CMakeFiles/vespera_hw.dir/tensor_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vespera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_hw.dir/device_spec.cc.o"
+  "CMakeFiles/vespera_hw.dir/device_spec.cc.o.d"
+  "CMakeFiles/vespera_hw.dir/mme.cc.o"
+  "CMakeFiles/vespera_hw.dir/mme.cc.o.d"
+  "CMakeFiles/vespera_hw.dir/power.cc.o"
+  "CMakeFiles/vespera_hw.dir/power.cc.o.d"
+  "CMakeFiles/vespera_hw.dir/tensor_core.cc.o"
+  "CMakeFiles/vespera_hw.dir/tensor_core.cc.o.d"
+  "libvespera_hw.a"
+  "libvespera_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvespera_hw.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/embedding.cc" "src/kern/CMakeFiles/vespera_kern.dir/embedding.cc.o" "gcc" "src/kern/CMakeFiles/vespera_kern.dir/embedding.cc.o.d"
+  "/root/repo/src/kern/gather_scatter.cc" "src/kern/CMakeFiles/vespera_kern.dir/gather_scatter.cc.o" "gcc" "src/kern/CMakeFiles/vespera_kern.dir/gather_scatter.cc.o.d"
+  "/root/repo/src/kern/gemm.cc" "src/kern/CMakeFiles/vespera_kern.dir/gemm.cc.o" "gcc" "src/kern/CMakeFiles/vespera_kern.dir/gemm.cc.o.d"
+  "/root/repo/src/kern/layernorm.cc" "src/kern/CMakeFiles/vespera_kern.dir/layernorm.cc.o" "gcc" "src/kern/CMakeFiles/vespera_kern.dir/layernorm.cc.o.d"
+  "/root/repo/src/kern/paged_attention.cc" "src/kern/CMakeFiles/vespera_kern.dir/paged_attention.cc.o" "gcc" "src/kern/CMakeFiles/vespera_kern.dir/paged_attention.cc.o.d"
+  "/root/repo/src/kern/softmax.cc" "src/kern/CMakeFiles/vespera_kern.dir/softmax.cc.o" "gcc" "src/kern/CMakeFiles/vespera_kern.dir/softmax.cc.o.d"
+  "/root/repo/src/kern/stream.cc" "src/kern/CMakeFiles/vespera_kern.dir/stream.cc.o" "gcc" "src/kern/CMakeFiles/vespera_kern.dir/stream.cc.o.d"
+  "/root/repo/src/kern/vector_op.cc" "src/kern/CMakeFiles/vespera_kern.dir/vector_op.cc.o" "gcc" "src/kern/CMakeFiles/vespera_kern.dir/vector_op.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vespera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vespera_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vespera_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpc/CMakeFiles/vespera_tpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/vespera_cuda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

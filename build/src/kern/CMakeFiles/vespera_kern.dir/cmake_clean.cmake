@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_kern.dir/embedding.cc.o"
+  "CMakeFiles/vespera_kern.dir/embedding.cc.o.d"
+  "CMakeFiles/vespera_kern.dir/gather_scatter.cc.o"
+  "CMakeFiles/vespera_kern.dir/gather_scatter.cc.o.d"
+  "CMakeFiles/vespera_kern.dir/gemm.cc.o"
+  "CMakeFiles/vespera_kern.dir/gemm.cc.o.d"
+  "CMakeFiles/vespera_kern.dir/layernorm.cc.o"
+  "CMakeFiles/vespera_kern.dir/layernorm.cc.o.d"
+  "CMakeFiles/vespera_kern.dir/paged_attention.cc.o"
+  "CMakeFiles/vespera_kern.dir/paged_attention.cc.o.d"
+  "CMakeFiles/vespera_kern.dir/softmax.cc.o"
+  "CMakeFiles/vespera_kern.dir/softmax.cc.o.d"
+  "CMakeFiles/vespera_kern.dir/stream.cc.o"
+  "CMakeFiles/vespera_kern.dir/stream.cc.o.d"
+  "CMakeFiles/vespera_kern.dir/vector_op.cc.o"
+  "CMakeFiles/vespera_kern.dir/vector_op.cc.o.d"
+  "libvespera_kern.a"
+  "libvespera_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

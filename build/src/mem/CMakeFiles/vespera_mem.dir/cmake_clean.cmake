@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_mem.dir/hbm.cc.o"
+  "CMakeFiles/vespera_mem.dir/hbm.cc.o.d"
+  "libvespera_mem.a"
+  "libvespera_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

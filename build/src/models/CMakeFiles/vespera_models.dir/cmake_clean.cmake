@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_models.dir/dlrm.cc.o"
+  "CMakeFiles/vespera_models.dir/dlrm.cc.o.d"
+  "CMakeFiles/vespera_models.dir/llama.cc.o"
+  "CMakeFiles/vespera_models.dir/llama.cc.o.d"
+  "libvespera_models.a"
+  "libvespera_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_net.dir/topology.cc.o"
+  "CMakeFiles/vespera_net.dir/topology.cc.o.d"
+  "libvespera_net.a"
+  "libvespera_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_serve.dir/engine.cc.o"
+  "CMakeFiles/vespera_serve.dir/engine.cc.o.d"
+  "CMakeFiles/vespera_serve.dir/kv_cache.cc.o"
+  "CMakeFiles/vespera_serve.dir/kv_cache.cc.o.d"
+  "CMakeFiles/vespera_serve.dir/trace.cc.o"
+  "CMakeFiles/vespera_serve.dir/trace.cc.o.d"
+  "CMakeFiles/vespera_serve.dir/tracing.cc.o"
+  "CMakeFiles/vespera_serve.dir/tracing.cc.o.d"
+  "libvespera_serve.a"
+  "libvespera_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

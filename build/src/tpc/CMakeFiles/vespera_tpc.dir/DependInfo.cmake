@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpc/context.cc" "src/tpc/CMakeFiles/vespera_tpc.dir/context.cc.o" "gcc" "src/tpc/CMakeFiles/vespera_tpc.dir/context.cc.o.d"
+  "/root/repo/src/tpc/dispatcher.cc" "src/tpc/CMakeFiles/vespera_tpc.dir/dispatcher.cc.o" "gcc" "src/tpc/CMakeFiles/vespera_tpc.dir/dispatcher.cc.o.d"
+  "/root/repo/src/tpc/pipeline.cc" "src/tpc/CMakeFiles/vespera_tpc.dir/pipeline.cc.o" "gcc" "src/tpc/CMakeFiles/vespera_tpc.dir/pipeline.cc.o.d"
+  "/root/repo/src/tpc/program.cc" "src/tpc/CMakeFiles/vespera_tpc.dir/program.cc.o" "gcc" "src/tpc/CMakeFiles/vespera_tpc.dir/program.cc.o.d"
+  "/root/repo/src/tpc/tensor.cc" "src/tpc/CMakeFiles/vespera_tpc.dir/tensor.cc.o" "gcc" "src/tpc/CMakeFiles/vespera_tpc.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vespera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vespera_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vespera_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vespera_tpc.dir/context.cc.o"
+  "CMakeFiles/vespera_tpc.dir/context.cc.o.d"
+  "CMakeFiles/vespera_tpc.dir/dispatcher.cc.o"
+  "CMakeFiles/vespera_tpc.dir/dispatcher.cc.o.d"
+  "CMakeFiles/vespera_tpc.dir/pipeline.cc.o"
+  "CMakeFiles/vespera_tpc.dir/pipeline.cc.o.d"
+  "CMakeFiles/vespera_tpc.dir/program.cc.o"
+  "CMakeFiles/vespera_tpc.dir/program.cc.o.d"
+  "CMakeFiles/vespera_tpc.dir/tensor.cc.o"
+  "CMakeFiles/vespera_tpc.dir/tensor.cc.o.d"
+  "libvespera_tpc.a"
+  "libvespera_tpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vespera_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuda.dir/cuda/test_simt.cc.o"
+  "CMakeFiles/test_cuda.dir/cuda/test_simt.cc.o.d"
+  "test_cuda"
+  "test_cuda.pdb"
+  "test_cuda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/test_compiler.cc.o"
+  "CMakeFiles/test_graph.dir/graph/test_compiler.cc.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_executor.cc.o"
+  "CMakeFiles/test_graph.dir/graph/test_executor.cc.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_graph.cc.o"
+  "CMakeFiles/test_graph.dir/graph/test_graph.cc.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_timeline.cc.o"
+  "CMakeFiles/test_graph.dir/graph/test_timeline.cc.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_validate.cc.o"
+  "CMakeFiles/test_graph.dir/graph/test_validate.cc.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

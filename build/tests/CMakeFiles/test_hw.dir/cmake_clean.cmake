@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_device_spec.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_device_spec.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_extensions.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_extensions.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_mme.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_mme.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_power.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_power.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_tensor_core.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_tensor_core.cc.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

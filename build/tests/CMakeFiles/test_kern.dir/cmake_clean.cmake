@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kern.dir/kern/test_embedding.cc.o"
+  "CMakeFiles/test_kern.dir/kern/test_embedding.cc.o.d"
+  "CMakeFiles/test_kern.dir/kern/test_gather_scatter.cc.o"
+  "CMakeFiles/test_kern.dir/kern/test_gather_scatter.cc.o.d"
+  "CMakeFiles/test_kern.dir/kern/test_gemm_vector_op.cc.o"
+  "CMakeFiles/test_kern.dir/kern/test_gemm_vector_op.cc.o.d"
+  "CMakeFiles/test_kern.dir/kern/test_layernorm.cc.o"
+  "CMakeFiles/test_kern.dir/kern/test_layernorm.cc.o.d"
+  "CMakeFiles/test_kern.dir/kern/test_paged_attention.cc.o"
+  "CMakeFiles/test_kern.dir/kern/test_paged_attention.cc.o.d"
+  "CMakeFiles/test_kern.dir/kern/test_softmax.cc.o"
+  "CMakeFiles/test_kern.dir/kern/test_softmax.cc.o.d"
+  "CMakeFiles/test_kern.dir/kern/test_stream.cc.o"
+  "CMakeFiles/test_kern.dir/kern/test_stream.cc.o.d"
+  "test_kern"
+  "test_kern.pdb"
+  "test_kern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/prop_collective.cc.o"
+  "CMakeFiles/test_property.dir/property/prop_collective.cc.o.d"
+  "CMakeFiles/test_property.dir/property/prop_fuzz.cc.o"
+  "CMakeFiles/test_property.dir/property/prop_fuzz.cc.o.d"
+  "CMakeFiles/test_property.dir/property/prop_gemm.cc.o"
+  "CMakeFiles/test_property.dir/property/prop_gemm.cc.o.d"
+  "CMakeFiles/test_property.dir/property/prop_hbm.cc.o"
+  "CMakeFiles/test_property.dir/property/prop_hbm.cc.o.d"
+  "CMakeFiles/test_property.dir/property/prop_models.cc.o"
+  "CMakeFiles/test_property.dir/property/prop_models.cc.o.d"
+  "CMakeFiles/test_property.dir/property/prop_pipeline.cc.o"
+  "CMakeFiles/test_property.dir/property/prop_pipeline.cc.o.d"
+  "CMakeFiles/test_property.dir/property/prop_serving.cc.o"
+  "CMakeFiles/test_property.dir/property/prop_serving.cc.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve.dir/serve/test_engine.cc.o"
+  "CMakeFiles/test_serve.dir/serve/test_engine.cc.o.d"
+  "CMakeFiles/test_serve.dir/serve/test_kv_cache.cc.o"
+  "CMakeFiles/test_serve.dir/serve/test_kv_cache.cc.o.d"
+  "CMakeFiles/test_serve.dir/serve/test_trace.cc.o"
+  "CMakeFiles/test_serve.dir/serve/test_trace.cc.o.d"
+  "CMakeFiles/test_serve.dir/serve/test_tracing.cc.o"
+  "CMakeFiles/test_serve.dir/serve/test_tracing.cc.o.d"
+  "test_serve"
+  "test_serve.pdb"
+  "test_serve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpc.dir/tpc/test_context.cc.o"
+  "CMakeFiles/test_tpc.dir/tpc/test_context.cc.o.d"
+  "CMakeFiles/test_tpc.dir/tpc/test_dispatcher.cc.o"
+  "CMakeFiles/test_tpc.dir/tpc/test_dispatcher.cc.o.d"
+  "CMakeFiles/test_tpc.dir/tpc/test_pipeline.cc.o"
+  "CMakeFiles/test_tpc.dir/tpc/test_pipeline.cc.o.d"
+  "CMakeFiles/test_tpc.dir/tpc/test_tensor.cc.o"
+  "CMakeFiles/test_tpc.dir/tpc/test_tensor.cc.o.d"
+  "test_tpc"
+  "test_tpc.pdb"
+  "test_tpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
