@@ -18,6 +18,8 @@
 #include "graph/executor.h"
 #include "models/dlrm.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 namespace {
@@ -72,8 +74,9 @@ report(const char *name, const std::function<graph::Graph()> &make)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_ablation_compiler");
     report("transformer MLP block (1024 tokens)",
            [] { return mlpBlock(1024); });
     report("transformer MLP block (64 tokens, decode-like)",
@@ -85,5 +88,5 @@ main()
     run.batch = 2048;
     report("DLRM RM1 dense stack (batch 2048)",
            [&] { return dlrm.buildDenseGraph(run); });
-    return 0;
+    return bench::finish(opts);
 }

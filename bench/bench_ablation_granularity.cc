@@ -13,11 +13,14 @@
 #include "common/table.h"
 #include "mem/hbm.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_ablation_granularity");
     printHeading("Ablation: Gaudi-2 gather utilization vs hypothetical "
                  "access granularity");
 
@@ -58,5 +61,5 @@ main()
         "hardware memory-path property, not a programming-model one.\n"
         "(The residual difference is DRAM activation overhead, which\n"
         "A100's deeper scheduling also amortizes better.)\n");
-    return 0;
+    return bench::finish(opts);
 }

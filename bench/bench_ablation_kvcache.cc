@@ -12,11 +12,14 @@
 #include "common/table.h"
 #include "serve/engine.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_ablation_kvcache");
     models::LlamaModel model(models::LlamaConfig::llama31_8b());
 
     serve::TraceConfig tc;
@@ -53,5 +56,5 @@ main()
     std::printf("\nContiguous reservation fragments the pool into "
                 "max-length slabs,\ncapping the decode batch; paging "
                 "recovers the batch size and throughput.\n");
-    return 0;
+    return bench::finish(opts);
 }

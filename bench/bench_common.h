@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Shared telemetry harness for every `bench_*` binary.
+ *
+ * Gives all benches three uniform flags with zero per-bench logic:
+ *
+ *   --trace=<path>     write a Perfetto/Chrome trace (spans + counter
+ *                      tracks) of everything the run recorded
+ *   --metrics=<path>   write a `vespera-metrics/v1` JSON document
+ *                      (device counters, rate meters, optional
+ *                      google-benchmark timings)
+ *   --quiet            suppress normal stdout (telemetry still written)
+ *
+ * Usage pattern (see any bench_*.cc):
+ *
+ *   int main(int argc, char **argv) {
+ *       auto opts = bench::parseArgs(argc, argv, "bench_fig8_stream");
+ *       ... existing bench body ...
+ *       return bench::finish(opts);
+ *   }
+ *
+ * parseArgs strips the flags it owns from argv, so harnesses with
+ * their own flag parsing (google-benchmark) can consume the rest.
+ */
+
+#ifndef VESPERA_BENCH_COMMON_H
+#define VESPERA_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/io.h"
+#include "obs/export.h"
+
+namespace vespera::bench {
+
+/** Parsed harness options. */
+struct Options
+{
+    std::string name;        ///< Bench binary name (metrics `tool`).
+    std::string tracePath;   ///< Empty = no trace export.
+    std::string metricsPath; ///< Empty = no metrics export.
+    bool quiet = false;
+    /** Extra google-benchmark results merged into the metrics doc. */
+    obs::MetricsMeta meta;
+};
+
+/**
+ * Parse and strip the harness flags from argv. Enables the process
+ * profiler when a trace was requested; redirects stdout to /dev/null
+ * under --quiet so benches need no conditional printing.
+ */
+inline Options
+parseArgs(int &argc, char **argv, const char *bench_name)
+{
+    Options opts;
+    opts.name = bench_name;
+    opts.meta.tool = bench_name;
+
+    int kept = 1;
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--trace=", 8) == 0) {
+            opts.tracePath = arg + 8;
+        } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+            opts.metricsPath = arg + 10;
+        } else if (std::strcmp(arg, "--quiet") == 0) {
+            opts.quiet = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::printf(
+                "%s — vespera benchmark\n"
+                "  --trace=<path>    write Perfetto/Chrome trace JSON\n"
+                "  --metrics=<path>  write vespera-metrics/v1 JSON\n"
+                "  --quiet           suppress normal stdout\n",
+                bench_name);
+            std::exit(0);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+
+    if (!opts.tracePath.empty())
+        obs::Profiler::instance().setEnabled(true);
+    if (opts.quiet) {
+        // Telemetry files are the only output anyone asked for.
+        if (!std::freopen("/dev/null", "w", stdout))
+            std::fprintf(stderr, "--quiet: cannot silence stdout\n");
+    }
+    return opts;
+}
+
+/**
+ * End-of-run hook: write the requested telemetry, print the counter
+ * summary. Returns the bench's exit code (nonzero on export failure).
+ */
+inline int
+finish(const Options &opts)
+{
+    int rc = 0;
+    auto &registry = obs::CounterRegistry::instance();
+
+    if (!opts.quiet)
+        obs::printCounterSummary(registry);
+
+    if (!opts.metricsPath.empty()) {
+        const std::string doc = obs::metricsJson(registry, opts.meta);
+        if (writeFile(opts.metricsPath, doc)) {
+            std::fprintf(stderr, "wrote metrics to %s\n",
+                         opts.metricsPath.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write metrics to %s\n",
+                         opts.metricsPath.c_str());
+            rc = 1;
+        }
+    }
+
+    if (!opts.tracePath.empty()) {
+        obs::Profiler &profiler = obs::Profiler::instance();
+        const std::string trace = obs::chromeTraceJson(profiler);
+        if (writeFile(opts.tracePath, trace)) {
+            std::fprintf(stderr,
+                         "wrote trace to %s (open at ui.perfetto.dev)\n",
+                         opts.tracePath.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         opts.tracePath.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
+}
+
+} // namespace vespera::bench
+
+#endif // VESPERA_BENCH_COMMON_H

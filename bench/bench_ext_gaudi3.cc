@@ -18,11 +18,14 @@
 #include "hw/tensor_core.h"
 #include "mem/hbm.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_ext_gaudi3");
     const auto &g3 = hw::gaudi3Spec();
     hw::MmeModel mme3(g3);
     hw::MmeModel mme2;
@@ -80,5 +83,5 @@ main()
     s.addRow({"TDP", Table::num(g2s.tdp / as.tdp, 2),
               Table::num(g3.tdp / as.tdp, 2)});
     s.print();
-    return 0;
+    return bench::finish(opts);
 }

@@ -18,11 +18,14 @@
 #include "common/table.h"
 #include "models/dlrm.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_ext_multidevice_recsys");
     models::DlrmConfig cfg = models::DlrmConfig::rm2();
     cfg.rowsPerTable = 1 << 13;
     models::DlrmModel model(cfg);
@@ -63,5 +66,5 @@ main()
         "only catches up\nas more devices (and thus more links) "
         "participate — the same effect\nas Figure 10, now at the "
         "application level.\n");
-    return 0;
+    return bench::finish(opts);
 }

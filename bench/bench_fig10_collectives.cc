@@ -17,13 +17,16 @@
 #include "common/units.h"
 #include "coll/collective.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 using coll::CollectiveModel;
 using coll::CollectiveOp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig10_collectives");
     auto hccl = CollectiveModel::hcclOnGaudi2();
     auto nccl = CollectiveModel::ncclOnDgxA100();
 
@@ -79,5 +82,5 @@ main()
     s.print();
     std::printf("\nGaudi-2 wins %d of 6 collectives at 8 devices.\n",
                 wins);
-    return 0;
+    return bench::finish(opts);
 }

@@ -19,6 +19,8 @@
 #include "common/units.h"
 #include "models/dlrm.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 namespace {
@@ -72,9 +74,10 @@ sweep(const models::DlrmConfig &base)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig11_recsys");
     sweep(models::DlrmConfig::rm1());
     sweep(models::DlrmConfig::rm2());
-    return 0;
+    return bench::finish(opts);
 }

@@ -18,6 +18,8 @@
 #include "common/units.h"
 #include "models/llama.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 namespace {
@@ -92,8 +94,9 @@ latencyBreakdown()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig12_llm_serving");
     const double s8 =
         speedupHeatmap(models::LlamaConfig::llama31_8b(), 1);
     double s70[3];
@@ -109,5 +112,5 @@ main()
     std::printf("70B TP=2/4/8 avg: %.2f / %.2f / %.2fx "
                 "(paper 1.29 / 1.32 / 1.35x)\n",
                 s70[0], s70[1], s70[2]);
-    return 0;
+    return bench::finish(opts);
 }

@@ -17,6 +17,8 @@
 #include "common/units.h"
 #include "models/llama.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 namespace {
@@ -56,8 +58,9 @@ energyHeatmap(const models::LlamaConfig &cfg, int tp)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig13_llm_energy");
     auto [e8, p8] = energyHeatmap(models::LlamaConfig::llama31_8b(), 1);
     double e70[3], p70[3];
     int i = 0;
@@ -77,5 +80,5 @@ main()
     std::printf("Power ratio: 8B %.2fx (paper ~1.01x); multi-device "
                 "%.2f / %.2f / %.2fx (paper ~0.88x)\n",
                 p8, p70[0], p70[1], p70[2]);
-    return 0;
+    return bench::finish(opts);
 }

@@ -23,6 +23,8 @@
 #include "common/units.h"
 #include "kern/embedding.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 using kern::EmbeddingConfig;
 using kern::EmbeddingLayerGaudi;
@@ -141,10 +143,11 @@ peakUtilization()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig15_embedding");
     tableSweep();
     vectorBatchSweep();
     peakUtilization();
-    return 0;
+    return bench::finish(opts);
 }

@@ -24,6 +24,8 @@
 #include "kern/paged_attention.h"
 #include "serve/engine.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 using kern::PagedAttentionConfig;
 using kern::PagedAttentionImpl;
@@ -159,11 +161,12 @@ endToEnd()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig17_vllm");
     optVsBase();
     paddingSweep();
     vsA100();
     endToEnd();
-    return 0;
+    return bench::finish(opts);
 }

@@ -17,11 +17,14 @@
 #include "common/units.h"
 #include "kern/gemm.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig4_roofline");
     printHeading("Figure 4: GEMM roofline (BF16)");
     std::printf("Square GEMMs (M=K=N) and irregular GEMMs (N=16).\n\n");
 
@@ -53,5 +56,5 @@ main()
              a.memoryBound() ? "memory" : "compute"});
     }
     table.print();
-    return 0;
+    return bench::finish(opts);
 }

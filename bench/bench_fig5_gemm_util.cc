@@ -17,11 +17,14 @@
 #include "common/units.h"
 #include "kern/gemm.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig5_gemm_util");
     const std::vector<std::int64_t> sizes = {512, 1024, 2048, 4096,
                                              8192, 16384};
 
@@ -69,5 +72,5 @@ main()
         }
     }
     irr.print();
-    return 0;
+    return bench::finish(opts);
 }

@@ -18,11 +18,14 @@
 #include "common/units.h"
 #include "hw/mme.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig7_mme_config");
     hw::MmeModel mme;
     const std::vector<std::int64_t> dims = {128, 256, 512, 1024, 4096,
                                             16384};
@@ -61,5 +64,5 @@ main()
     std::printf("\nMax improvement from configurability: %+.1f pp "
                 "(paper: up to ~15%%)\n",
                 best_gain * 100);
-    return 0;
+    return bench::finish(opts);
 }

@@ -22,6 +22,8 @@
 #include "common/units.h"
 #include "kern/stream.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 using kern::StreamConfig;
 using kern::StreamOp;
@@ -137,13 +139,14 @@ intensitySweep(StreamOp op, const char *panel)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig8_stream");
     granularitySweep();
     unrollSweep();
     weakScaling();
     intensitySweep(StreamOp::Add, "d");
     intensitySweep(StreamOp::Scale, "e");
     intensitySweep(StreamOp::Triad, "f");
-    return 0;
+    return bench::finish(opts);
 }

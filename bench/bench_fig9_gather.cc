@@ -22,6 +22,8 @@
 #include "common/units.h"
 #include "kern/gather_scatter.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 namespace {
@@ -73,9 +75,10 @@ sweep(bool scatter)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_fig9_gather");
     sweep(false);
     sweep(true);
-    return 0;
+    return bench::finish(opts);
 }

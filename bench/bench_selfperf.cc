@@ -14,6 +14,8 @@
 #include "models/llama.h"
 #include "tpc/dispatcher.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 namespace {
@@ -81,6 +83,43 @@ BM_LlamaDecodeStepCost(benchmark::State &state)
 }
 BENCHMARK(BM_LlamaDecodeStepCost);
 
+/**
+ * Console reporter that also captures each run's real time, so the
+ * harness can emit them in the `benchmarks` section of the metrics
+ * document — the BENCH_*.json perf trajectory future PRs diff against.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CapturingReporter(obs::MetricsMeta &meta) : meta_(meta) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            meta_.benchmarks[run.benchmark_name()] =
+                run.GetAdjustedRealTime();
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    obs::MetricsMeta &meta_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseArgs(argc, argv, "bench_selfperf");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter(opts.meta);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return bench::finish(opts);
+}

@@ -9,11 +9,14 @@
 #include "common/table.h"
 #include "hw/device_spec.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_table1_specs");
     const auto &g = hw::gaudi2Spec();
     const auto &a = hw::a100Spec();
 
@@ -60,5 +63,5 @@ main()
               ratio(static_cast<double>(g.minAccessGranularity),
                     static_cast<double>(a.minAccessGranularity))});
     t.print();
-    return 0;
+    return bench::finish(opts);
 }

@@ -17,11 +17,14 @@
 #include "kern/gemm.h"
 #include "kern/stream.h"
 
+#include "bench_common.h"
+
 using namespace vespera;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opts = bench::parseArgs(argc, argv, "bench_table2_microbench");
     printHeading("Table 2: evaluated microbenchmarks");
     Table t({"Microbenchmark", "System", "Implementation",
              "Smoke result"});
@@ -81,5 +84,5 @@ main()
     }
 
     t.print();
-    return 0;
+    return bench::finish(opts);
 }

@@ -1,18 +1,25 @@
 /**
  * @file
- * Profiler scenario: dump the op-level timeline of Llama forward steps
- * — the view the Intel Gaudi Profiler gave the paper's authors when
- * reverse-engineering the graph compiler (Section 3.2) — plus a
- * Chrome-trace JSON of a short serving run.
+ * Profiler scenario: the counter-annotated Perfetto view the paper's
+ * authors reasoned from (Section 3.2). One run produces a single trace
+ * containing
+ *   - op-level spans of a Llama decode step (MME/TPC/comm lanes),
+ *   - engine iteration spans of a short serving run,
+ *   - counter tracks: MME utilization, achieved HBM bandwidth, KV
+ *     blocks in use, decode batch size, and TPC stall cycles,
+ *   - host-side ScopedSpan timings of the simulator itself,
+ * plus a vespera-metrics/v1 JSON document of all device counters.
  *
  * Run: ./build/examples/profile_step
- * Then open /tmp/vespera_step.json or /tmp/vespera_serving.json at
- * ui.perfetto.dev.
+ * Then open /tmp/vespera_profile.json at ui.perfetto.dev.
  */
 
 #include <cstdio>
 
+#include "common/io.h"
 #include "common/table.h"
+#include "kern/stream.h"
+#include "obs/export.h"
 #include "serve/tracing.h"
 
 using namespace vespera;
@@ -56,20 +63,28 @@ printTimeline(const char *title, const graph::ExecutionReport &rep)
 int
 main()
 {
+    obs::Profiler &profiler = obs::Profiler::instance();
+    profiler.setEnabled(true);
+
     models::LlamaModel model(models::LlamaConfig::llama31_8b());
     models::LlamaServingConfig cfg;
     cfg.tpDevices = 2;
 
     // One decoder layer + LM head, decode step, batch 32, ctx 2048.
-    auto rep = model.stepReport(DeviceKind::Gaudi2, 32, 1, 2048, false,
-                                cfg);
+    // The executor samples mme.utilization and hbm.bandwidth_gbps
+    // counter tracks while it places the op spans.
+    graph::ExecutionReport rep;
+    {
+        obs::ScopedSpan span("llama.stepReport");
+        rep = model.stepReport(DeviceKind::Gaudi2, 32, 1, 2048, false,
+                               cfg);
+    }
     printTimeline("Llama-8B decode step (batch 32, ctx 2048, TP=2)",
                   rep);
-    serve::writeFile("/tmp/vespera_step.json",
-                     serve::timelineToChromeTrace(rep.timeline));
-    std::printf("Wrote /tmp/vespera_step.json\n");
+    serve::recordTimeline(profiler, rep.timeline);
 
-    // A short serving run with per-iteration events.
+    // A short serving run: engine iteration spans plus the
+    // kv.blocks_in_use and engine.decode_batch counter tracks.
     serve::EngineConfig ecfg;
     ecfg.device = DeviceKind::Gaudi2;
     ecfg.maxDecodeBatch = 8;
@@ -80,13 +95,48 @@ main()
     serve::TraceConfig tc;
     tc.numRequests = 12;
     tc.maxOutputLen = 64;
-    auto metrics = engine.run(serve::makeDynamicTrace(tc, rng));
+    serve::ServingMetrics metrics;
+    {
+        obs::ScopedSpan span("engine.run");
+        metrics = engine.run(serve::makeDynamicTrace(tc, rng));
+    }
     std::printf("\nServing run: %zu engine iterations, %.0f tok/s, "
                 "mean TTFT %.2f s\n",
                 engine.events().size(),
                 metrics.throughputTokensPerSec, metrics.meanTtft);
-    serve::writeFile("/tmp/vespera_serving.json",
-                     serve::engineEventsToChromeTrace(engine.events()));
-    std::printf("Wrote /tmp/vespera_serving.json\n");
+    serve::recordEngineEvents(profiler, engine.events());
+
+    // A STREAM TRIAD kernel on one simulated TPC: the VLIW pipeline
+    // samples its cumulative tpc.stall_cycles counter track.
+    {
+        obs::ScopedSpan span("tpc.stream_triad");
+        kern::StreamConfig sc;
+        sc.op = kern::StreamOp::Triad;
+        sc.numElements = 1u << 16;
+        sc.numTpcs = 1;
+        (void)kern::runStreamGaudi(sc);
+    }
+
+    profiler.setEnabled(false);
+
+    const char *trace_path = "/tmp/vespera_profile.json";
+    if (!writeFile(trace_path, obs::chromeTraceJson(profiler)))
+        std::fprintf(stderr, "cannot write %s\n", trace_path);
+    std::printf("\nCounter tracks recorded:");
+    for (const std::string &track : profiler.sampledTracks())
+        std::printf(" %s", track.c_str());
+    std::printf("\nWrote %s (open at ui.perfetto.dev)\n", trace_path);
+
+    const char *metrics_path = "/tmp/vespera_metrics.json";
+    obs::MetricsMeta meta;
+    meta.tool = "profile_step";
+    if (!writeFile(metrics_path,
+                   obs::metricsJson(obs::CounterRegistry::instance(),
+                                    meta))) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path);
+    }
+    std::printf("Wrote %s\n", metrics_path);
+
+    obs::printCounterSummary(obs::CounterRegistry::instance());
     return 0;
 }

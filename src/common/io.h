@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Small file I/O helpers shared by exporters, benches, and tests.
+ * (Moved out of serve/tracing.h so trace and metrics writers share one
+ * code path.)
+ */
+
+#ifndef VESPERA_COMMON_IO_H
+#define VESPERA_COMMON_IO_H
+
+#include <string>
+
+namespace vespera {
+
+/** Write a string to a file; returns false on I/O failure. */
+bool writeFile(const std::string &path, const std::string &content);
+
+/**
+ * Read a whole file into `out`; returns false if the file cannot be
+ * opened or read.
+ */
+bool readFile(const std::string &path, std::string &out);
+
+} // namespace vespera
+
+#endif // VESPERA_COMMON_IO_H

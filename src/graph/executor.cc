@@ -6,8 +6,28 @@
 #include "common/logging.h"
 #include "kern/gemm.h"
 #include "kern/vector_op.h"
+#include "obs/counters.h"
+#include "obs/profiler.h"
 
 namespace vespera::graph {
+
+namespace {
+
+const char *
+opKindSlug(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Input: return "input";
+      case OpKind::MatMul: return "matmul";
+      case OpKind::Elementwise: return "elementwise";
+      case OpKind::Normalization: return "normalization";
+      case OpKind::AllReduce: return "allreduce";
+      case OpKind::Custom: return "custom";
+    }
+    return "unknown";
+}
+
+} // namespace
 
 hw::ActivityProfile
 ExecutionReport::activity(const hw::DeviceSpec &spec) const
@@ -126,11 +146,24 @@ Executor::run(const Graph &graph) const
 
     double util_weight = 0, util_sum = 0, mac_sum = 0;
 
+    auto &registry = obs::CounterRegistry::instance();
+    obs::Profiler &profiler = obs::Profiler::instance();
+    const bool sampling = profiler.enabled();
+
     for (const Node &node : graph.nodes()) {
         if (node.fusedAway)
             continue;
         OpCost c = costNode(node);
         report.perNode[static_cast<std::size_t>(node.id)] = c;
+
+        // Per-OpKind execution-time breakdown (the per-op view the
+        // Gaudi profiler timeline aggregates to).
+        if (node.kind != OpKind::Input) {
+            registry
+                .counter(std::string("graph.time.") + opKindSlug(node.kind))
+                .add(c.time);
+            registry.counter("graph.ops").add();
+        }
 
         Seconds contribution = c.time;
         if (node.pipelinedWithProducer) {
@@ -160,6 +193,25 @@ Executor::run(const Graph &graph) const
         entry.kind = node.kind;
         entry.start = report.time - (c.time - contribution);
         entry.duration = c.time;
+
+        // Counter tracks alongside the spans: per-op MME utilization
+        // and achieved HBM bandwidth, sampled at the op boundaries so
+        // the Perfetto counter plot steps with the timeline.
+        if (sampling && c.time > 0) {
+            if (node.kind == OpKind::MatMul) {
+                profiler.sample("mme.utilization", entry.start,
+                                c.matrixUtil * 100.0);
+                profiler.sample("mme.utilization",
+                                entry.start + entry.duration, 0.0);
+            }
+            if (c.hbmBytes > 0) {
+                profiler.sample("hbm.bandwidth_gbps", entry.start,
+                                static_cast<double>(c.hbmBytes) /
+                                    c.time / 1e9);
+                profiler.sample("hbm.bandwidth_gbps",
+                                entry.start + entry.duration, 0.0);
+            }
+        }
         report.timeline.push_back(std::move(entry));
 
         report.time += contribution;

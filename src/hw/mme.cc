@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/counters.h"
 
 namespace vespera::hw {
 
@@ -132,7 +133,22 @@ MmeModel::selectGeometry(const GemmShape &shape, DataType dt) const
 GemmCost
 MmeModel::gemm(const GemmShape &shape, DataType dt) const
 {
-    return gemmWithGeometry(shape, dt, selectGeometry(shape, dt));
+    GemmCost cost = gemmWithGeometry(shape, dt, selectGeometry(shape, dt));
+
+    auto &registry = obs::CounterRegistry::instance();
+    static obs::Counter &gemms = registry.counter("mme.gemms");
+    static obs::Counter &flops = registry.counter("mme.flops");
+    static obs::Counter &busy = registry.counter("mme.busy_seconds");
+    static obs::Counter &reconfigs = registry.counter("mme.reconfigs");
+    gemms.add();
+    flops.add(shape.flops());
+    busy.add(cost.time);
+    if (cost.geometry != lastGeometry_) {
+        if (!lastGeometry_.empty())
+            reconfigs.add();
+        lastGeometry_ = cost.geometry;
+    }
+    return cost;
 }
 
 } // namespace vespera::hw

@@ -79,6 +79,10 @@ class MmeModel
     const DeviceSpec &spec_;
     int mmeCount_;
     std::vector<MmeGeometry> geometries_;
+    /// Last geometry chosen by gemm(), for counting reconfiguration
+    /// events (`mme.reconfigs`) the way the Gaudi profiler surfaces
+    /// them. Telemetry only — never read by the cost math.
+    mutable std::string lastGeometry_;
 
     /// Extra cycles charged per output tile (tile-switch bubbles).
     static constexpr double tileOverheadCycles_ = 24;

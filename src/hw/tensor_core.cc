@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/counters.h"
 
 namespace vespera::hw {
 
@@ -76,6 +77,14 @@ TensorCoreModel::gemm(const GemmShape &shape, DataType dt) const
             first = false;
         }
     }
+
+    auto &registry = obs::CounterRegistry::instance();
+    static obs::Counter &gemms = registry.counter("tc.gemms");
+    static obs::Counter &flops = registry.counter("tc.flops");
+    static obs::Counter &busy = registry.counter("tc.busy_seconds");
+    gemms.add();
+    flops.add(shape.flops());
+    busy.add(best.time);
     return best;
 }
 

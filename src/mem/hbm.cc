@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/counters.h"
 
 namespace vespera::mem {
 
@@ -52,7 +53,14 @@ HbmModel::streamBandwidth() const
 Seconds
 HbmModel::streamTime(Bytes bytes) const
 {
-    return static_cast<double>(bytes) / streamBandwidth();
+    const Seconds t = static_cast<double>(bytes) / streamBandwidth();
+
+    auto &registry = obs::CounterRegistry::instance();
+    static obs::Counter &streamed = registry.counter("hbm.stream_bytes");
+    static obs::RateMeter &rate = registry.rate("hbm.stream_bytes_per_sec");
+    streamed.add(static_cast<double>(bytes));
+    rate.add(static_cast<double>(bytes), t);
+    return t;
 }
 
 Bytes
@@ -116,6 +124,16 @@ HbmModel::randomAccess(const RandomAccessWorkload &w) const
     r.transactionBytes = txn * w.numAccesses;
     r.bandwidthUtilization = static_cast<double>(r.usefulBytes) /
                              (r.time * spec_.hbmBandwidth);
+
+    auto &registry = obs::CounterRegistry::instance();
+    static obs::Counter &useful = registry.counter("hbm.random_bytes");
+    static obs::Counter &bus = registry.counter("hbm.random_bus_bytes");
+    static obs::Counter &txns = registry.counter("hbm.random_txns");
+    static obs::RateMeter &rate = registry.rate("hbm.random_bytes_per_sec");
+    useful.add(static_cast<double>(r.usefulBytes));
+    bus.add(static_cast<double>(r.transactionBytes));
+    txns.add(static_cast<double>(w.numAccesses));
+    rate.add(static_cast<double>(r.usefulBytes), r.time);
     return r;
 }
 

@@ -1,0 +1,180 @@
+#include "obs/export.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace vespera::obs {
+
+namespace {
+
+/** JSON string-escape for event names (quotes/backslashes/control). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+const char *
+groupName(TrackGroup g)
+{
+    return g == TrackGroup::Device ? "Device (simulated time)"
+                                   : "Host (simulator wall time)";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const Profiler &profiler)
+{
+    const auto spans = profiler.spans();
+    const auto samples = profiler.samples();
+    const auto names = profiler.trackNames();
+
+    std::vector<std::string> events;
+    events.reserve(spans.size() + samples.size() + names.size() + 2);
+
+    // Process-name metadata for each track group in use.
+    bool groupUsed[2] = {false, false};
+    for (const SpanEvent &s : spans)
+        groupUsed[s.group == TrackGroup::Host] = true;
+    if (!samples.empty())
+        groupUsed[0] = true; // Counter samples live in simulated time.
+    for (int g = 0; g < 2; g++) {
+        if (!groupUsed[g])
+            continue;
+        const TrackGroup group =
+            g == 0 ? TrackGroup::Device : TrackGroup::Host;
+        events.push_back(strfmt(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
+            "\"args\": {\"name\": \"%s\"}}",
+            static_cast<int>(group), groupName(group)));
+    }
+    for (const auto &[key, label] : names) {
+        events.push_back(strfmt(
+            "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, "
+            "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+            key.first, key.second, escape(label).c_str()));
+    }
+
+    for (const SpanEvent &s : spans) {
+        events.push_back(strfmt(
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %d, \"tid\": %d}",
+            escape(s.name).c_str(), escape(s.category).c_str(),
+            s.start * 1e6, s.duration * 1e6,
+            static_cast<int>(s.group), s.track));
+    }
+
+    // Counter tracks: one "C" event per sample; Perfetto groups them
+    // by name into per-counter tracks under the Device process.
+    for (const TrackSample &c : samples) {
+        events.push_back(strfmt(
+            "{\"name\": \"%s\", \"ph\": \"C\", \"ts\": %.3f, "
+            "\"pid\": %d, \"args\": {\"value\": %.6g}}",
+            escape(c.track).c_str(), c.t * 1e6,
+            static_cast<int>(TrackGroup::Device), c.value));
+    }
+
+    std::string out = "{\n  \"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events.size(); i++) {
+        out += "    " + events[i];
+        out += i + 1 == events.size() ? "\n" : ",\n";
+    }
+    out += "  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+    return out;
+}
+
+std::string
+metricsJson(const CounterRegistry &registry, const MetricsMeta &meta)
+{
+    std::map<std::string, json::Value> root;
+    root["schema"] = json::Value::makeString(metricsSchema);
+    if (!meta.tool.empty())
+        root["tool"] = json::Value::makeString(meta.tool);
+
+    std::map<std::string, json::Value> counters;
+    for (const CounterSnapshot &c : registry.snapshot()) {
+        std::map<std::string, json::Value> entry;
+        entry["value"] = json::Value::makeNumber(c.value);
+        entry["peak"] = json::Value::makeNumber(c.peak);
+        entry["updates"] =
+            json::Value::makeNumber(static_cast<double>(c.updates));
+        counters[c.name] = json::Value::makeObject(std::move(entry));
+    }
+    root["counters"] = json::Value::makeObject(std::move(counters));
+
+    std::map<std::string, json::Value> rates;
+    for (const RateMeter *r : registry.rates()) {
+        std::map<std::string, json::Value> entry;
+        entry["total"] = json::Value::makeNumber(r->total());
+        entry["seconds"] = json::Value::makeNumber(r->elapsed());
+        entry["rate"] = json::Value::makeNumber(r->rate());
+        rates[r->name()] = json::Value::makeObject(std::move(entry));
+    }
+    root["rates"] = json::Value::makeObject(std::move(rates));
+
+    if (!meta.benchmarks.empty()) {
+        std::map<std::string, json::Value> bm;
+        for (const auto &[name, ns] : meta.benchmarks)
+            bm[name] = json::Value::makeNumber(ns);
+        root["benchmarks"] = json::Value::makeObject(std::move(bm));
+    }
+
+    return json::serialize(json::Value::makeObject(std::move(root))) +
+           "\n";
+}
+
+void
+printCounterSummary(const CounterRegistry &registry, std::FILE *out)
+{
+    const auto counters = registry.snapshot();
+    const auto rates = registry.rates();
+
+    bool any = false;
+    for (const CounterSnapshot &c : counters)
+        any = any || c.updates > 0;
+    any = any || !rates.empty();
+    if (!any)
+        return;
+
+    printHeading("Device counters", out);
+    Table t({"Counter", "Value", "Peak", "Updates"});
+    for (const CounterSnapshot &c : counters) {
+        if (c.updates == 0)
+            continue;
+        t.addRow({c.name, Table::num(c.value, 3), Table::num(c.peak, 3),
+                  Table::integer(static_cast<long long>(c.updates))});
+    }
+    if (t.rowCount() > 0)
+        t.print(out);
+
+    if (!rates.empty()) {
+        Table rt({"Rate meter", "Total", "Seconds", "Rate/s"});
+        for (const RateMeter *r : rates) {
+            rt.addRow({r->name(), Table::num(r->total(), 3),
+                       Table::num(r->elapsed(), 6),
+                       Table::num(r->rate(), 3)});
+        }
+        rt.print(out);
+    }
+}
+
+} // namespace vespera::obs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Telemetry exporters: the three ways a run's observability data
+ * leaves the process.
+ *
+ *  1. chromeTraceJson — Chrome/Perfetto trace with spans *and* counter
+ *     tracks interleaved (open at ui.perfetto.dev), the view the paper
+ *     reasoned from when reverse-engineering the Gaudi graph compiler.
+ *  2. metricsJson — schema-versioned machine-readable document
+ *     (`vespera-metrics/v1`) for BENCH_*.json-style trajectory
+ *     tracking across commits.
+ *  3. printCounterSummary — human-readable end-of-run table.
+ */
+
+#ifndef VESPERA_OBS_EXPORT_H
+#define VESPERA_OBS_EXPORT_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "obs/counters.h"
+#include "obs/profiler.h"
+
+namespace vespera::obs {
+
+/** Schema identifier stamped into every metrics document. */
+inline constexpr const char *metricsSchema = "vespera-metrics/v1";
+
+/**
+ * Chrome-trace JSON of everything the profiler recorded: spans as
+ * "X" events, counter samples as "C" (counter-track) events, and
+ * process/thread-name metadata for the Device and Host track groups.
+ */
+std::string chromeTraceJson(const Profiler &profiler);
+
+/** Tool-specific fields accompanying a metrics export. */
+struct MetricsMeta
+{
+    /** Producing binary ("bench_fig8_stream", "profile_step", ...). */
+    std::string tool;
+    /** Optional google-benchmark results: name -> real time (ns). */
+    std::map<std::string, double> benchmarks;
+};
+
+/**
+ * The `vespera-metrics/v1` document: schema/tool identification, every
+ * registered counter (value, peak, update count), every rate meter
+ * (total, elapsed, rate), and optional benchmark timings.
+ */
+std::string metricsJson(const CounterRegistry &registry,
+                        const MetricsMeta &meta);
+
+/**
+ * Print the nonzero counters and all rate meters as an aligned table.
+ * No-op when nothing was recorded.
+ */
+void printCounterSummary(const CounterRegistry &registry,
+                         std::FILE *out = stdout);
+
+} // namespace vespera::obs
+
+#endif // VESPERA_OBS_EXPORT_H

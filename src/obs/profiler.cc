@@ -1,0 +1,157 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+
+namespace vespera::obs {
+
+namespace {
+
+thread_local int tlsDepth = 0;
+
+/** Host-time origin: first ScopedSpan ever constructed. */
+std::chrono::steady_clock::time_point
+hostEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+/** Small dense per-thread lane id for host spans. */
+int
+hostTrackId()
+{
+    static std::atomic<int> next{1};
+    thread_local int id = next.fetch_add(1);
+    return id;
+}
+
+} // namespace
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::recordSpan(SpanEvent span)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(std::move(span));
+}
+
+void
+Profiler::recordSpan(const std::string &name,
+                     const std::string &category, int track,
+                     Seconds start, Seconds duration)
+{
+    SpanEvent e;
+    e.name = name;
+    e.category = category;
+    e.group = TrackGroup::Device;
+    e.track = track;
+    e.start = start;
+    e.duration = duration;
+    recordSpan(std::move(e));
+}
+
+void
+Profiler::sample(const std::string &track, Seconds t, double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back({track, t, value});
+}
+
+void
+Profiler::nameTrack(TrackGroup group, int track, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto key = std::make_pair(static_cast<int>(group), track);
+    for (auto &entry : trackNames_) {
+        if (entry.first == key) {
+            entry.second = name;
+            return;
+        }
+    }
+    trackNames_.emplace_back(key, name);
+}
+
+std::vector<SpanEvent>
+Profiler::spans() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+std::vector<TrackSample>
+Profiler::samples() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+}
+
+std::vector<std::pair<std::pair<int, int>, std::string>>
+Profiler::trackNames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return trackNames_;
+}
+
+std::vector<std::string>
+Profiler::sampledTracks() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> tracks;
+    for (const TrackSample &s : samples_) {
+        if (std::find(tracks.begin(), tracks.end(), s.track) ==
+            tracks.end()) {
+            tracks.push_back(s.track);
+        }
+    }
+    std::sort(tracks.begin(), tracks.end());
+    return tracks;
+}
+
+void
+Profiler::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+    samples_.clear();
+    trackNames_.clear();
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category)
+    : name_(std::move(name)), category_(std::move(category))
+{
+    active_ = Profiler::instance().enabled();
+    depth_ = tlsDepth++;
+    if (active_)
+        begin_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    tlsDepth--;
+    if (!active_)
+        return;
+    const auto end = std::chrono::steady_clock::now();
+    SpanEvent e;
+    e.name = std::move(name_);
+    e.category = std::move(category_);
+    e.group = TrackGroup::Host;
+    e.track = hostTrackId();
+    e.depth = depth_;
+    e.start = std::chrono::duration<double>(begin_ - hostEpoch()).count();
+    e.duration = std::chrono::duration<double>(end - begin_).count();
+    Profiler::instance().recordSpan(std::move(e));
+}
+
+int
+ScopedSpan::currentDepth()
+{
+    return tlsDepth;
+}
+
+} // namespace vespera::obs

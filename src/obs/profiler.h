@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Trace recorder: timed spans plus time-series counter samples, the
+ * two event kinds the Intel Gaudi Profiler / Nsight views interleave.
+ *
+ * Two clocks coexist:
+ *  - device spans/samples carry *simulated* time (the `Seconds` the
+ *    engine models compute) and land on the Device track group;
+ *  - ScopedSpan RAII timers measure *host* wall time of the simulator
+ *    itself and land on the Host track group.
+ * The Chrome/Perfetto exporter (obs/export.h) renders both, so one
+ * trace shows what the modeled hardware did and what it cost us to
+ * model it.
+ *
+ * The process-wide instance is disabled by default: models check
+ * `enabled()` (one relaxed atomic load) before recording, so the
+ * tracing hooks cost nothing when no one asked for a trace.
+ */
+
+#ifndef VESPERA_OBS_PROFILER_H
+#define VESPERA_OBS_PROFILER_H
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vespera::obs {
+
+/** Track groups ("processes" in the Chrome trace model). */
+enum class TrackGroup : int {
+    Device = 1, ///< Simulated-hardware timeline (simulated seconds).
+    Host = 2,   ///< Simulator wall-clock timeline (ScopedSpan).
+};
+
+/** One completed span. */
+struct SpanEvent
+{
+    std::string name;
+    std::string category;
+    TrackGroup group = TrackGroup::Device;
+    int track = 1;     ///< Lane within the group ("tid").
+    int depth = 0;     ///< Nesting depth at record time (host spans).
+    Seconds start = 0;
+    Seconds duration = 0;
+};
+
+/** One counter-track sample: `track` had `value` at time `t`. */
+struct TrackSample
+{
+    std::string track;
+    Seconds t = 0;
+    double value = 0;
+};
+
+/**
+ * Span + sample buffer. `instance()` is the process-wide recorder the
+ * engine models feed; exporters also accept locally built Profilers so
+ * trace conversion (serve/tracing.h) shares the same code path without
+ * touching global state.
+ */
+class Profiler
+{
+  public:
+    static Profiler &instance();
+
+    Profiler() = default;
+    Profiler(const Profiler &) = delete;
+    Profiler &operator=(const Profiler &) = delete;
+
+    /** Gate for the recording hooks in model hot paths. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void setEnabled(bool on) { enabled_.store(on); }
+
+    /** Record a completed span (simulated or host time; see `group`). */
+    void recordSpan(SpanEvent span);
+
+    /** Convenience: device-track span in simulated time. */
+    void recordSpan(const std::string &name, const std::string &category,
+                    int track, Seconds start, Seconds duration);
+
+    /** Record a counter-track sample at simulated time `t`. */
+    void sample(const std::string &track, Seconds t, double value);
+
+    /** Label a lane ("MME", "TPC", ...) for the trace viewer. */
+    void nameTrack(TrackGroup group, int track, const std::string &name);
+
+    std::vector<SpanEvent> spans() const;
+    std::vector<TrackSample> samples() const;
+
+    /** (group, track) -> label pairs, for the exporter. */
+    std::vector<std::pair<std::pair<int, int>, std::string>>
+    trackNames() const;
+
+    /** Distinct counter tracks sampled so far. */
+    std::vector<std::string> sampledTracks() const;
+
+    /** Drop all recorded events (the enabled flag is untouched). */
+    void clear();
+
+  private:
+    friend class ScopedSpan;
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    std::vector<SpanEvent> spans_;
+    std::vector<TrackSample> samples_;
+    std::vector<std::pair<std::pair<int, int>, std::string>> trackNames_;
+};
+
+/**
+ * RAII host-time span: measures the wall-clock time between
+ * construction and destruction and records it on the Host track group
+ * of the process-wide Profiler. Nests naturally — a per-thread depth
+ * is captured so exporters and tests can see the hierarchy even for
+ * zero-duration spans.
+ *
+ *   {
+ *       obs::ScopedSpan s("engine.run");
+ *       ... // work
+ *   }   // span recorded here
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(std::string name,
+                        std::string category = "host");
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Current nesting depth on this thread (0 = outermost). */
+    static int currentDepth();
+
+  private:
+    std::string name_;
+    std::string category_;
+    bool active_ = false; ///< Profiler was enabled at construction.
+    int depth_ = 0;
+    std::chrono::steady_clock::time_point begin_;
+};
+
+} // namespace vespera::obs
+
+#endif // VESPERA_OBS_PROFILER_H

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "obs/counters.h"
+#include "obs/profiler.h"
 
 namespace vespera::serve {
 
@@ -124,8 +126,34 @@ Engine::run(std::vector<Request> trace)
         return r.generated >= r.outputLen;
     };
 
+    auto &registry = obs::CounterRegistry::instance();
+    static obs::Counter &c_steps = registry.counter("engine.steps");
+    static obs::Counter &c_prefill_tok =
+        registry.counter("engine.prefill_tokens");
+    static obs::Counter &c_decode_tok =
+        registry.counter("engine.decode_tokens");
+    static obs::Counter &c_preempt =
+        registry.counter("engine.preemptions");
+    static obs::Counter &c_kv_in_use =
+        registry.counter("kv.blocks_in_use");
+    obs::Profiler &profiler = obs::Profiler::instance();
+
     auto record = [&](EngineEvent::Kind kind, Seconds start,
                       Seconds duration, int batch, int chunk) {
+        // Telemetry runs regardless of recordEvents: counters are
+        // cheap, and per-step counter tracks only when tracing.
+        c_steps.add();
+        c_prefill_tok.add(chunk);
+        c_decode_tok.add(batch);
+        const std::int64_t blocks_in_use =
+            kv.totalBlocks() - kv.freeBlocks();
+        c_kv_in_use.set(static_cast<double>(blocks_in_use));
+        if (profiler.enabled()) {
+            profiler.sample("kv.blocks_in_use", start + duration,
+                            static_cast<double>(blocks_in_use));
+            profiler.sample("engine.decode_batch", start + duration,
+                            batch);
+        }
         if (!config_.recordEvents)
             return;
         EngineEvent e;
@@ -224,6 +252,7 @@ Engine::run(std::vector<Request> trace)
                 running.erase(running.begin() +
                               static_cast<std::ptrdiff_t>(k));
                 m.preemptions++;
+                c_preempt.add();
             }
         }
         if (running.empty() && !has_chunk)
@@ -310,6 +339,12 @@ Engine::run(std::vector<Request> trace)
     m.completed = static_cast<int>(trace.size());
     m.avgDecodeBatch =
         decode_steps ? batch_sum / static_cast<double>(decode_steps) : 0;
+
+    // End-of-run serving gauges (last run wins; peak keeps the best).
+    registry.counter("engine.throughput_tokens_per_sec")
+        .set(m.throughputTokensPerSec);
+    registry.counter("engine.mean_ttft_seconds").set(m.meanTtft);
+    registry.counter("engine.avg_decode_batch").set(m.avgDecodeBatch);
     return m;
 }
 

@@ -1,6 +1,7 @@
 #include "serve/kv_cache.h"
 
 #include "common/logging.h"
+#include "obs/counters.h"
 
 namespace vespera::serve {
 
@@ -32,11 +33,23 @@ PagedKvCache::grow(std::int64_t seq_id, std::int64_t tokens)
     const std::int64_t have = held_.count(seq_id) ? held_[seq_id] : 0;
     const std::int64_t want = blocksFor(tokens);
     const std::int64_t need = want - have;
-    if (need > freeBlocks_)
+    auto &registry = obs::CounterRegistry::instance();
+    if (need > freeBlocks_) {
+        static obs::Counter &failures =
+            registry.counter("kv.grow_failures");
+        failures.add();
         return false;
+    }
     if (need > 0) {
         freeBlocks_ -= need;
         held_[seq_id] = want;
+        static obs::Counter &grown =
+            registry.counter("kv.blocks_allocated");
+        static obs::Counter &high =
+            registry.counter("kv.blocks_high_water");
+        grown.add(static_cast<double>(need));
+        // Gauge: peak() is the pool-wide high-water mark.
+        high.set(static_cast<double>(totalBlocks_ - freeBlocks_));
     }
     return true;
 }

@@ -1,48 +1,38 @@
 #include "serve/tracing.h"
 
-#include <cstdio>
-
 #include "common/logging.h"
+#include "obs/export.h"
 
 namespace vespera::serve {
 
 namespace {
 
-/// One "complete" (ph:X) trace event. Times are microseconds.
-std::string
-completeEvent(const std::string &name, const char *category,
-              Seconds start, Seconds duration, int tid, bool last)
-{
-    return strfmt("    {\"name\": \"%s\", \"cat\": \"%s\", "
-                  "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
-                  "\"pid\": 1, \"tid\": %d}%s\n",
-                  name.c_str(), category, start * 1e6, duration * 1e6,
-                  tid, last ? "" : ",");
-}
-
-std::string
-wrap(std::string events)
-{
-    return "{\n  \"traceEvents\": [\n" + std::move(events) +
-           "  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
-}
+/// Device-track lanes used by the serving/graph adapters.
+enum Lane {
+    laneMme = 1,
+    laneTpc = 2,
+    laneComm = 3,
+    laneDecode = 4,
+    lanePrefill = 5,
+};
 
 } // namespace
 
-std::string
-engineEventsToChromeTrace(const std::vector<EngineEvent> &events)
+void
+recordEngineEvents(obs::Profiler &profiler,
+                   const std::vector<EngineEvent> &events)
 {
-    std::string out;
-    for (std::size_t i = 0; i < events.size(); i++) {
-        const EngineEvent &e = events[i];
+    profiler.nameTrack(obs::TrackGroup::Device, laneDecode, "decode");
+    profiler.nameTrack(obs::TrackGroup::Device, lanePrefill, "prefill");
+    for (const EngineEvent &e : events) {
         const char *cat = "decode";
         std::string name;
-        int tid = 1;
+        int lane = laneDecode;
         switch (e.kind) {
           case EngineEvent::Kind::Prefill:
             cat = "prefill";
             name = strfmt("prefill %d tok", e.prefillTokens);
-            tid = 2;
+            lane = lanePrefill;
             break;
           case EngineEvent::Kind::Decode:
             name = strfmt("decode b%d", e.decodeBatch);
@@ -53,64 +43,59 @@ engineEventsToChromeTrace(const std::vector<EngineEvent> &events)
                           e.prefillTokens);
             break;
         }
-        out += completeEvent(name, cat, e.start, e.duration, tid,
-                             i + 1 == events.size());
+        profiler.recordSpan(name, cat, lane, e.start, e.duration);
     }
-    return wrap(std::move(out));
+}
+
+void
+recordTimeline(obs::Profiler &profiler,
+               const std::vector<graph::TimelineEntry> &timeline)
+{
+    profiler.nameTrack(obs::TrackGroup::Device, laneMme, "MME");
+    profiler.nameTrack(obs::TrackGroup::Device, laneTpc, "TPC");
+    profiler.nameTrack(obs::TrackGroup::Device, laneComm, "comm");
+    for (const auto &e : timeline) {
+        const char *cat = "op";
+        int lane = laneMme;
+        switch (e.kind) {
+          case graph::OpKind::MatMul:
+            cat = "mme";
+            lane = laneMme;
+            break;
+          case graph::OpKind::Elementwise:
+          case graph::OpKind::Normalization:
+            cat = "tpc";
+            lane = laneTpc;
+            break;
+          case graph::OpKind::AllReduce:
+            cat = "comm";
+            lane = laneComm;
+            break;
+          case graph::OpKind::Custom:
+            cat = "custom";
+            lane = laneTpc;
+            break;
+          case graph::OpKind::Input:
+            continue;
+        }
+        profiler.recordSpan(e.name, cat, lane, e.start, e.duration);
+    }
+}
+
+std::string
+engineEventsToChromeTrace(const std::vector<EngineEvent> &events)
+{
+    obs::Profiler local;
+    recordEngineEvents(local, events);
+    return obs::chromeTraceJson(local);
 }
 
 std::string
 timelineToChromeTrace(const std::vector<graph::TimelineEntry> &timeline)
 {
-    std::string out;
-    for (std::size_t i = 0; i < timeline.size(); i++) {
-        const auto &e = timeline[i];
-        const char *cat = "op";
-        int tid = 1;
-        switch (e.kind) {
-          case graph::OpKind::MatMul:
-            cat = "mme";
-            tid = 1;
-            break;
-          case graph::OpKind::Elementwise:
-          case graph::OpKind::Normalization:
-            cat = "tpc";
-            tid = 2;
-            break;
-          case graph::OpKind::AllReduce:
-            cat = "comm";
-            tid = 3;
-            break;
-          case graph::OpKind::Custom:
-            cat = "custom";
-            tid = 2;
-            break;
-          case graph::OpKind::Input:
-            continue;
-        }
-        out += completeEvent(e.name, cat, e.start, e.duration, tid,
-                             i + 1 == timeline.size());
-    }
-    // The last emitted event may not be the vector's last element
-    // (inputs are skipped), so normalize the trailing comma.
-    const auto pos = out.find_last_of('}');
-    if (pos != std::string::npos && pos + 1 < out.size() &&
-        out[pos + 1] == ',') {
-        out.erase(pos + 1, 1);
-    }
-    return wrap(std::move(out));
-}
-
-bool
-writeFile(const std::string &path, const std::string &content)
-{
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return false;
-    const std::size_t n =
-        std::fwrite(content.data(), 1, content.size(), f);
-    std::fclose(f);
-    return n == content.size();
+    obs::Profiler local;
+    recordTimeline(local, timeline);
+    return obs::chromeTraceJson(local);
 }
 
 } // namespace vespera::serve

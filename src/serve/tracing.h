@@ -1,9 +1,13 @@
 /**
  * @file
- * Export engine events and graph-execution timelines to the Chrome
- * tracing JSON format (view at chrome://tracing or ui.perfetto.dev) —
- * the observability role the Intel Gaudi Profiler plays in the paper's
- * reverse-engineering workflow.
+ * Adapters from the engine/graph timelines to the obs span model.
+ *
+ * Everything trace-shaped flows through obs::Profiler and
+ * obs::chromeTraceJson (one trace-event code path); this header only
+ * knows how to map EngineEvents and graph TimelineEntries onto spans
+ * and engine lanes. View exports at chrome://tracing or
+ * ui.perfetto.dev — the observability role the Intel Gaudi Profiler
+ * plays in the paper's reverse-engineering workflow.
  */
 
 #ifndef VESPERA_SERVE_TRACING_H
@@ -13,9 +17,24 @@
 #include <vector>
 
 #include "graph/executor.h"
+#include "obs/profiler.h"
 #include "serve/engine.h"
 
 namespace vespera::serve {
+
+/**
+ * Record a serving run's engine events as spans (prefill/decode lanes
+ * of the Device track group).
+ */
+void recordEngineEvents(obs::Profiler &profiler,
+                        const std::vector<EngineEvent> &events);
+
+/**
+ * Record one graph execution's op timeline as spans (MME/TPC/comm
+ * lanes of the Device track group). Input nodes are skipped.
+ */
+void recordTimeline(obs::Profiler &profiler,
+                    const std::vector<graph::TimelineEntry> &timeline);
 
 /** Chrome-trace JSON for a serving run's engine events. */
 std::string engineEventsToChromeTrace(
@@ -24,9 +43,6 @@ std::string engineEventsToChromeTrace(
 /** Chrome-trace JSON for one graph execution's op timeline. */
 std::string timelineToChromeTrace(
     const std::vector<graph::TimelineEntry> &timeline);
-
-/** Write a string to a file; returns false on I/O failure. */
-bool writeFile(const std::string &path, const std::string &content);
 
 } // namespace vespera::serve
 

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/counters.h"
+#include "obs/profiler.h"
 
 namespace vespera::tpc {
 
@@ -30,6 +32,13 @@ evaluatePipeline(const Program &program, const TpcParams &params)
     double completion = 0;
 
     PipelineResult r;
+
+    // Counter-track sampling of cumulative stall cycles (only when a
+    // trace was requested; one check per call, not per instruction).
+    obs::Profiler &profiler = obs::Profiler::instance();
+    const bool sampling = profiler.enabled();
+    const std::size_t sample_every = 64;
+    std::size_t since_sample = 0;
 
     for (const Instr &instr : program.instrs()) {
         double t = last_issue;
@@ -82,18 +91,47 @@ evaluatePipeline(const Program &program, const TpcParams &params)
         if (instr.dst >= 0)
             ready[static_cast<std::size_t>(instr.dst)] = t + result_latency;
 
+        // Cycles between the previous issue and this one in which no
+        // instruction entered the pipeline are stalls.
+        if (t > last_issue + 1)
+            r.stallCycles += t - last_issue - 1;
+        r.instructions++;
+        if (sampling && ++since_sample >= sample_every) {
+            since_sample = 0;
+            profiler.sample("tpc.stall_cycles", t / params.clock,
+                            r.stallCycles);
+        }
+
         slot_free[static_cast<int>(instr.slot)] = t + 1;
         last_issue = t;
         completion = std::max(completion, t + std::max(result_latency, 1.0));
     }
 
     r.cycles = std::max(completion, mem_next_free);
+    // Drain time past the last issue also counts as stall.
+    r.stallCycles += std::max(0.0, r.cycles - last_issue - 1);
     r.time = r.cycles / params.clock;
     r.flops = program.flops();
     if (r.cycles > 0) {
         r.memConcurrency = static_cast<double>(r.randomAccesses) *
                            params.loadLatencyRandom / r.cycles;
     }
+    if (sampling) {
+        profiler.sample("tpc.stall_cycles", r.cycles / params.clock,
+                        r.stallCycles);
+    }
+
+    auto &registry = obs::CounterRegistry::instance();
+    static obs::Counter &instrs = registry.counter("tpc.instructions");
+    static obs::Counter &cycles = registry.counter("tpc.cycles");
+    static obs::Counter &stalls = registry.counter("tpc.stall_cycles");
+    static obs::Counter &bus = registry.counter("tpc.bus_bytes");
+    static obs::Counter &rand = registry.counter("tpc.random_accesses");
+    instrs.add(static_cast<double>(r.instructions));
+    cycles.add(r.cycles);
+    stalls.add(r.stallCycles);
+    bus.add(static_cast<double>(r.busBytes));
+    rand.add(static_cast<double>(r.randomAccesses));
     return r;
 }
 

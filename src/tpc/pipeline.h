@@ -47,6 +47,12 @@ struct PipelineResult
     double cycles = 0;
     Seconds time = 0;
     Flops flops = 0;
+    /// Cycles in which no instruction issued (dependency latency,
+    /// slot conflicts, or memory-interface backpressure) — the stat
+    /// the paper's unrolling analysis is about.
+    double stallCycles = 0;
+    /// Instructions issued.
+    std::uint64_t instructions = 0;
     /// Global bus bytes moved (payload rounded up to granules).
     Bytes busBytes = 0;
     /// Granule transactions issued by random accesses (bus traffic).

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace vespera::json {
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    Value v;
+    ASSERT_TRUE(parse("null", v, nullptr));
+    EXPECT_TRUE(v.isNull());
+    ASSERT_TRUE(parse("true", v, nullptr));
+    EXPECT_TRUE(v.boolean());
+    ASSERT_TRUE(parse("false", v, nullptr));
+    EXPECT_FALSE(v.boolean());
+    ASSERT_TRUE(parse("-12.5e2", v, nullptr));
+    EXPECT_DOUBLE_EQ(v.number(), -1250.0);
+    ASSERT_TRUE(parse("\"hi\"", v, nullptr));
+    EXPECT_EQ(v.str(), "hi");
+}
+
+TEST(JsonParse, NestedContainersAndWhitespace)
+{
+    Value v;
+    ASSERT_TRUE(parse(" { \"a\" : [ 1 , 2 , { \"b\" : null } ] , "
+                      "\"c\" : true } ",
+                      v, nullptr));
+    ASSERT_TRUE(v.isObject());
+    const Value *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->array().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array()[1].number(), 2.0);
+    EXPECT_TRUE(a->array()[2].find("b")->isNull());
+    EXPECT_TRUE(v.find("c")->boolean());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    Value v;
+    ASSERT_TRUE(parse(R"("a\"b\\c\nd\tA")", v, nullptr));
+    EXPECT_EQ(v.str(), "a\"b\\c\nd\tA");
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    Value v;
+    std::string err;
+    EXPECT_FALSE(parse("", v, &err));
+    EXPECT_FALSE(parse("{", v, &err));
+    EXPECT_FALSE(parse("[1,]", v, &err));
+    EXPECT_FALSE(parse("{\"a\":1,}", v, &err));
+    EXPECT_FALSE(parse("\"unterminated", v, &err));
+    EXPECT_FALSE(parse("1 2", v, &err)); // Trailing garbage.
+    EXPECT_FALSE(parse("nul", v, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, RejectsRunawayNesting)
+{
+    std::string deep(128, '[');
+    deep += std::string(128, ']');
+    Value v;
+    EXPECT_FALSE(parse(deep, v, nullptr));
+}
+
+TEST(JsonValue, FindPathWalksDottedKeys)
+{
+    Value v;
+    ASSERT_TRUE(parse(R"({"a":{"b":{"c":3}},"a.b":7})", v, nullptr));
+    const Value *c = v.findPath("a.b.c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->number(), 3.0);
+    // Literal keys win over path splitting where both exist.
+    const Value *literal = v.findPath("a.b");
+    ASSERT_NE(literal, nullptr);
+    EXPECT_DOUBLE_EQ(literal->number(), 7.0);
+    EXPECT_EQ(v.findPath("a.x"), nullptr);
+}
+
+TEST(JsonSerialize, RoundTripPreservesStructure)
+{
+    Value v;
+    ASSERT_TRUE(parse(
+        R"({"s":"q\"uote","n":-2.5,"b":false,"l":[1,null],"o":{}})", v,
+        nullptr));
+    Value again;
+    ASSERT_TRUE(parse(serialize(v), again, nullptr));
+    EXPECT_EQ(again.find("s")->str(), "q\"uote");
+    EXPECT_DOUBLE_EQ(again.find("n")->number(), -2.5);
+    EXPECT_FALSE(again.find("b")->boolean());
+    ASSERT_EQ(again.find("l")->array().size(), 2u);
+    EXPECT_TRUE(again.find("l")->array()[1].isNull());
+    EXPECT_TRUE(again.find("o")->object().empty());
+}
+
+} // namespace
+} // namespace vespera::json

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/counters.h"
+
+namespace vespera::obs {
+namespace {
+
+TEST(Counter, AddAccumulatesAndTracksPeak)
+{
+    Counter c("x");
+    c.add();
+    c.add(2.5);
+    EXPECT_DOUBLE_EQ(c.value(), 3.5);
+    EXPECT_DOUBLE_EQ(c.peak(), 3.5);
+    EXPECT_EQ(c.updates(), 2u);
+    EXPECT_EQ(c.name(), "x");
+}
+
+TEST(Counter, SetIsGaugeWithHighWaterMark)
+{
+    Counter c("gauge");
+    c.set(10);
+    c.set(4);
+    EXPECT_DOUBLE_EQ(c.value(), 4.0);
+    EXPECT_DOUBLE_EQ(c.peak(), 10.0);
+    c.set(12);
+    EXPECT_DOUBLE_EQ(c.peak(), 12.0);
+}
+
+TEST(Counter, ResetZeroesEverything)
+{
+    Counter c("r");
+    c.add(7);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    EXPECT_DOUBLE_EQ(c.peak(), 0.0);
+    EXPECT_EQ(c.updates(), 0u);
+}
+
+TEST(Counter, ConcurrentAddLosesNothing)
+{
+    Counter c("hot");
+    constexpr int numThreads = 8;
+    constexpr int perThread = 10000;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < numThreads; i++) {
+        threads.emplace_back([&c] {
+            for (int j = 0; j < perThread; j++)
+                c.add(1.0);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_DOUBLE_EQ(c.value(), double(numThreads) * perThread);
+    EXPECT_EQ(c.updates(), std::uint64_t(numThreads) * perThread);
+}
+
+TEST(RateMeter, RateIsTotalOverElapsed)
+{
+    RateMeter m("bw");
+    EXPECT_DOUBLE_EQ(m.rate(), 0.0);
+    m.add(100.0, 2.0);
+    m.add(50.0, 1.0);
+    EXPECT_DOUBLE_EQ(m.total(), 150.0);
+    EXPECT_DOUBLE_EQ(m.elapsed(), 3.0);
+    EXPECT_DOUBLE_EQ(m.rate(), 50.0);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.rate(), 0.0);
+}
+
+TEST(CounterRegistry, GetOrCreateReturnsStableReference)
+{
+    CounterRegistry reg;
+    Counter &a = reg.counter("mme.flops");
+    Counter &b = reg.counter("mme.flops");
+    EXPECT_EQ(&a, &b);
+    a.add(5);
+    EXPECT_DOUBLE_EQ(reg.counter("mme.flops").value(), 5.0);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(CounterRegistry, FindDoesNotCreate)
+{
+    CounterRegistry reg;
+    EXPECT_EQ(reg.find("nope"), nullptr);
+    EXPECT_EQ(reg.findRate("nope"), nullptr);
+    reg.counter("yes").add(1);
+    ASSERT_NE(reg.find("yes"), nullptr);
+    EXPECT_DOUBLE_EQ(reg.find("yes")->value(), 1.0);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(CounterRegistry, RollupSumsDottedSubtree)
+{
+    CounterRegistry reg;
+    reg.counter("mme").add(1);
+    reg.counter("mme.flops").add(10);
+    reg.counter("mme.cfg.reconfigs").add(100);
+    reg.counter("mmex.other").add(1000); // Not in the subtree.
+    reg.counter("tpc.cycles").add(7);
+    EXPECT_DOUBLE_EQ(reg.rollup("mme"), 111.0);
+    EXPECT_DOUBLE_EQ(reg.rollup("mme.cfg"), 100.0);
+    EXPECT_DOUBLE_EQ(reg.rollup("absent"), 0.0);
+}
+
+TEST(CounterRegistry, SnapshotIsNameOrdered)
+{
+    CounterRegistry reg;
+    reg.counter("b").add(2);
+    reg.counter("a").add(1);
+    reg.counter("c").set(3);
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "a");
+    EXPECT_EQ(snap[1].name, "b");
+    EXPECT_EQ(snap[2].name, "c");
+    EXPECT_DOUBLE_EQ(snap[1].value, 2.0);
+    EXPECT_EQ(snap[0].updates, 1u);
+}
+
+TEST(CounterRegistry, ResetZeroesButKeepsNames)
+{
+    CounterRegistry reg;
+    Counter &c = reg.counter("kv.blocks_in_use");
+    c.set(42);
+    reg.rate("hbm.bw").add(10, 1);
+    reg.reset();
+    EXPECT_EQ(&reg.counter("kv.blocks_in_use"), &c);
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    EXPECT_DOUBLE_EQ(c.peak(), 0.0);
+    ASSERT_NE(reg.findRate("hbm.bw"), nullptr);
+    EXPECT_DOUBLE_EQ(reg.findRate("hbm.bw")->total(), 0.0);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(CounterRegistry, ConcurrentRegistrationAndAddIsSafe)
+{
+    CounterRegistry reg;
+    constexpr int numThreads = 8;
+    constexpr int perThread = 2000;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < numThreads; i++) {
+        threads.emplace_back([&reg] {
+            for (int j = 0; j < perThread; j++)
+                reg.counter("shared.hits").add(1.0);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_DOUBLE_EQ(reg.counter("shared.hits").value(),
+                     double(numThreads) * perThread);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(CounterRegistry, ProcessWideInstanceIsSingleton)
+{
+    EXPECT_EQ(&CounterRegistry::instance(), &CounterRegistry::instance());
+}
+
+} // namespace
+} // namespace vespera::obs

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/profiler.h"
+
+namespace vespera::obs {
+namespace {
+
+TEST(Profiler, RecordsDeviceSpans)
+{
+    Profiler p;
+    p.recordSpan("mm", "mme", 1, 0.5e-3, 2e-3);
+    p.recordSpan("act", "tpc", 2, 2.5e-3, 1e-3);
+    auto spans = p.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "mm");
+    EXPECT_EQ(spans[0].category, "mme");
+    EXPECT_EQ(spans[0].group, TrackGroup::Device);
+    EXPECT_EQ(spans[0].track, 1);
+    EXPECT_DOUBLE_EQ(spans[0].start, 0.5e-3);
+    EXPECT_DOUBLE_EQ(spans[0].duration, 2e-3);
+    EXPECT_EQ(spans[1].track, 2);
+}
+
+TEST(Profiler, RecordsCounterSamplesAndDistinctTracks)
+{
+    Profiler p;
+    p.sample("mme.utilization", 0.0, 80.0);
+    p.sample("hbm.bandwidth_gbps", 0.0, 1500.0);
+    p.sample("mme.utilization", 1e-3, 0.0);
+    auto samples = p.samples();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].track, "mme.utilization");
+    EXPECT_DOUBLE_EQ(samples[1].value, 1500.0);
+
+    auto tracks = p.sampledTracks();
+    ASSERT_EQ(tracks.size(), 2u); // Distinct and sorted.
+    EXPECT_EQ(tracks[0], "hbm.bandwidth_gbps");
+    EXPECT_EQ(tracks[1], "mme.utilization");
+}
+
+TEST(Profiler, TrackNamesRoundTrip)
+{
+    Profiler p;
+    p.nameTrack(TrackGroup::Device, 1, "MME");
+    p.nameTrack(TrackGroup::Device, 2, "TPC");
+    auto names = p.trackNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0].first.first, int(TrackGroup::Device));
+    EXPECT_EQ(names[0].second, "MME");
+    EXPECT_EQ(names[1].second, "TPC");
+}
+
+TEST(Profiler, ClearDropsEventsKeepsEnabledFlag)
+{
+    Profiler p;
+    p.setEnabled(true);
+    p.recordSpan("s", "c", 1, 0, 1);
+    p.sample("t", 0, 1);
+    p.clear();
+    EXPECT_TRUE(p.enabled());
+    EXPECT_TRUE(p.spans().empty());
+    EXPECT_TRUE(p.samples().empty());
+}
+
+TEST(ScopedSpan, DisabledProfilerRecordsNothing)
+{
+    Profiler &p = Profiler::instance();
+    p.clear();
+    p.setEnabled(false);
+    {
+        ScopedSpan span("invisible");
+    }
+    EXPECT_TRUE(p.spans().empty());
+}
+
+TEST(ScopedSpan, RecordsHostSpanWithNesting)
+{
+    Profiler &p = Profiler::instance();
+    p.clear();
+    p.setEnabled(true);
+    EXPECT_EQ(ScopedSpan::currentDepth(), 0);
+    {
+        ScopedSpan outer("outer");
+        EXPECT_EQ(ScopedSpan::currentDepth(), 1);
+        {
+            ScopedSpan inner("inner", "phase");
+            EXPECT_EQ(ScopedSpan::currentDepth(), 2);
+        }
+        EXPECT_EQ(ScopedSpan::currentDepth(), 1);
+    }
+    EXPECT_EQ(ScopedSpan::currentDepth(), 0);
+    p.setEnabled(false);
+
+    auto spans = p.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    // Inner destructs first.
+    EXPECT_EQ(spans[0].name, "inner");
+    EXPECT_EQ(spans[0].category, "phase");
+    EXPECT_EQ(spans[0].group, TrackGroup::Host);
+    EXPECT_EQ(spans[0].depth, 1);
+    EXPECT_EQ(spans[1].name, "outer");
+    EXPECT_EQ(spans[1].depth, 0);
+    // Outer fully contains inner on the wall clock.
+    EXPECT_LE(spans[1].start, spans[0].start);
+    EXPECT_GE(spans[1].start + spans[1].duration,
+              spans[0].start + spans[0].duration);
+    p.clear();
+}
+
+TEST(ScopedSpan, EnableStateLatchedAtConstruction)
+{
+    Profiler &p = Profiler::instance();
+    p.clear();
+    p.setEnabled(false);
+    {
+        ScopedSpan span("started-disabled");
+        // Enabling mid-span must not retroactively record it.
+        p.setEnabled(true);
+    }
+    EXPECT_TRUE(p.spans().empty());
+    p.setEnabled(false);
+    p.clear();
+}
+
+TEST(Profiler, InstanceIsSingleton)
+{
+    EXPECT_EQ(&Profiler::instance(), &Profiler::instance());
+}
+
+} // namespace
+} // namespace vespera::obs

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+
+#include "common/io.h"
+#include "common/json.h"
 #include "graph/compiler.h"
+#include "obs/export.h"
 #include "serve/tracing.h"
 
 namespace vespera::serve {
@@ -63,21 +69,67 @@ TEST(Tracing, TimelineJsonFromRealGraph)
     EXPECT_NE(json.find("\"act\""), std::string::npos);
     EXPECT_NE(json.find("\"cat\": \"mme\""), std::string::npos);
     EXPECT_NE(json.find("\"cat\": \"tpc\""), std::string::npos);
+    // Lane labels come through as thread_name metadata.
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"MME\""), std::string::npos);
     // Inputs are omitted.
     EXPECT_EQ(json.find("\"a\""), std::string::npos);
     EXPECT_EQ(json.find("},\n  ]"), std::string::npos);
+}
+
+TEST(Tracing, ExportsAreValidJson)
+{
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(engineEventsToChromeTrace(sampleEvents()),
+                            doc, &err))
+        << err;
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_TRUE(events->isArray());
+    // Metadata events (process/thread names) + the three spans.
+    EXPECT_GE(events->array().size(), 3u);
+}
+
+TEST(Tracing, ExecutorEmitsCounterTracksWhenProfiling)
+{
+    obs::Profiler &profiler = obs::Profiler::instance();
+    profiler.clear();
+    profiler.setEnabled(true);
+
+    graph::Graph g;
+    int a = g.input({{2048, 2048}, DataType::BF16}, "a");
+    int w = g.input({{2048, 2048}, DataType::BF16}, "w");
+    int mm = g.matmul(a, w, "mm");
+    (void)g.elementwise({mm}, 1.0, false, "act");
+    graph::Compiler().compile(g);
+    graph::Executor exec(DeviceKind::Gaudi2);
+    auto rep = exec.run(g);
+    recordTimeline(profiler, rep.timeline);
+
+    profiler.setEnabled(false);
+    const auto tracks = profiler.sampledTracks();
+    EXPECT_NE(std::find(tracks.begin(), tracks.end(), "mme.utilization"),
+              tracks.end());
+    EXPECT_NE(
+        std::find(tracks.begin(), tracks.end(), "hbm.bandwidth_gbps"),
+        tracks.end());
+
+    // Counter samples appear as "C" events alongside the spans.
+    std::string json = obs::chromeTraceJson(profiler);
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("mme.utilization"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    profiler.clear();
 }
 
 TEST(Tracing, WriteFileRoundTrip)
 {
     const std::string path = "/tmp/vespera_test_trace.json";
     ASSERT_TRUE(writeFile(path, "{\"x\": 1}\n"));
-    std::FILE *f = std::fopen(path.c_str(), "r");
-    ASSERT_NE(f, nullptr);
-    char buf[32] = {};
-    (void)!std::fread(buf, 1, sizeof(buf) - 1, f);
-    std::fclose(f);
-    EXPECT_STREQ(buf, "{\"x\": 1}\n");
+    std::string back;
+    ASSERT_TRUE(readFile(path, back));
+    EXPECT_EQ(back, "{\"x\": 1}\n");
     std::remove(path.c_str());
 }
 
