@@ -1,0 +1,73 @@
+#include "analysis/kernel_registry.h"
+
+#include "common/logging.h"
+#include "tpc/dispatcher.h"
+
+namespace vespera::analysis {
+
+KernelRegistry &
+KernelRegistry::instance()
+{
+    static KernelRegistry registry;
+    return registry;
+}
+
+void
+KernelRegistry::add(std::string name, TraceProducer producer)
+{
+    for (const Entry &e : entries_)
+        vassert(e.name != name, "duplicate kernel registration: %s",
+                name.c_str());
+    entries_.push_back({std::move(name), std::move(producer)});
+}
+
+std::vector<std::string>
+KernelRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+TracedKernel
+KernelRegistry::trace(const std::string &name) const
+{
+    for (const Entry &e : entries_) {
+        if (e.name == name)
+            return e.producer();
+    }
+    vpanic("unknown kernel: %s", name.c_str());
+}
+
+std::vector<TracedKernel>
+KernelRegistry::traceAll(const std::string &filter) const
+{
+    std::vector<TracedKernel> out;
+    for (const Entry &e : entries_) {
+        if (filter.empty() || e.name.find(filter) != std::string::npos)
+            out.push_back(e.producer());
+    }
+    return out;
+}
+
+tpc::Program
+captureTrace(const std::function<void()> &launch)
+{
+    tpc::Program best;
+    {
+        tpc::ScopedTraceObserver observer(
+            [&best](const tpc::Program &program, int /*tpc_index*/) {
+                if (program.instrs().size() > best.instrs().size())
+                    best = program;
+            });
+        launch();
+    }
+    vassert(!best.empty(),
+            "trace capture recorded no instructions — did the kernel "
+            "launch through TpcDispatcher?");
+    return best;
+}
+
+} // namespace vespera::analysis

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Registry of traceable kernels for the lint sweep.
+ *
+ * Each registered entry is a producer callable that runs one of the
+ * repo's TPC kernels at a representative shape while a
+ * tpc::ScopedTraceObserver captures the recorded Program. vespera-lint
+ * iterates the registry, analyzes every captured trace, and emits the
+ * report; tests use the same registry so the lint corpus and the test
+ * corpus cannot drift apart.
+ *
+ * Registration is explicit (registerBuiltinKernels) rather than via
+ * static initializers: the analysis library is static, and an
+ * unreferenced registration TU would be dropped by the linker.
+ */
+
+#ifndef VESPERA_ANALYSIS_KERNEL_REGISTRY_H
+#define VESPERA_ANALYSIS_KERNEL_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tpc/program.h"
+
+namespace vespera::analysis {
+
+/** One captured kernel trace at one shape. */
+struct TracedKernel
+{
+    /// Registry entry name ("softmax/1024").
+    std::string name;
+    /// Human-readable shape tag ("rows=48 cols=1024").
+    std::string shape;
+    /// The largest per-TPC Program the launch recorded (TPC 0's slice
+    /// unless a later TPC traced more instructions).
+    tpc::Program program;
+};
+
+/**
+ * Runs a kernel under trace capture and returns the result. Producers
+ * must be deterministic (fixed seeds) so the lint baseline is stable.
+ */
+using TraceProducer = std::function<TracedKernel()>;
+
+/** Name -> producer registry. Not thread-safe (CLI/test use only). */
+class KernelRegistry
+{
+  public:
+    static KernelRegistry &instance();
+
+    KernelRegistry() = default;
+    KernelRegistry(const KernelRegistry &) = delete;
+    KernelRegistry &operator=(const KernelRegistry &) = delete;
+
+    /** Register a producer under `name` (must be unique). */
+    void add(std::string name, TraceProducer producer);
+
+    /** Registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Run one producer by exact name. Panics on unknown names. */
+    TracedKernel trace(const std::string &name) const;
+
+    /** Run every producer whose name contains `filter` ("" = all). */
+    std::vector<TracedKernel> traceAll(const std::string &filter = "") const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        TraceProducer producer;
+    };
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Run `launch` (any code path that ends in TpcDispatcher::launch) under
+ * a scoped trace observer and return the largest captured Program.
+ */
+tpc::Program captureTrace(const std::function<void()> &launch);
+
+/**
+ * Populate KernelRegistry::instance() with the repo's built-in kernels
+ * (softmax, layernorm/rmsnorm, STREAM variants, gather/scatter,
+ * embedding reductions) at fixed shapes. Idempotent.
+ */
+void registerBuiltinKernels();
+
+} // namespace vespera::analysis
+
+#endif // VESPERA_ANALYSIS_KERNEL_REGISTRY_H

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The built-in lint corpus: every TPC kernel family in src/kern/,
+ * traced at fixed shapes with fixed seeds. Shapes are chosen small
+ * enough that the whole sweep runs in seconds, while still exercising
+ * the behaviors the rules look for (the naive STREAM variants exist
+ * precisely to keep the narrow-access and exposed-latency rules honest
+ * against a known-bad kernel).
+ */
+
+#include "analysis/kernel_registry.h"
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "kern/embedding.h"
+#include "kern/gather_scatter.h"
+#include "kern/layernorm.h"
+#include "kern/softmax.h"
+#include "kern/stream.h"
+
+namespace vespera::analysis {
+
+namespace {
+
+TracedKernel
+traceStream(const char *name, kern::StreamConfig config)
+{
+    TracedKernel t;
+    t.name = name;
+    char shape[128];
+    std::snprintf(shape, sizeof(shape),
+                  "n=%llu access=%lluB unroll=%d",
+                  static_cast<unsigned long long>(config.numElements),
+                  static_cast<unsigned long long>(config.accessBytes),
+                  config.unroll);
+    t.shape = shape;
+    t.program = captureTrace([config] { kern::runStreamGaudi(config); });
+    return t;
+}
+
+} // namespace
+
+void
+registerBuiltinKernels()
+{
+    KernelRegistry &reg = KernelRegistry::instance();
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    reg.add("softmax", [] {
+        kern::SoftmaxConfig config;
+        config.rows = 48;
+        config.cols = 1024;
+        TracedKernel t;
+        t.name = "softmax";
+        t.shape = "rows=48 cols=1024 fp32";
+        t.program =
+            captureTrace([config] { kern::runSoftmaxGaudi(config); });
+        return t;
+    });
+
+    reg.add("layernorm", [] {
+        kern::NormConfig config;
+        config.kind = kern::NormKind::LayerNorm;
+        config.rows = 48;
+        config.cols = 2048;
+        TracedKernel t;
+        t.name = "layernorm";
+        t.shape = "rows=48 cols=2048 fp32";
+        t.program =
+            captureTrace([config] { kern::runNormGaudi(config); });
+        return t;
+    });
+
+    reg.add("rmsnorm", [] {
+        kern::NormConfig config;
+        config.kind = kern::NormKind::RmsNorm;
+        config.rows = 48;
+        config.cols = 2048;
+        TracedKernel t;
+        t.name = "rmsnorm";
+        t.shape = "rows=48 cols=2048 fp32";
+        t.program =
+            captureTrace([config] { kern::runNormGaudi(config); });
+        return t;
+    });
+
+    reg.add("stream_triad_tuned", [] {
+        kern::StreamConfig config;
+        config.op = kern::StreamOp::Triad;
+        config.numElements = 1 << 16;
+        config.accessBytes = 256;
+        config.unroll = 4;
+        return traceStream("stream_triad_tuned", config);
+    });
+
+    // The shape Figure 8(a,b) shows losing most of the bandwidth:
+    // sub-granule accesses and no unrolling. Kept in the corpus as a
+    // known-bad kernel the narrow-access / exposed-latency rules must
+    // flag (its findings are part of the checked-in baseline).
+    reg.add("stream_triad_naive", [] {
+        kern::StreamConfig config;
+        config.op = kern::StreamOp::Triad;
+        config.numElements = 1 << 16;
+        config.accessBytes = 64;
+        config.unroll = 1;
+        return traceStream("stream_triad_naive", config);
+    });
+
+    reg.add("stream_add_tuned", [] {
+        kern::StreamConfig config;
+        config.op = kern::StreamOp::Add;
+        config.numElements = 1 << 16;
+        config.accessBytes = 256;
+        config.unroll = 4;
+        return traceStream("stream_add_tuned", config);
+    });
+
+    reg.add("gather", [] {
+        kern::GatherScatterConfig config;
+        config.numVectors = 1 << 12;
+        config.vectorBytes = 256;
+        config.accessFraction = 0.25;
+        config.scatter = false;
+        Rng rng(0x9a7e4);
+        TracedKernel t;
+        t.name = "gather";
+        t.shape = "vectors=4096 vec=256B frac=0.25";
+        t.program = captureTrace(
+            [&] { kern::runGatherScatterGaudi(config, rng); });
+        return t;
+    });
+
+    reg.add("scatter", [] {
+        kern::GatherScatterConfig config;
+        config.numVectors = 1 << 12;
+        config.vectorBytes = 256;
+        config.accessFraction = 0.25;
+        config.scatter = true;
+        Rng rng(1234);
+        TracedKernel t;
+        t.name = "scatter";
+        t.shape = "vectors=4096 vec=256B frac=0.25";
+        t.program = captureTrace(
+            [&] { kern::runGatherScatterGaudi(config, rng); });
+        return t;
+    });
+
+    // The three embedding variants share one layer (Section 4.1).
+    struct EmbeddingCase
+    {
+        const char *name;
+        kern::EmbeddingVariant variant;
+    };
+    static constexpr EmbeddingCase embeddingCases[] = {
+        {"embedding_sdk", kern::EmbeddingVariant::SdkSingleTable},
+        {"embedding_single", kern::EmbeddingVariant::SingleTable},
+        {"embedding_batched", kern::EmbeddingVariant::BatchedTable},
+    };
+    for (const EmbeddingCase &c : embeddingCases) {
+        reg.add(c.name, [c] {
+            kern::EmbeddingConfig config;
+            config.numTables = 4;
+            config.rowsPerTable = 1 << 10;
+            config.vectorBytes = 256;
+            config.batch = 32;
+            config.pooling = 20;
+            kern::EmbeddingLayerGaudi layer(config);
+            Rng rng(42);
+            TracedKernel t;
+            t.name = c.name;
+            t.shape = "tables=4 rows=1024 vec=256B batch=32 pool=20";
+            t.program =
+                captureTrace([&] { layer.run(c.variant, rng); });
+            return t;
+        });
+    }
+}
+
+} // namespace vespera::analysis

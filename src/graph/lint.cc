@@ -1,0 +1,158 @@
+#include "graph/lint.h"
+
+#include <cstdio>
+#include <string>
+
+#include "hw/mme.h"
+#include "obs/counters.h"
+
+namespace vespera::graph {
+
+namespace {
+
+bool
+isVectorOp(const Node &n)
+{
+    return n.kind == OpKind::Elementwise ||
+           n.kind == OpKind::Normalization;
+}
+
+/**
+ * Mirror of Compiler::fuseElementwise's candidate test: an elementwise
+ * producer with a single vector-op consumer of the same element count
+ * would be folded away, saving the intermediate's HBM write + read.
+ */
+void
+findUnfusedElementwise(const Graph &graph,
+                       std::vector<analysis::Diagnostic> &out)
+{
+    for (const Node &producer : graph.nodes()) {
+        if (producer.fusedAway ||
+            producer.kind != OpKind::Elementwise) {
+            continue;
+        }
+        const std::vector<int> consumers =
+            graph.consumers(producer.id);
+        if (consumers.size() != 1)
+            continue;
+        const Node &consumer = graph.node(consumers.front());
+        if (!isVectorOp(consumer) ||
+            consumer.output.elements() != producer.output.elements()) {
+            continue;
+        }
+        const Bytes intermediate = producer.output.bytes();
+        analysis::Diagnostic d;
+        d.rule = analysis::rules::unfusedElementwise;
+        d.severity = analysis::Severity::Warning;
+        d.kernel = producer.name;
+        d.instrIndex = producer.id;
+        d.wastedBytes = 2 * intermediate;
+        d.message = "elementwise op feeds only '" + consumer.name +
+                    "'; the fusion pass would fold them into one TPC "
+                    "kernel and keep the intermediate out of HBM";
+        out.push_back(std::move(d));
+    }
+}
+
+/**
+ * Consecutive live GEMMs whose best MME geometries differ force the
+ * graph compiler to reconfigure the MAC array between them
+ * (Figure 7(a)); frequent switches indicate shape churn worth
+ * normalizing at the model level.
+ */
+void
+findGeometryThrash(const Graph &graph,
+                   std::vector<analysis::Diagnostic> &out)
+{
+    static const hw::MmeModel model;
+    std::string prev;
+    int prev_id = -1;
+    std::string prev_name;
+    int gemms = 0;
+    int switches = 0;
+    int first_switch_id = -1;
+    std::string example;
+    for (const Node &n : graph.nodes()) {
+        if (n.fusedAway || n.kind != OpKind::MatMul)
+            continue;
+        gemms++;
+        const hw::MmeGeometry g =
+            model.selectGeometry(n.gemm, n.output.dt);
+        char label[64];
+        std::snprintf(label, sizeof(label), "%dx(%dx%d)", g.count,
+                      g.height, g.width);
+        if (!prev.empty() && prev != label) {
+            switches++;
+            if (first_switch_id < 0) {
+                first_switch_id = n.id;
+                example = "'" + prev_name + "' (" + prev + ") -> '" +
+                          n.name + "' (" + label + ")";
+            }
+        }
+        prev = label;
+        prev_id = n.id;
+        prev_name = n.name;
+    }
+    (void)prev_id;
+    if (switches == 0)
+        return;
+    analysis::Diagnostic d;
+    d.rule = analysis::rules::mmeGeometryThrash;
+    // Occasional reconfiguration is normal (prefill vs decode shapes);
+    // switching on most GEMMs means the array never settles.
+    d.severity = 2 * switches > gemms ? analysis::Severity::Warning
+                                      : analysis::Severity::Info;
+    d.instrIndex = first_switch_id;
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "%d of %d consecutive GEMM transitions reconfigure "
+                  "the MME geometry (first: %s)",
+                  switches, gemms, example.c_str());
+    d.message = msg;
+    out.push_back(std::move(d));
+}
+
+/** Vector ops consuming a GEMM without the pipelining annotation. */
+void
+findUnpipelinedConsumers(const Graph &graph,
+                         std::vector<analysis::Diagnostic> &out)
+{
+    for (const Node &n : graph.nodes()) {
+        if (n.fusedAway || !isVectorOp(n) || n.pipelinedWithProducer)
+            continue;
+        for (int in : n.inputs) {
+            const Node &p = graph.node(in);
+            if (p.fusedAway || p.kind != OpKind::MatMul)
+                continue;
+            analysis::Diagnostic d;
+            d.rule = analysis::rules::unpipelinedConsumer;
+            d.severity = analysis::Severity::Info;
+            d.kernel = n.name;
+            d.instrIndex = n.id;
+            d.message = "consumes GEMM '" + p.name +
+                        "' without MME-TPC pipelining; the compiler "
+                        "pass would overlap the two engines";
+            out.push_back(std::move(d));
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<analysis::Diagnostic>
+lintGraph(const Graph &graph)
+{
+    std::vector<analysis::Diagnostic> out;
+    findUnfusedElementwise(graph, out);
+    findGeometryThrash(graph, out);
+    findUnpipelinedConsumers(graph, out);
+
+    obs::CounterRegistry &reg = obs::CounterRegistry::instance();
+    reg.counter("analysis.graphs").add(1.0);
+    for (const analysis::Diagnostic &d : out)
+        reg.counter(std::string("analysis.diag.") + d.rule).add(1.0);
+    return out;
+}
+
+} // namespace vespera::graph

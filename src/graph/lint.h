@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Graph-level lint pass: whole-model anti-patterns invisible at the
+ * single-kernel level. Where the TPC analyzer inspects one recorded
+ * trace, this pass inspects the dataflow IR for work the Gaudi graph
+ * compiler's passes (Section 2.2) would eliminate — unfused elementwise
+ * chains burning HBM round trips, MME geometry reconfiguration thrash
+ * between consecutive GEMMs, and GEMM consumers that miss the MME-TPC
+ * pipelining overlap.
+ */
+
+#ifndef VESPERA_GRAPH_LINT_H
+#define VESPERA_GRAPH_LINT_H
+
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "graph/graph.h"
+
+namespace vespera::graph {
+
+/**
+ * Lint a graph (pre- or post-compilation; a compiled graph should be
+ * clean of unfused-elementwise findings). Diagnostics carry the node
+ * name in `kernel` and the node id in `instrIndex`. Per-rule counts
+ * are exported to obs::CounterRegistry as "analysis.diag.<rule>".
+ */
+std::vector<analysis::Diagnostic> lintGraph(const Graph &graph);
+
+} // namespace vespera::graph
+
+#endif // VESPERA_GRAPH_LINT_H

@@ -206,6 +206,7 @@ EmbeddingLayerGaudi::runBatched(const std::vector<std::int64_t> &idx,
     space.size = {1, members, 1, 1, 1};
     tpc::LaunchParams params;
     params.vectorBytes = std::min<Bytes>(config_.vectorBytes, 256);
+    params.kernelName = "embedding_batched";
     auto launch = dispatcher().launch(kernel, space, params);
 
     verify(idx, out);
@@ -258,6 +259,9 @@ EmbeddingLayerGaudi::runPerTable(const std::vector<std::int64_t> &idx,
         space.size = {1, B, 1, 1, 1};
         tpc::LaunchParams params;
         params.vectorBytes = std::min<Bytes>(config_.vectorBytes, 256);
+        params.kernelName = unroll == sdkUnroll
+                                ? "embedding_sdk_single_table"
+                                : "embedding_single_table";
         auto launch = dispatcher().launch(kernel, space, params);
         r.time += launch.time;
         r.kernelLaunches++;

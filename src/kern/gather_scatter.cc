@@ -103,6 +103,7 @@ runGatherScatterGaudi(const GatherScatterConfig &c, Rng &rng)
     tpc::LaunchParams params;
     params.numTpcs = c.numTpcs;
     params.vectorBytes = std::min<Bytes>(c.vectorBytes, 256);
+    params.kernelName = scatter ? "scatter" : "gather";
     auto launch = dispatcher.launch(kernel, space, params);
 
     if (!scatter) {

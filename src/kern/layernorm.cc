@@ -30,6 +30,7 @@ runNormGaudi(const NormConfig &config, const tpc::Tensor &input,
         for (std::int64_t row = ctx.memberStart(1);
              row < ctx.memberEnd(1); row++) {
             // Pass 1: accumulate sum(x) and sum(x^2).
+            ctx.setOpLabel("pass1:moments");
             tpc::Vec sum1 = ctx.v_zero(1);
             tpc::Vec sq1 = ctx.v_zero(1);
             for (std::int64_t c = 0; c < cols; c += lanes) {
@@ -57,6 +58,7 @@ runNormGaudi(const NormConfig &config, const tpc::Tensor &input,
                 ctx.v_broadcast(mean1, static_cast<int>(lanes));
 
             // Pass 2: normalize and store.
+            ctx.setOpLabel("pass2:normalize");
             for (std::int64_t c = 0; c < cols; c += lanes) {
                 tpc::Vec x = ctx.v_ld_tnsr({c, row, 0, 0, 0}, input);
                 tpc::Vec y = kind == NormKind::LayerNorm
@@ -72,6 +74,8 @@ runNormGaudi(const NormConfig &config, const tpc::Tensor &input,
     space.size = {1, config.rows, 1, 1, 1};
     tpc::LaunchParams params;
     params.numTpcs = config.numTpcs;
+    params.kernelName =
+        kind == NormKind::LayerNorm ? "layernorm" : "rmsnorm";
     auto launch = dispatcher.launch(kernel, space, params);
 
     NormResult r;

@@ -34,6 +34,7 @@ runSoftmaxGaudi(const SoftmaxConfig &config, const tpc::Tensor &input,
         for (std::int64_t row = ctx.memberStart(1);
              row < ctx.memberEnd(1); row++) {
             // Phase 1: row maximum (numerical stability).
+            ctx.setOpLabel("phase1:max");
             tpc::Vec max1 = ctx.v_zero(1);
             bool first = true;
             for (std::int64_t c = 0; c < cols; c += lanes) {
@@ -47,6 +48,7 @@ runSoftmaxGaudi(const SoftmaxConfig &config, const tpc::Tensor &input,
                 ctx.v_broadcast(max1, static_cast<int>(lanes));
 
             // Phase 2: exp(x - max), staged in local memory; sum.
+            ctx.setOpLabel("phase2:exp-sum");
             tpc::Vec sum1 = ctx.v_zero(1);
             for (std::int64_t c = 0; c < cols; c += lanes) {
                 tpc::Vec chunk =
@@ -60,6 +62,7 @@ runSoftmaxGaudi(const SoftmaxConfig &config, const tpc::Tensor &input,
                 ctx.v_broadcast(inv, static_cast<int>(lanes));
 
             // Phase 3: normalize and store.
+            ctx.setOpLabel("phase3:normalize");
             for (std::int64_t c = 0; c < cols; c += lanes) {
                 tpc::Vec e =
                     ctx.v_ld_local(c,
@@ -75,6 +78,7 @@ runSoftmaxGaudi(const SoftmaxConfig &config, const tpc::Tensor &input,
     space.size = {1, config.rows, 1, 1, 1};
     tpc::LaunchParams params;
     params.numTpcs = config.numTpcs;
+    params.kernelName = "softmax";
     auto launch = dispatcher.launch(kernel, space, params);
 
     SoftmaxResult r;

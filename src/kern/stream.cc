@@ -138,6 +138,7 @@ runStreamGaudi(const StreamConfig &config)
     tpc::LaunchParams params;
     params.numTpcs = config.numTpcs;
     params.vectorBytes = config.accessBytes;
+    params.kernelName = std::string("stream_") + streamOpName(op);
     auto launch = dispatcher.launch(kernel, space, params);
 
     // Spot-verify functional output.

@@ -17,6 +17,34 @@ TpcContext::TpcContext(Program &program, const MemberRange &range,
     vassert(default_vector_bytes > 0, "zero vector width");
 }
 
+namespace {
+/// Instr::memStream id of the TPC-local scratchpad.
+constexpr std::uint32_t localMemStream = 1;
+} // namespace
+
+void
+TpcContext::setOpLabel(std::string_view label)
+{
+    userLabel_ = label.empty() ? -1 : program_.internLabel(label);
+}
+
+std::int16_t
+TpcContext::opLabel(const char *intrinsic)
+{
+    if (userLabel_ >= 0)
+        return userLabel_;
+    return program_.internLabel(intrinsic);
+}
+
+std::uint32_t
+TpcContext::streamId(const void *key)
+{
+    auto [it, inserted] = streams_.try_emplace(key, nextStream_);
+    if (inserted)
+        nextStream_++;
+    return it->second;
+}
+
 Vec
 TpcContext::v_ld_tnsr(const Int5 &coord, const Tensor &t, Bytes bytes,
                       Access access)
@@ -41,6 +69,9 @@ TpcContext::v_ld_tnsr(const Int5 &coord, const Tensor &t, Bytes bytes,
     instr.memBytes = bytes;
     instr.access = access;
     instr.lanes = static_cast<std::int32_t>(lanes);
+    instr.memOffset = base * static_cast<std::int64_t>(es);
+    instr.memStream = streamId(t.data());
+    instr.opLabel = opLabel("v_ld_tnsr");
     program_.append(instr);
     return v;
 }
@@ -63,12 +94,16 @@ TpcContext::v_st_tnsr(const Int5 &coord, Tensor &t, const Vec &v,
                      dtypeSize(t.dtype());
     instr.access = access;
     instr.lanes = v.laneCount();
+    instr.memOffset =
+        base * static_cast<std::int64_t>(dtypeSize(t.dtype()));
+    instr.memStream = streamId(t.data());
+    instr.opLabel = opLabel("v_st_tnsr");
     program_.append(instr);
 }
 
 Vec
 TpcContext::binaryOp(const Vec &a, const Vec &b, float flops_per_lane,
-                     float (*op)(float, float))
+                     float (*op)(float, float), const char *name)
 {
     vassert(a.laneCount() == b.laneCount(),
             "lane mismatch: %d vs %d", a.laneCount(), b.laneCount());
@@ -85,6 +120,7 @@ TpcContext::binaryOp(const Vec &a, const Vec &b, float flops_per_lane,
     instr.src1 = b.id;
     instr.flopsPerLane = flops_per_lane;
     instr.lanes = a.laneCount();
+    instr.opLabel = opLabel(name);
     program_.append(instr);
     return r;
 }
@@ -92,26 +128,30 @@ TpcContext::binaryOp(const Vec &a, const Vec &b, float flops_per_lane,
 Vec
 TpcContext::v_add(const Vec &a, const Vec &b)
 {
-    return binaryOp(a, b, 1.0f, [](float x, float y) { return x + y; });
+    return binaryOp(a, b, 1.0f, [](float x, float y) { return x + y; },
+                    "v_add");
 }
 
 Vec
 TpcContext::v_sub(const Vec &a, const Vec &b)
 {
-    return binaryOp(a, b, 1.0f, [](float x, float y) { return x - y; });
+    return binaryOp(a, b, 1.0f, [](float x, float y) { return x - y; },
+                    "v_sub");
 }
 
 Vec
 TpcContext::v_mul(const Vec &a, const Vec &b)
 {
-    return binaryOp(a, b, 1.0f, [](float x, float y) { return x * y; });
+    return binaryOp(a, b, 1.0f, [](float x, float y) { return x * y; },
+                    "v_mul");
 }
 
 Vec
 TpcContext::v_max(const Vec &a, const Vec &b)
 {
     return binaryOp(a, b, 1.0f,
-                    [](float x, float y) { return std::max(x, y); });
+                    [](float x, float y) { return std::max(x, y); },
+                    "v_max");
 }
 
 Vec
@@ -134,6 +174,7 @@ TpcContext::v_mac(const Vec &a, const Vec &b, const Vec &acc)
     instr.src2 = acc.id;
     instr.flopsPerLane = 2.0f;
     instr.lanes = a.laneCount();
+    instr.opLabel = opLabel("v_mac");
     program_.append(instr);
     return r;
 }
@@ -153,6 +194,7 @@ TpcContext::v_mul_s(const Vec &a, float scalar)
     instr.src0 = a.id;
     instr.flopsPerLane = 1.0f;
     instr.lanes = a.laneCount();
+    instr.opLabel = opLabel("v_mul_s");
     program_.append(instr);
     return r;
 }
@@ -174,6 +216,7 @@ TpcContext::v_mac_s(const Vec &a, float scalar, const Vec &acc)
     instr.src1 = acc.id;
     instr.flopsPerLane = 2.0f;
     instr.lanes = a.laneCount();
+    instr.opLabel = opLabel("v_mac_s");
     program_.append(instr);
     return r;
 }
@@ -190,6 +233,7 @@ TpcContext::v_zero(int lanes)
     instr.slot = Slot::Vector;
     instr.dst = r.id;
     instr.lanes = lanes;
+    instr.opLabel = opLabel("v_zero");
     program_.append(instr);
     return r;
 }
@@ -210,6 +254,7 @@ TpcContext::v_exp(const Vec &a)
     // Special-function unit: several flops worth of issue per lane.
     instr.flopsPerLane = 4.0f;
     instr.lanes = a.laneCount();
+    instr.opLabel = opLabel("v_exp");
     program_.append(instr);
     return r;
 }
@@ -229,6 +274,7 @@ TpcContext::v_reciprocal(const Vec &a)
     instr.src0 = a.id;
     instr.flopsPerLane = 2.0f;
     instr.lanes = a.laneCount();
+    instr.opLabel = opLabel("v_reciprocal");
     program_.append(instr);
     return r;
 }
@@ -248,6 +294,7 @@ TpcContext::v_rsqrt(const Vec &a)
     instr.src0 = a.id;
     instr.flopsPerLane = 2.0f;
     instr.lanes = a.laneCount();
+    instr.opLabel = opLabel("v_rsqrt");
     program_.append(instr);
     return r;
 }
@@ -264,6 +311,7 @@ TpcContext::v_splat(float value, int lanes)
     instr.slot = Slot::Vector;
     instr.dst = r.id;
     instr.lanes = lanes;
+    instr.opLabel = opLabel("v_splat");
     program_.append(instr);
     return r;
 }
@@ -285,6 +333,7 @@ TpcContext::v_reduce_max(const Vec &a)
     instr.src0 = a.id;
     instr.flopsPerLane = 1.0f; // Tree reduction, ~1 op per lane.
     instr.lanes = a.laneCount();
+    instr.opLabel = opLabel("v_reduce_max");
     program_.append(instr);
     return r;
 }
@@ -306,6 +355,7 @@ TpcContext::v_reduce_add(const Vec &a)
     instr.src0 = a.id;
     instr.flopsPerLane = 1.0f;
     instr.lanes = a.laneCount();
+    instr.opLabel = opLabel("v_reduce_add");
     program_.append(instr);
     return r;
 }
@@ -323,6 +373,7 @@ TpcContext::v_broadcast(const Vec &a, int lanes)
     instr.dst = r.id;
     instr.src0 = a.id;
     instr.lanes = lanes;
+    instr.opLabel = opLabel("v_broadcast");
     program_.append(instr);
     return r;
 }
@@ -338,6 +389,10 @@ TpcContext::s_ld(const Int5 &coord, const Tensor &t, Access access)
     instr.memBytes = dtypeSize(t.dtype());
     instr.access = access;
     instr.lanes = 1;
+    instr.memOffset =
+        t.flatten(coord) * static_cast<std::int64_t>(dtypeSize(t.dtype()));
+    instr.memStream = streamId(t.data());
+    instr.opLabel = opLabel("s_ld");
     program_.append(instr);
     return value;
 }
@@ -362,6 +417,9 @@ TpcContext::v_st_local(std::int64_t elem_offset, const Vec &v)
     instr.memBytes = static_cast<Bytes>(v.laneCount()) * 4;
     instr.access = Access::Local;
     instr.lanes = v.laneCount();
+    instr.memOffset = elem_offset * 4;
+    instr.memStream = localMemStream;
+    instr.opLabel = opLabel("v_st_local");
     program_.append(instr);
 }
 
@@ -384,6 +442,9 @@ TpcContext::v_ld_local(std::int64_t elem_offset, int lanes)
     instr.memBytes = static_cast<Bytes>(lanes) * 4;
     instr.access = Access::Local;
     instr.lanes = lanes;
+    instr.memOffset = elem_offset * 4;
+    instr.memStream = localMemStream;
+    instr.opLabel = opLabel("v_ld_local");
     program_.append(instr);
     return v;
 }

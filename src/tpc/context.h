@@ -17,6 +17,8 @@
 #define VESPERA_TPC_CONTEXT_H
 
 #include <cstdint>
+#include <map>
+#include <string_view>
 #include <vector>
 
 #include "tpc/program.h"
@@ -132,10 +134,29 @@ class TpcContext
     /// @}
 
     Bytes defaultVectorBytes() const { return defaultVectorBytes_; }
+    Bytes localMemoryBytes() const { return localMemoryBytes_; }
+
+    /// @name Diagnostic labeling (tpc::analysis provenance).
+    /// @{
+    /**
+     * Tag subsequently recorded instructions with a kernel phase label
+     * (e.g. "phase2:exp-sum") instead of the default intrinsic name.
+     * Pass "" to revert to intrinsic-name labels.
+     */
+    void setOpLabel(std::string_view label);
+    /// @}
 
   private:
     Vec binaryOp(const Vec &a, const Vec &b, float flops_per_lane,
-                 float (*op)(float, float));
+                 float (*op)(float, float), const char *name);
+
+    /// Label recorded on the next instruction: the user phase label
+    /// when set, otherwise the intrinsic's own name.
+    std::int16_t opLabel(const char *intrinsic);
+
+    /// Stable per-context id for the tensor / local-memory stream a
+    /// memory instruction touches (Instr::memStream).
+    std::uint32_t streamId(const void *key);
 
     Program &program_;
     MemberRange range_;
@@ -143,6 +164,9 @@ class TpcContext
     Bytes localMemoryBytes_;
     std::vector<float> localMem_;
     std::int64_t localHighWater_ = 0;
+    std::int16_t userLabel_ = -1;
+    std::map<const void *, std::uint32_t> streams_;
+    std::uint32_t nextStream_ = 2; ///< 1 is reserved for local memory.
 };
 
 } // namespace vespera::tpc

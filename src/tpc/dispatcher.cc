@@ -6,6 +6,23 @@
 
 namespace vespera::tpc {
 
+namespace {
+TraceObserver &
+traceObserver()
+{
+    static TraceObserver observer;
+    return observer;
+}
+} // namespace
+
+TraceObserver
+setTraceObserver(TraceObserver observer)
+{
+    TraceObserver prev = std::move(traceObserver());
+    traceObserver() = std::move(observer);
+    return prev;
+}
+
 TpcDispatcher::TpcDispatcher(const hw::DeviceSpec &spec)
     : spec_(spec), hbm_(spec)
 {
@@ -49,10 +66,13 @@ TpcDispatcher::launch(const Kernel &kernel, const IndexSpace &space,
             continue;
 
         Program program;
+        program.setKernelName(params.kernelName);
         TpcContext ctx(program, range, params.vectorBytes);
         kernel(ctx);
         if (program.empty())
             continue;
+        if (traceObserver())
+            traceObserver()(program, t);
 
         PipelineResult pr = evaluatePipeline(program, params.tpc);
         result.slowestTpcTime = std::max(result.slowestTpcTime, pr.time);

@@ -13,6 +13,7 @@
 #define VESPERA_TPC_DISPATCHER_H
 
 #include <functional>
+#include <string>
 
 #include "hw/device_spec.h"
 #include "mem/hbm.h"
@@ -50,6 +51,9 @@ struct LaunchParams
     Bytes vectorBytes = 256;
     /// Per-TPC timing parameters.
     TpcParams tpc = TpcParams::forGaudi2();
+    /// Source-kernel tag stamped onto each TPC's Program so analyzer
+    /// diagnostics name the offending kernel, not an instr index.
+    std::string kernelName;
 };
 
 /** Chip-level outcome of a kernel launch. */
@@ -65,6 +69,33 @@ struct LaunchResult
     double hbmUtilization = 0;   ///< usefulBytes / (time x peak BW).
     int activeTpcs = 0;
     Bytes localMemHighWater = 0; ///< Max per-TPC local memory footprint.
+};
+
+/**
+ * Observer invoked with every per-TPC Program the dispatcher records,
+ * before timing evaluation. Used by the static analyzer / vespera-lint
+ * to capture kernel traces without changing kernel entry points. The
+ * simulation is single-threaded; no synchronization is provided.
+ */
+using TraceObserver = std::function<void(const Program &, int tpc_index)>;
+
+/** Install a process-wide trace observer; returns the previous one. */
+TraceObserver setTraceObserver(TraceObserver observer);
+
+/** RAII installation of a trace observer (restores the previous). */
+class ScopedTraceObserver
+{
+  public:
+    explicit ScopedTraceObserver(TraceObserver observer)
+        : prev_(setTraceObserver(std::move(observer)))
+    {
+    }
+    ~ScopedTraceObserver() { setTraceObserver(std::move(prev_)); }
+    ScopedTraceObserver(const ScopedTraceObserver &) = delete;
+    ScopedTraceObserver &operator=(const ScopedTraceObserver &) = delete;
+
+  private:
+    TraceObserver prev_;
 };
 
 /** Launches kernels onto the simulated Gaudi-2 TPC array. */

@@ -45,6 +45,19 @@ struct Instr
     Access access = Access::Stream;
     float flopsPerLane = 0;       ///< 1 = add/mul, 2 = mac, 0 otherwise.
     std::int32_t lanes = 0;       ///< Vector lanes carried.
+
+    /// @name Provenance, consumed by the static analyzer (tpc::analysis).
+    /// @{
+    /// Byte offset of the first byte accessed within the stream named
+    /// by `memStream`; -1 when unknown (hand-built traces).
+    std::int64_t memOffset = -1;
+    /// Opaque id of the tensor / local-memory region accessed; 0 when
+    /// unknown. Offsets are only comparable within one stream.
+    std::uint32_t memStream = 0;
+    /// Index into the owning Program's interned label table (the
+    /// intrinsic name or a kernel-set phase label); -1 when untagged.
+    std::int16_t opLabel = -1;
+    /// @}
 };
 
 } // namespace vespera::tpc

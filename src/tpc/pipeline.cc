@@ -19,9 +19,15 @@ TpcParams::forGaudi2()
 }
 
 PipelineResult
-evaluatePipeline(const Program &program, const TpcParams &params)
+evaluatePipeline(const Program &program, const TpcParams &params,
+                 IssueTrace *trace)
 {
     vassert(params.clock > 0 && params.granule > 0, "bad TPC parameters");
+    if (trace != nullptr) {
+        trace->instrs.clear();
+        trace->instrs.reserve(program.instrs().size());
+        trace->drainStall = 0;
+    }
 
     // Per-SSA-value ready times.
     std::vector<double> ready(static_cast<std::size_t>(program.numValues()),
@@ -42,10 +48,18 @@ evaluatePipeline(const Program &program, const TpcParams &params)
 
     for (const Instr &instr : program.instrs()) {
         double t = last_issue;
-        t = std::max(t, slot_free[static_cast<int>(instr.slot)]);
+        StallCause cause = StallCause::None;
+        std::int32_t critical_src = -1;
+        if (slot_free[static_cast<int>(instr.slot)] > t) {
+            t = slot_free[static_cast<int>(instr.slot)];
+            cause = StallCause::SlotBusy;
+        }
         for (std::int32_t src : {instr.src0, instr.src1, instr.src2}) {
-            if (src >= 0)
-                t = std::max(t, ready[static_cast<std::size_t>(src)]);
+            if (src >= 0 && ready[static_cast<std::size_t>(src)] > t) {
+                t = ready[static_cast<std::size_t>(src)];
+                cause = StallCause::Dependency;
+                critical_src = src;
+            }
         }
 
         const bool is_mem =
@@ -70,7 +84,11 @@ evaluatePipeline(const Program &program, const TpcParams &params)
             // the per-TPC memory interface at a bounded sustained rate.
             const std::uint64_t txns =
                 (instr.memBytes + params.granule - 1) / params.granule;
-            t = std::max(t, mem_next_free);
+            if (mem_next_free > t) {
+                t = mem_next_free;
+                cause = StallCause::Memory;
+                critical_src = -1;
+            }
             mem_next_free = t + txns * params.memIssueIntervalCycles;
             r.busBytes += txns * params.granule;
             if (instr.access == Access::Random) {
@@ -93,8 +111,17 @@ evaluatePipeline(const Program &program, const TpcParams &params)
 
         // Cycles between the previous issue and this one in which no
         // instruction entered the pipeline are stalls.
-        if (t > last_issue + 1)
-            r.stallCycles += t - last_issue - 1;
+        const double stall = t > last_issue + 1 ? t - last_issue - 1 : 0;
+        r.stallCycles += stall;
+        if (trace != nullptr) {
+            IssuedInstr rec;
+            rec.issueCycle = t;
+            rec.stallCycles = stall;
+            rec.cause = stall > 0 ? cause : StallCause::None;
+            rec.criticalSrc =
+                rec.cause == StallCause::Dependency ? critical_src : -1;
+            trace->instrs.push_back(rec);
+        }
         r.instructions++;
         if (sampling && ++since_sample >= sample_every) {
             since_sample = 0;
@@ -109,7 +136,10 @@ evaluatePipeline(const Program &program, const TpcParams &params)
 
     r.cycles = std::max(completion, mem_next_free);
     // Drain time past the last issue also counts as stall.
-    r.stallCycles += std::max(0.0, r.cycles - last_issue - 1);
+    const double drain = std::max(0.0, r.cycles - last_issue - 1);
+    r.stallCycles += drain;
+    if (trace != nullptr && !program.instrs().empty())
+        trace->drainStall = drain;
     r.time = r.cycles / params.clock;
     r.flops = program.flops();
     if (r.cycles > 0) {

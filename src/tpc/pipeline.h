@@ -64,9 +64,47 @@ struct PipelineResult
     double memConcurrency = 0;
 };
 
-/** Evaluate the trace under the timing model. */
+/** Why an instruction could not issue in the cycle after its
+ *  predecessor (the constraint that set its issue time). */
+enum class StallCause : std::uint8_t {
+    None,       ///< Issued back-to-back; no stall.
+    Dependency, ///< Waited on a source value's result latency.
+    SlotBusy,   ///< Waited for its VLIW slot to free up.
+    Memory,     ///< Waited on global-memory interface backpressure.
+};
+
+/** Per-instruction issue record (produced alongside PipelineResult). */
+struct IssuedInstr
+{
+    double issueCycle = 0;    ///< Cycle the instruction issued.
+    double stallCycles = 0;   ///< Idle cycles before this issue.
+    StallCause cause = StallCause::None; ///< Binding constraint.
+    /// Source value id whose ready time bound the issue (Dependency
+    /// stalls only); -1 otherwise.
+    std::int32_t criticalSrc = -1;
+};
+
+/**
+ * Full issue schedule of one trace. `instrs[i]` corresponds to
+ * `program.instrs()[i]`; the per-instruction stalls plus `drainStall`
+ * sum exactly to PipelineResult::stallCycles, which is what lets the
+ * static analyzer attribute every stall cycle to a cause without a
+ * second, drift-prone copy of the timing rules.
+ */
+struct IssueTrace
+{
+    std::vector<IssuedInstr> instrs;
+    /// Result/memory drain time past the last issue (also stall).
+    double drainStall = 0;
+};
+
+/**
+ * Evaluate the trace under the timing model. When `trace` is non-null
+ * it is filled with the per-instruction issue schedule.
+ */
 PipelineResult evaluatePipeline(const Program &program,
-                                const TpcParams &params);
+                                const TpcParams &params,
+                                IssueTrace *trace = nullptr);
 
 } // namespace vespera::tpc
 

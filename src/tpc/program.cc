@@ -4,6 +4,27 @@
 
 namespace vespera::tpc {
 
+std::int16_t
+Program::internLabel(std::string_view label)
+{
+    for (std::size_t i = 0; i < labels_.size(); i++) {
+        if (labels_[i] == label)
+            return static_cast<std::int16_t>(i);
+    }
+    vassert(labels_.size() < 0x7fff, "label table overflow");
+    labels_.emplace_back(label);
+    return static_cast<std::int16_t>(labels_.size() - 1);
+}
+
+const std::string &
+Program::label(std::int16_t index) const
+{
+    static const std::string empty;
+    if (index < 0 || static_cast<std::size_t>(index) >= labels_.size())
+        return empty;
+    return labels_[static_cast<std::size_t>(index)];
+}
+
 Flops
 Program::flops() const
 {

@@ -7,6 +7,8 @@
 #define VESPERA_TPC_PROGRAM_H
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "tpc/isa.h"
@@ -31,6 +33,22 @@ class Program
     const std::vector<Instr> &instrs() const { return instrs_; }
     std::int32_t numValues() const { return nextValue_; }
     bool empty() const { return instrs_.empty(); }
+
+    /// @name Diagnostic provenance (who recorded this trace).
+    /// @{
+    /** Source-kernel tag; diagnostics name this, not an instr index. */
+    void setKernelName(std::string name) { kernelName_ = std::move(name); }
+    const std::string &kernelName() const { return kernelName_; }
+
+    /**
+     * Intern an op label ("v_ld_tnsr", a kernel phase name, ...) and
+     * return its index for Instr::opLabel. Idempotent per string.
+     */
+    std::int16_t internLabel(std::string_view label);
+
+    /** Label text for an Instr::opLabel index ("" for -1/invalid). */
+    const std::string &label(std::int16_t index) const;
+    /// @}
 
     /** Total useful flops executed by the trace. */
     Flops flops() const;
@@ -68,6 +86,8 @@ class Program
   private:
     std::vector<Instr> instrs_;
     std::int32_t nextValue_ = 0;
+    std::string kernelName_;
+    std::vector<std::string> labels_;
 };
 
 } // namespace vespera::tpc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests of the graph-level lint pass: findings mirror the compiler's
+ * own passes, so a compiled graph must be clean of the findings those
+ * passes address.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/compiler.h"
+#include "graph/lint.h"
+#include "models/dlrm.h"
+
+namespace vespera::graph {
+namespace {
+
+int
+countRule(const std::vector<analysis::Diagnostic> &diags,
+          const char *rule)
+{
+    int n = 0;
+    for (const analysis::Diagnostic &d : diags) {
+        if (d.rule == rule)
+            n++;
+    }
+    return n;
+}
+
+/// input -> eltwise -> eltwise chain: the canonical fusion candidate.
+Graph
+elementwiseChain()
+{
+    Graph g;
+    const int in = g.input({{1024, 1024}, DataType::BF16}, "x");
+    const int a = g.elementwise({in}, 1, false, "scale");
+    (void)g.elementwise({a}, 1, false, "bias");
+    return g;
+}
+
+TEST(GraphLint, UnfusedElementwiseFlaggedOnRawGraph)
+{
+    Graph g = elementwiseChain();
+    const auto diags = lintGraph(g);
+    ASSERT_EQ(countRule(diags, analysis::rules::unfusedElementwise), 1);
+    for (const analysis::Diagnostic &d : diags) {
+        if (d.rule == analysis::rules::unfusedElementwise) {
+            EXPECT_EQ(d.kernel, "scale");
+            // 2 MB intermediate: one write + one read saved.
+            EXPECT_EQ(d.wastedBytes, 2u * 1024u * 1024u * 2u);
+        }
+    }
+}
+
+TEST(GraphLint, CompiledGraphHasNoFusionFindings)
+{
+    Graph g = elementwiseChain();
+    Compiler().compile(g);
+    const auto diags = lintGraph(g);
+    EXPECT_EQ(countRule(diags, analysis::rules::unfusedElementwise), 0);
+}
+
+TEST(GraphLint, MultiConsumerChainIsNotAFusionCandidate)
+{
+    Graph g;
+    const int in = g.input({{256, 256}, DataType::BF16}, "x");
+    const int a = g.elementwise({in}, 1, false, "shared");
+    (void)g.elementwise({a}, 1, false, "user1");
+    (void)g.elementwise({a}, 1, false, "user2");
+    const auto diags = lintGraph(g);
+    // 'shared' has two consumers; only the user1/user2 tails are
+    // single-consumer, and they have no elementwise consumers at all.
+    EXPECT_EQ(countRule(diags, analysis::rules::unfusedElementwise), 0);
+}
+
+TEST(GraphLint, UnpipelinedConsumerClearedByCompiler)
+{
+    Graph g;
+    const int x = g.input({{1024, 1024}, DataType::BF16}, "x");
+    const int w = g.input({{1024, 1024}, DataType::BF16}, "w");
+    const int mm = g.matmul(x, w, "proj");
+    (void)g.elementwise({mm}, 1, false, "act");
+    const auto raw = lintGraph(g);
+    EXPECT_EQ(countRule(raw, analysis::rules::unpipelinedConsumer), 1);
+
+    Compiler().compile(g);
+    const auto compiled = lintGraph(g);
+    EXPECT_EQ(
+        countRule(compiled, analysis::rules::unpipelinedConsumer), 0);
+}
+
+TEST(GraphLint, GeometryThrashDetectedOnDlrmDenseGraph)
+{
+    // DLRM RM1's dense stack mixes MLP widths enough that the MME
+    // geometry selector switches configurations (observed: 4 of 14
+    // transitions) — exactly the churn Figure 7(a) attributes cost to.
+    models::DlrmModel model(models::DlrmConfig::rm1());
+    Graph g = model.buildDenseGraph(models::DlrmRunConfig{});
+    const auto diags = lintGraph(g);
+    ASSERT_EQ(countRule(diags, analysis::rules::mmeGeometryThrash), 1);
+    for (const analysis::Diagnostic &d : diags) {
+        if (d.rule == analysis::rules::mmeGeometryThrash) {
+            EXPECT_NE(d.message.find("reconfigure"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(GraphLint, UniformGemmsDoNotThrash)
+{
+    Graph g;
+    int cur = g.input({{512, 512}, DataType::BF16}, "x");
+    for (int i = 0; i < 4; i++) {
+        const int w = g.input({{512, 512}, DataType::BF16}, "w");
+        cur = g.matmul(cur, w, "layer");
+    }
+    const auto diags = lintGraph(g);
+    EXPECT_EQ(countRule(diags, analysis::rules::mmeGeometryThrash), 0);
+}
+
+} // namespace
+} // namespace vespera::graph

@@ -137,6 +137,57 @@ TEST_F(ContextTest, SubGranuleLoadRoundsUpOnBus)
     EXPECT_EQ(program_.busBytes(256), 256u);      // Bus traffic.
 }
 
+TEST_F(ContextTest, InstructionsCarryIntrinsicLabels)
+{
+    Tensor a({64}, DataType::FP32);
+    Vec v = ctx_.v_ld_tnsr({0, 0, 0, 0, 0}, a);
+    Vec s = ctx_.v_add(v, v);
+    ctx_.v_st_tnsr({0, 0, 0, 0, 0}, a, s);
+    ASSERT_EQ(program_.instrs().size(), 3u);
+    EXPECT_EQ(program_.label(program_.instrs()[0].opLabel),
+              "v_ld_tnsr");
+    EXPECT_EQ(program_.label(program_.instrs()[1].opLabel), "v_add");
+    EXPECT_EQ(program_.label(program_.instrs()[2].opLabel),
+              "v_st_tnsr");
+}
+
+TEST_F(ContextTest, PhaseLabelOverridesAndReverts)
+{
+    Tensor a({64}, DataType::FP32);
+    ctx_.setOpLabel("phase1:reduce");
+    Vec v = ctx_.v_ld_tnsr({0, 0, 0, 0, 0}, a);
+    Vec s = ctx_.v_add(v, v);
+    ctx_.setOpLabel("");
+    ctx_.v_st_tnsr({0, 0, 0, 0, 0}, a, s);
+    EXPECT_EQ(program_.label(program_.instrs()[0].opLabel),
+              "phase1:reduce");
+    EXPECT_EQ(program_.label(program_.instrs()[1].opLabel),
+              "phase1:reduce");
+    EXPECT_EQ(program_.label(program_.instrs()[2].opLabel),
+              "v_st_tnsr");
+}
+
+TEST_F(ContextTest, MemoryProvenanceRecorded)
+{
+    Tensor a({1024}, DataType::FP32), b({1024}, DataType::FP32);
+    (void)ctx_.v_ld_tnsr({64, 0, 0, 0, 0}, a, 256);
+    (void)ctx_.v_ld_tnsr({0, 0, 0, 0, 0}, b, 256);
+    Vec v = ctx_.v_ld_tnsr({0, 0, 0, 0, 0}, a, 256);
+    ctx_.v_st_local(32, v);
+    const auto &is = program_.instrs();
+    ASSERT_EQ(is.size(), 4u);
+    // Byte offsets within the owning tensor's stream.
+    EXPECT_EQ(is[0].memOffset, 64 * 4);
+    EXPECT_EQ(is[1].memOffset, 0);
+    // Same tensor -> same stream id; different tensors differ.
+    EXPECT_EQ(is[0].memStream, is[2].memStream);
+    EXPECT_NE(is[0].memStream, is[1].memStream);
+    EXPECT_NE(is[0].memStream, 0u);
+    // Local memory uses the reserved stream, offsets in bytes.
+    EXPECT_EQ(is[3].memStream, 1u);
+    EXPECT_EQ(is[3].memOffset, 32 * 4);
+}
+
 TEST_F(ContextTest, LocalMemoryOverflowPanics)
 {
     Tensor a({64}, DataType::FP32);

@@ -130,6 +130,53 @@ TEST(Pipeline, RandomLoadsTrackConcurrency)
     EXPECT_GT(r.memConcurrency, 1.0);
 }
 
+TEST(Pipeline, IssueTraceStallsSumToResultStalls)
+{
+    TpcParams params = TpcParams::forGaudi2();
+    for (int unroll : {1, 4, 8}) {
+        Program p = buildAddTrace(64 / unroll, unroll);
+        IssueTrace trace;
+        PipelineResult r = evaluatePipeline(p, params, &trace);
+        ASSERT_EQ(trace.instrs.size(), p.instrs().size());
+        double sum = trace.drainStall;
+        for (const IssuedInstr &rec : trace.instrs)
+            sum += rec.stallCycles;
+        EXPECT_NEAR(sum, r.stallCycles, 1e-9) << "unroll " << unroll;
+    }
+}
+
+TEST(Pipeline, IssueTraceAttributesDependencyStalls)
+{
+    // Serial ld -> add -> st: the add's stall must be attributed to a
+    // dependency on the load's value, naming that value.
+    Program p;
+    MemberRange range{{0, 0, 0, 0, 0}, {1, 1, 1, 1, 1}};
+    TpcContext ctx(p, range);
+    Tensor t({1 << 12}, DataType::FP32);
+    Vec x = ctx.v_ld_tnsr({0, 0, 0, 0, 0}, t, 256);
+    Vec y = ctx.v_add(x, x);
+    ctx.v_st_tnsr({0, 0, 0, 0, 0}, t, y);
+    IssueTrace trace;
+    evaluatePipeline(p, TpcParams::forGaudi2(), &trace);
+    ASSERT_EQ(trace.instrs.size(), 3u);
+    EXPECT_EQ(trace.instrs[1].cause, StallCause::Dependency);
+    EXPECT_EQ(trace.instrs[1].criticalSrc, x.id);
+    EXPECT_GT(trace.instrs[1].stallCycles, 0.0);
+    EXPECT_EQ(trace.instrs[0].cause, StallCause::None);
+}
+
+TEST(Pipeline, TraceArgumentDoesNotChangeTiming)
+{
+    TpcParams params = TpcParams::forGaudi2();
+    Program p = buildAddTrace(48, 4);
+    IssueTrace trace;
+    PipelineResult with = evaluatePipeline(p, params, &trace);
+    PipelineResult without = evaluatePipeline(p, params);
+    EXPECT_DOUBLE_EQ(with.cycles, without.cycles);
+    EXPECT_DOUBLE_EQ(with.stallCycles, without.stallCycles);
+    EXPECT_EQ(with.busBytes, without.busBytes);
+}
+
 TEST(Pipeline, LocalAccessesAvoidGlobalBus)
 {
     Program p;

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * vespera-lint: static analysis over the repo's TPC kernels and model
+ * graphs.
+ *
+ * Runs every kernel registered in analysis::KernelRegistry under trace
+ * capture, analyzes each recorded tpc::Program, lints the DLRM dense
+ * graph at raw and compiled stages, and reports findings as text and/or
+ * JSON (schema "vespera-lint/v1"). CI runs this with a checked-in
+ * warnings baseline: any error-severity finding, or any warning count
+ * above the baseline, fails the build.
+ *
+ * Usage:
+ *   vespera-lint [--list] [--kernel=SUBSTR] [--json[=PATH]]
+ *                [--baseline=PATH] [--write-baseline=PATH]
+ *                [--fail-on=error|warning|none] [--verbose]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/kernel_registry.h"
+#include "analysis/report.h"
+#include "graph/compiler.h"
+#include "graph/lint.h"
+#include "models/dlrm.h"
+
+namespace {
+
+using vespera::analysis::Diagnostic;
+using vespera::analysis::LintEntry;
+using vespera::analysis::Report;
+using vespera::analysis::Severity;
+
+struct Options
+{
+    bool list = false;
+    bool verbose = false;
+    bool json = false;
+    std::string jsonPath;          ///< "" = stdout.
+    std::string kernelFilter;
+    std::string baselinePath;
+    std::string writeBaselinePath;
+    Severity failOn = Severity::Error;
+    bool failOnNothing = false;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --list                 list registered kernels and exit\n"
+        "  --kernel=SUBSTR        only kernels whose name contains "
+        "SUBSTR\n"
+        "  --json[=PATH]          emit JSON report (stdout or PATH)\n"
+        "  --baseline=PATH        fail when warnings exceed baseline\n"
+        "  --write-baseline=PATH  write the current warnings baseline\n"
+        "  --fail-on=SEV          error (default) | warning | none\n"
+        "  --verbose              per-trace stats even when clean\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *flag) -> const char * {
+            const std::size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) == 0 && arg.size() > n &&
+                arg[n] == '=') {
+                return arg.c_str() + n + 1;
+            }
+            return nullptr;
+        };
+        if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (const char *v = value("--json")) {
+            opt.json = true;
+            opt.jsonPath = v;
+        } else if (const char *v = value("--kernel")) {
+            opt.kernelFilter = v;
+        } else if (const char *v = value("--baseline")) {
+            opt.baselinePath = v;
+        } else if (const char *v = value("--write-baseline")) {
+            opt.writeBaselinePath = v;
+        } else if (const char *v = value("--fail-on")) {
+            if (std::strcmp(v, "error") == 0) {
+                opt.failOn = Severity::Error;
+            } else if (std::strcmp(v, "warning") == 0) {
+                opt.failOn = Severity::Warning;
+            } else if (std::strcmp(v, "none") == 0) {
+                opt.failOnNothing = true;
+            } else {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Wrap graph-lint diagnostics in a Report so they share the render /
+ *  baseline path with kernel traces. */
+Report
+graphReport(const std::string &name, std::vector<Diagnostic> diags)
+{
+    Report r;
+    r.kernel = name;
+    for (Diagnostic &d : diags) {
+        vespera::analysis::RuleSummary &s = r.rules[d.rule];
+        s.count++;
+        s.costCycles += d.costCycles;
+        s.wastedBytes += d.wastedBytes;
+        r.diagnostics.push_back(std::move(d));
+    }
+    return r;
+}
+
+void
+appendGraphEntries(const Options &opt, std::vector<LintEntry> &entries)
+{
+    using vespera::models::DlrmConfig;
+    using vespera::models::DlrmModel;
+    using vespera::models::DlrmRunConfig;
+
+    struct Stage
+    {
+        const char *name;
+        bool compiled;
+    };
+    static constexpr Stage stages[] = {
+        {"graph:dlrm_rm1:raw", false},
+        {"graph:dlrm_rm1:compiled", true},
+    };
+    for (const Stage &stage : stages) {
+        if (!opt.kernelFilter.empty() &&
+            std::string(stage.name).find(opt.kernelFilter) ==
+                std::string::npos) {
+            continue;
+        }
+        DlrmModel model(DlrmConfig::rm1());
+        vespera::graph::Graph g =
+            model.buildDenseGraph(DlrmRunConfig{});
+        if (stage.compiled)
+            vespera::graph::Compiler().compile(g);
+        LintEntry e;
+        e.kernel = stage.name;
+        e.shape = "rm1 batch=1024";
+        e.report =
+            graphReport(stage.name, vespera::graph::lintGraph(g));
+        entries.push_back(std::move(e));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return usage(argv[0]);
+
+    vespera::analysis::registerBuiltinKernels();
+    vespera::analysis::KernelRegistry &reg =
+        vespera::analysis::KernelRegistry::instance();
+
+    if (opt.list) {
+        for (const std::string &name : reg.names())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    std::vector<LintEntry> entries;
+    for (vespera::analysis::TracedKernel &t :
+         reg.traceAll(opt.kernelFilter)) {
+        LintEntry e;
+        e.kernel = t.name;
+        e.shape = t.shape;
+        e.report = vespera::analysis::analyzeProgram(t.program);
+        entries.push_back(std::move(e));
+    }
+    appendGraphEntries(opt, entries);
+
+    if (entries.empty()) {
+        std::fprintf(stderr, "no kernels match filter '%s'\n",
+                     opt.kernelFilter.c_str());
+        return 2;
+    }
+
+    if (!opt.json || !opt.jsonPath.empty()) {
+        std::fputs(
+            vespera::analysis::lintReportText(entries, opt.verbose)
+                .c_str(),
+            stdout);
+    }
+    if (opt.json) {
+        const std::string doc = vespera::json::serialize(
+            vespera::analysis::lintReportJson(entries));
+        if (opt.jsonPath.empty()) {
+            std::puts(doc.c_str());
+        } else {
+            std::ofstream out(opt.jsonPath);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             opt.jsonPath.c_str());
+                return 2;
+            }
+            out << doc << "\n";
+        }
+    }
+    if (!opt.writeBaselinePath.empty()) {
+        std::ofstream out(opt.writeBaselinePath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.writeBaselinePath.c_str());
+            return 2;
+        }
+        out << vespera::json::serialize(
+                   vespera::analysis::baselineJson(entries))
+            << "\n";
+    }
+
+    int rc = 0;
+    if (!opt.baselinePath.empty()) {
+        std::ifstream in(opt.baselinePath);
+        if (!in) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         opt.baselinePath.c_str());
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        vespera::json::Value baseline;
+        std::string error;
+        if (!vespera::json::parse(buf.str(), baseline, &error)) {
+            std::fprintf(stderr, "baseline %s: %s\n",
+                         opt.baselinePath.c_str(), error.c_str());
+            return 2;
+        }
+        const vespera::analysis::BaselineCheck check =
+            vespera::analysis::checkAgainstBaseline(entries, baseline);
+        for (const std::string &failure : check.failures)
+            std::fprintf(stderr, "BASELINE: %s\n", failure.c_str());
+        if (!check.ok)
+            rc = 1;
+    }
+    if (!opt.failOnNothing) {
+        for (const LintEntry &e : entries) {
+            if (e.report.hasSeverity(opt.failOn)) {
+                std::fprintf(
+                    stderr, "FAIL: %s has findings at or above %s\n",
+                    e.kernel.c_str(),
+                    vespera::analysis::severityName(opt.failOn));
+                rc = 1;
+            }
+        }
+    }
+    return rc;
+}
