@@ -17,6 +17,7 @@
 #include "graph/compiler.h"
 #include "graph/executor.h"
 #include "models/dlrm.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -49,24 +50,25 @@ report(const char *name, const std::function<graph::Graph()> &make)
     printHeading(strfmt("Ablation: compiler passes on %s", name));
     Table t({"Fusion", "MME-TPC pipelining", "Time (us)",
              "HBM bytes (MB)", "vs no-opt"});
-    double baseline = 0;
-    for (bool fuse : {false, true}) {
-        for (bool pipe : {false, true}) {
-            graph::Graph g = make();
-            graph::CompilerOptions opts;
-            opts.fuseElementwise = fuse;
-            opts.pipelineMmeTpc = pipe;
-            graph::Compiler(opts).compile(g);
-            graph::Executor exec(DeviceKind::Gaudi2);
-            auto r = exec.run(g);
-            if (baseline == 0)
-                baseline = r.time;
-            t.addRow({fuse ? "on" : "off", pipe ? "on" : "off",
-                      Table::num(r.time * 1e6, 1),
-                      Table::num(static_cast<double>(r.hbmBytes) / 1e6,
-                                 1),
-                      Table::num(baseline / r.time, 2)});
-        }
+    const bool toggles[] = {false, true};
+    runtime::SweepRunner sweepr("ablation.compiler");
+    auto results = sweepr.mapIndex(4, [&](std::size_t i) {
+        graph::Graph g = make();
+        graph::CompilerOptions opts;
+        opts.fuseElementwise = toggles[i / 2];
+        opts.pipelineMmeTpc = toggles[i % 2];
+        graph::Compiler(opts).compile(g);
+        graph::Executor exec(DeviceKind::Gaudi2);
+        return exec.run(g);
+    });
+    const double baseline = results[0].time; // fusion off, pipe off
+    for (std::size_t i = 0; i < results.size(); i++) {
+        const auto &r = results[i];
+        t.addRow({toggles[i / 2] ? "on" : "off",
+                  toggles[i % 2] ? "on" : "off",
+                  Table::num(r.time * 1e6, 1),
+                  Table::num(static_cast<double>(r.hbmBytes) / 1e6, 1),
+                  Table::num(baseline / r.time, 2)});
     }
     t.print();
 }

@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "mem/hbm.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -43,7 +44,9 @@ main(int argc, char **argv)
     };
 
     mem::HbmModel a100(hw::a100Spec());
-    for (Bytes vec : {16, 32, 64, 128, 256, 512}) {
+    const std::vector<Bytes> vecs = {16, 32, 64, 128, 256, 512};
+    runtime::SweepRunner sweepr("ablation.granularity");
+    auto rows = sweepr.map(vecs, [&](Bytes vec) {
         std::vector<std::string> row = {
             Table::integer(static_cast<long long>(vec))};
         for (const auto &spec : specs) {
@@ -51,8 +54,10 @@ main(int argc, char **argv)
             row.push_back(Table::pct(util(m, vec)));
         }
         row.push_back(Table::pct(util(a100, vec)));
+        return row;
+    });
+    for (auto &row : rows)
         t.addRow(std::move(row));
-    }
     t.print();
 
     std::printf(

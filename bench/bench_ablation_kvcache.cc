@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/table.h"
+#include "runtime/sweep.h"
 #include "serve/engine.h"
 
 #include "bench_common.h"
@@ -31,21 +32,29 @@ main(int argc, char **argv)
                  "(Llama-8B, Gaudi-2, 4 GiB KV pool)");
     Table t({"Policy", "Max batch", "Tok/s", "Avg decode batch",
              "Mean TTFT (s)", "Preemptions"});
-    for (auto policy : {serve::KvPolicy::Contiguous,
-                        serve::KvPolicy::Paged}) {
-        for (int max_batch : {16, 64}) {
+    const std::vector<serve::KvPolicy> policies = {
+        serve::KvPolicy::Contiguous, serve::KvPolicy::Paged};
+    const std::vector<int> max_batches = {16, 64};
+    runtime::SweepRunner sweepr("ablation.kvcache");
+    auto metrics = sweepr.mapIndex(
+        policies.size() * max_batches.size(), [&](std::size_t i) {
             serve::EngineConfig cfg;
             cfg.device = DeviceKind::Gaudi2;
-            cfg.maxDecodeBatch = max_batch;
+            cfg.maxDecodeBatch = max_batches[i % max_batches.size()];
             cfg.kvCacheBytes = 4ull << 30;
             cfg.maxModelLen = 4096;
-            cfg.kvPolicy = policy;
+            cfg.kvPolicy = policies[i / max_batches.size()];
             serve::Engine engine(model, cfg);
             Rng rng(31);
-            auto m = engine.run(serve::makeDynamicTrace(tc, rng));
-            t.addRow({policy == serve::KvPolicy::Paged ? "paged"
-                                                       : "contiguous",
-                      Table::integer(max_batch),
+            return engine.run(serve::makeDynamicTrace(tc, rng));
+        });
+    for (std::size_t p = 0; p < policies.size(); p++) {
+        for (std::size_t b = 0; b < max_batches.size(); b++) {
+            const auto &m = metrics[p * max_batches.size() + b];
+            t.addRow({policies[p] == serve::KvPolicy::Paged
+                          ? "paged"
+                          : "contiguous",
+                      Table::integer(max_batches[b]),
                       Table::num(m.throughputTokensPerSec, 0),
                       Table::num(m.avgDecodeBatch, 1),
                       Table::num(m.meanTtft, 2),

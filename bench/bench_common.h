@@ -2,13 +2,17 @@
  * @file
  * Shared telemetry harness for every `bench_*` binary.
  *
- * Gives all benches three uniform flags with zero per-bench logic:
+ * Gives all benches four uniform flags with zero per-bench logic:
  *
  *   --trace=<path>     write a Perfetto/Chrome trace (spans + counter
  *                      tracks) of everything the run recorded
  *   --metrics=<path>   write a `vespera-metrics/v1` JSON document
  *                      (device counters, rate meters, optional
  *                      google-benchmark timings)
+ *   --threads=<n>      size the runtime::Pool the bench's sweeps fan
+ *                      out on (also `--threads <n>`; 0 = all cores).
+ *                      Output is bit-identical at any value — the
+ *                      runtime's determinism contract (docs/runtime.md)
  *   --quiet            suppress normal stdout (telemetry still written)
  *
  * Usage pattern (see any bench_*.cc):
@@ -27,11 +31,14 @@
 #define VESPERA_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "common/io.h"
 #include "obs/export.h"
+#include "runtime/pool.h"
 
 namespace vespera::bench {
 
@@ -42,6 +49,7 @@ struct Options
     std::string tracePath;   ///< Empty = no trace export.
     std::string metricsPath; ///< Empty = no metrics export.
     bool quiet = false;
+    int threads = 1;         ///< Runtime pool size this run used.
     /** Extra google-benchmark results merged into the metrics doc. */
     obs::MetricsMeta meta;
 };
@@ -65,6 +73,11 @@ parseArgs(int &argc, char **argv, const char *bench_name)
             opts.tracePath = arg + 8;
         } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
             opts.metricsPath = arg + 10;
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            opts.threads = std::atoi(arg + 10);
+        } else if (std::strcmp(arg, "--threads") == 0 &&
+                   i + 1 < argc) {
+            opts.threads = std::atoi(argv[++i]);
         } else if (std::strcmp(arg, "--quiet") == 0) {
             opts.quiet = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
@@ -73,6 +86,9 @@ parseArgs(int &argc, char **argv, const char *bench_name)
                 "%s — vespera benchmark\n"
                 "  --trace=<path>    write Perfetto/Chrome trace JSON\n"
                 "  --metrics=<path>  write vespera-metrics/v1 JSON\n"
+                "  --threads=<n>     parallel sweep workers (0 = all "
+                "cores);\n"
+                "                    output is identical at any value\n"
                 "  --quiet           suppress normal stdout\n",
                 bench_name);
             std::exit(0);
@@ -82,6 +98,14 @@ parseArgs(int &argc, char **argv, const char *bench_name)
     }
     argc = kept;
     argv[argc] = nullptr;
+
+    if (opts.threads <= 0 && opts.threads != 1) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        opts.threads = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    if (opts.threads < 1)
+        opts.threads = 1;
+    runtime::Pool::setGlobalThreads(opts.threads);
 
     if (!opts.tracePath.empty())
         obs::Profiler::instance().setEnabled(true);

@@ -17,6 +17,7 @@
 #include "hw/mme.h"
 #include "hw/tensor_core.h"
 #include "mem/hbm.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -34,17 +35,22 @@ main(int argc, char **argv)
     printHeading("Projected GEMM throughput (BF16 TFLOPS)");
     Table t({"Shape", "A100", "Gaudi-2", "Gaudi-3 (proj.)",
              "G3 util"});
-    for (std::int64_t s : {1024, 4096, 8192, 16384}) {
+    const std::vector<std::int64_t> sizes = {1024, 4096, 8192, 16384};
+    runtime::SweepRunner sweepr("ext_gaudi3.gemm");
+    auto rows = sweepr.map(sizes, [&](std::int64_t s) {
         hw::GemmShape shape{s, s, s};
         auto a = tc.gemm(shape, DataType::BF16);
         auto g2 = mme2.gemm(shape, DataType::BF16);
         auto g3c = mme3.gemm(shape, DataType::BF16);
-        t.addRow({strfmt("%lld^3", static_cast<long long>(s)),
-                  Table::num(a.achievedFlops / TFLOPS, 0),
-                  Table::num(g2.achievedFlops / TFLOPS, 0),
-                  Table::num(g3c.achievedFlops / TFLOPS, 0),
-                  Table::pct(g3c.utilization)});
-    }
+        return std::vector<std::string>{
+            strfmt("%lld^3", static_cast<long long>(s)),
+            Table::num(a.achievedFlops / TFLOPS, 0),
+            Table::num(g2.achievedFlops / TFLOPS, 0),
+            Table::num(g3c.achievedFlops / TFLOPS, 0),
+            Table::pct(g3c.utilization)};
+    });
+    for (auto &row : rows)
+        t.addRow(std::move(row));
     t.print();
 
     printHeading("Projected memory-bound LLM decode arithmetic");

@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "models/dlrm.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -39,13 +40,26 @@ main(int argc, char **argv)
     Table t({"Devices", "Device", "Emb (us)", "AllToAll (us)",
              "Dense (us)", "Samples/s", "Scaling", "Samples/J"});
 
-    double base_gaudi = 0, base_a100 = 0;
-    for (int n : {1, 2, 4, 8}) {
-        for (auto dev : {DeviceKind::Gaudi2, DeviceKind::A100}) {
+    const std::vector<int> device_counts = {1, 2, 4, 8};
+    const std::vector<DeviceKind> devices = {DeviceKind::Gaudi2,
+                                             DeviceKind::A100};
+    runtime::SweepRunner sweepr("ext_multidevice.scaling");
+    auto reports = sweepr.mapIndex(
+        device_counts.size() * devices.size(), [&](std::size_t i) {
+            const int n = device_counts[i / devices.size()];
+            const DeviceKind dev = devices[i % devices.size()];
+            // Fresh fixed-seed stream per point, as the serial loop had.
             Rng rng(17);
-            models::DlrmReport r =
-                n == 1 ? model.run(dev, run, rng)
-                       : model.runMultiDevice(dev, run, n, rng);
+            return n == 1 ? model.run(dev, run, rng)
+                          : model.runMultiDevice(dev, run, n, rng);
+        });
+    double base_gaudi = 0, base_a100 = 0;
+    for (std::size_t c = 0; c < device_counts.size(); c++) {
+        for (std::size_t d = 0; d < devices.size(); d++) {
+            const int n = device_counts[c];
+            const DeviceKind dev = devices[d];
+            const models::DlrmReport &r =
+                reports[c * devices.size() + d];
             double &base = dev == DeviceKind::Gaudi2 ? base_gaudi
                                                      : base_a100;
             if (n == 1)

@@ -16,6 +16,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "coll/collective.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -36,13 +37,18 @@ main(int argc, char **argv)
         CollectiveOp::Reduce,        CollectiveOp::Broadcast,
     };
 
+    std::vector<Bytes> sizes;
+    for (Bytes size = 2 * 1024; size <= 32ull * 1024 * 1024; size *= 4)
+        sizes.push_back(size);
+
     for (CollectiveOp op : ops) {
         printHeading(strfmt("Figure 10: %s bus-bandwidth utilization",
                             collectiveName(op)));
         Table t({"Size", "Gaudi-2 n=2", "Gaudi-2 n=4", "Gaudi-2 n=8",
                  "A100 n=2", "A100 n=4", "A100 n=8"});
-        for (Bytes size = 2 * 1024; size <= 32ull * 1024 * 1024;
-             size *= 4) {
+        runtime::SweepRunner sweepr(
+            strfmt("fig10.%s", collectiveName(op)));
+        auto rows = sweepr.map(sizes, [&](Bytes size) {
             std::vector<std::string> row;
             if (size < 1024 * 1024) {
                 row.push_back(strfmt("%llu KB",
@@ -59,8 +65,10 @@ main(int argc, char **argv)
                             .busBandwidthUtilization));
                 }
             }
+            return row;
+        });
+        for (auto &row : rows)
             t.addRow(std::move(row));
-        }
         t.print();
     }
 

@@ -18,6 +18,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "models/dlrm.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -38,26 +39,45 @@ sweep(const models::DlrmConfig &base)
              "Energy-eff ratio"});
     Accumulator speedups, power_ratio, eff;
     double best = 0, worst = 10;
-    for (int batch : {256, 1024, 4096}) {
-        for (Bytes vec : {64, 128, 256, 512}) {
+    const std::vector<int> batches = {256, 1024, 4096};
+    const std::vector<Bytes> vec_sizes = {64, 128, 256, 512};
+    struct PointResult
+    {
+        double speedup = 0;
+        double powerRatio = 0;
+        double energyEff = 0;
+    };
+    runtime::SweepRunner sweepr(strfmt("fig11.%s", cfg.name.c_str()));
+    auto points = sweepr.mapIndex(
+        batches.size() * vec_sizes.size(), [&](std::size_t i) {
             models::DlrmRunConfig run;
-            run.batch = batch;
-            run.embVectorBytes = vec;
+            run.batch = batches[i / vec_sizes.size()];
+            run.embVectorBytes = vec_sizes[i % vec_sizes.size()];
+            // Each point draws from its own fixed-seed stream, exactly
+            // as the serial loop did (seed was reset per point).
             Rng rng(1234);
             auto g = model.run(DeviceKind::Gaudi2, run, rng);
             auto a = model.run(DeviceKind::A100, run, rng);
-            const double speedup = g.samplesPerSec / a.samplesPerSec;
-            const double pr = g.power / a.power;
-            const double er = g.samplesPerJoule / a.samplesPerJoule;
-            speedups.add(speedup);
-            power_ratio.add(pr);
-            eff.add(er);
-            best = std::max(best, speedup);
-            worst = std::min(worst, speedup);
-            t.addRow({Table::integer(batch),
-                      Table::integer(static_cast<long long>(vec)),
-                      Table::num(speedup, 2), Table::num(pr, 2),
-                      Table::num(er, 2)});
+            PointResult pr;
+            pr.speedup = g.samplesPerSec / a.samplesPerSec;
+            pr.powerRatio = g.power / a.power;
+            pr.energyEff = g.samplesPerJoule / a.samplesPerJoule;
+            return pr;
+        });
+    for (std::size_t b = 0; b < batches.size(); b++) {
+        for (std::size_t v = 0; v < vec_sizes.size(); v++) {
+            const PointResult &pr = points[b * vec_sizes.size() + v];
+            speedups.add(pr.speedup);
+            power_ratio.add(pr.powerRatio);
+            eff.add(pr.energyEff);
+            best = std::max(best, pr.speedup);
+            worst = std::min(worst, pr.speedup);
+            t.addRow({Table::integer(batches[b]),
+                      Table::integer(
+                          static_cast<long long>(vec_sizes[v])),
+                      Table::num(pr.speedup, 2),
+                      Table::num(pr.powerRatio, 2),
+                      Table::num(pr.energyEff, 2)});
         }
     }
     t.print();

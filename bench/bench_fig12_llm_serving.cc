@@ -17,6 +17,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "models/llama.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -31,18 +32,25 @@ speedupHeatmap(const models::LlamaConfig &cfg, int tp)
     printHeading(strfmt("Figure 12(a): %s speedup, TP=%d",
                         cfg.name.c_str(), tp));
     Table t({"Batch \\ OutLen", "25", "50", "100", "200", "400"});
-    Accumulator acc;
-    for (int batch : {1, 4, 16, 64}) {
-        std::vector<std::string> row = {Table::integer(batch)};
-        for (int out : {25, 50, 100, 200, 400}) {
+    const std::vector<int> batches = {1, 4, 16, 64};
+    const std::vector<int> outs = {25, 50, 100, 200, 400};
+    runtime::SweepRunner sweepr(strfmt("fig12a.tp%d", tp));
+    auto speedups = sweepr.mapIndex(
+        batches.size() * outs.size(), [&](std::size_t i) {
             models::LlamaServingConfig s;
-            s.batch = batch;
+            s.batch = batches[i / outs.size()];
             s.inputLen = 100;
-            s.outputLen = out;
+            s.outputLen = outs[i % outs.size()];
             s.tpDevices = tp;
             auto g = model.serve(DeviceKind::Gaudi2, s);
             auto a = model.serve(DeviceKind::A100, s);
-            const double sp = a.totalTime / g.totalTime;
+            return a.totalTime / g.totalTime;
+        });
+    Accumulator acc;
+    for (std::size_t b = 0; b < batches.size(); b++) {
+        std::vector<std::string> row = {Table::integer(batches[b])};
+        for (std::size_t o = 0; o < outs.size(); o++) {
+            const double sp = speedups[b * outs.size() + o];
             acc.add(sp);
             row.push_back(Table::num(sp, 2));
         }
@@ -62,13 +70,18 @@ latencyBreakdown()
 
     Table t1({"Output len (in=100)", "Prefill (ms)", "Decode (ms)",
               "Decode share"});
-    for (int out : {25, 50, 100, 200, 400}) {
+    const std::vector<int> outs = {25, 50, 100, 200, 400};
+    runtime::SweepRunner sweep_out("fig12b.out_len");
+    auto by_out = sweep_out.map(outs, [&](int out) {
         models::LlamaServingConfig s;
         s.batch = 64;
         s.inputLen = 100;
         s.outputLen = out;
-        auto r = model.serve(DeviceKind::Gaudi2, s);
-        t1.addRow({Table::integer(out),
+        return model.serve(DeviceKind::Gaudi2, s);
+    });
+    for (std::size_t i = 0; i < outs.size(); i++) {
+        const auto &r = by_out[i];
+        t1.addRow({Table::integer(outs[i]),
                    Table::num(r.prefillTime * 1e3, 1),
                    Table::num(r.decodeTime * 1e3, 1),
                    Table::pct(r.decodeTime / r.totalTime)});
@@ -77,13 +90,18 @@ latencyBreakdown()
 
     Table t2({"Input len (out=100)", "Prefill (ms)", "Decode (ms)",
               "Prefill share"});
-    for (int in : {100, 200, 400, 800, 1600}) {
+    const std::vector<int> ins = {100, 200, 400, 800, 1600};
+    runtime::SweepRunner sweep_in("fig12b.in_len");
+    auto by_in = sweep_in.map(ins, [&](int in) {
         models::LlamaServingConfig s;
         s.batch = 64;
         s.inputLen = in;
         s.outputLen = 100;
-        auto r = model.serve(DeviceKind::Gaudi2, s);
-        t2.addRow({Table::integer(in),
+        return model.serve(DeviceKind::Gaudi2, s);
+    });
+    for (std::size_t i = 0; i < ins.size(); i++) {
+        const auto &r = by_in[i];
+        t2.addRow({Table::integer(ins[i]),
                    Table::num(r.prefillTime * 1e3, 1),
                    Table::num(r.decodeTime * 1e3, 1),
                    Table::pct(r.prefillTime / r.totalTime)});

@@ -16,6 +16,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "models/llama.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -31,20 +32,34 @@ energyHeatmap(const models::LlamaConfig &cfg, int tp)
                         cfg.name.c_str(), tp));
     Table t({"Batch \\ OutLen", "25", "100", "400"});
     Accumulator eff, power;
-    for (int batch : {1, 4, 16, 64}) {
-        std::vector<std::string> row = {Table::integer(batch)};
-        for (int out : {25, 100, 400}) {
+    const std::vector<int> batches = {1, 4, 16, 64};
+    const std::vector<int> outs = {25, 100, 400};
+    struct PointResult
+    {
+        double effRatio = 0;
+        double powerRatio = 0;
+    };
+    runtime::SweepRunner sweepr(strfmt("fig13.tp%d", tp));
+    auto points = sweepr.mapIndex(
+        batches.size() * outs.size(), [&](std::size_t i) {
             models::LlamaServingConfig s;
-            s.batch = batch;
+            s.batch = batches[i / outs.size()];
             s.inputLen = 100;
-            s.outputLen = out;
+            s.outputLen = outs[i % outs.size()];
             s.tpDevices = tp;
             auto g = model.serve(DeviceKind::Gaudi2, s);
             auto a = model.serve(DeviceKind::A100, s);
-            eff.add(g.tokensPerJoule / a.tokensPerJoule);
-            power.add(g.avgPowerPerDevice / a.avgPowerPerDevice);
-            row.push_back(
-                Table::num(g.tokensPerJoule / a.tokensPerJoule, 2));
+            return PointResult{g.tokensPerJoule / a.tokensPerJoule,
+                               g.avgPowerPerDevice /
+                                   a.avgPowerPerDevice};
+        });
+    for (std::size_t b = 0; b < batches.size(); b++) {
+        std::vector<std::string> row = {Table::integer(batches[b])};
+        for (std::size_t o = 0; o < outs.size(); o++) {
+            const PointResult &pr = points[b * outs.size() + o];
+            eff.add(pr.effRatio);
+            power.add(pr.powerRatio);
+            row.push_back(Table::num(pr.effRatio, 2));
         }
         t.addRow(std::move(row));
     }

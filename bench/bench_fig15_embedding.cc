@@ -22,6 +22,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "kern/embedding.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -50,18 +51,22 @@ tableSweep()
     printHeading("Figure 15(a): utilization vs table count "
                  "(batch 256, 256 B vectors)");
     Table t({"Tables", "SingleTable", "BatchedTable", "Batched gain"});
-    for (int tables : {1, 2, 5, 10, 20}) {
+    const std::vector<int> table_counts = {1, 2, 5, 10, 20};
+    runtime::SweepRunner sweepr("fig15a.tables");
+    auto rows = sweepr.map(table_counts, [&](int tables) {
         EmbeddingConfig c = rm2Config();
         c.numTables = tables;
         EmbeddingLayerGaudi layer(c);
         Rng rng(7);
         auto single = layer.run(EmbeddingVariant::SingleTable, rng);
         auto batched = layer.run(EmbeddingVariant::BatchedTable, rng);
-        t.addRow({Table::integer(tables),
-                  Table::pct(single.hbmUtilization),
-                  Table::pct(batched.hbmUtilization),
-                  Table::num(single.time / batched.time, 2)});
-    }
+        return std::vector<std::string>{
+            Table::integer(tables), Table::pct(single.hbmUtilization),
+            Table::pct(batched.hbmUtilization),
+            Table::num(single.time / batched.time, 2)};
+    });
+    for (auto &row : rows)
+        t.addRow(std::move(row));
     t.print();
 }
 
@@ -74,37 +79,53 @@ vectorBatchSweep()
              "BatchedTable", "A100 FBGEMM", "Batched/A100"});
     Accumulator g_all, g_small, a_all, a_small, gain;
     double g_peak = 0, a_peak = 0;
-    for (Bytes vec : {64, 128, 256, 512}) {
-        for (int batch : {256, 1024, 4096}) {
+    const std::vector<Bytes> vec_sizes = {64, 128, 256, 512};
+    const std::vector<int> batches = {256, 1024, 4096};
+    struct PointResult
+    {
+        kern::EmbeddingResult sdk;
+        kern::EmbeddingResult single;
+        kern::EmbeddingResult batched;
+        kern::EmbeddingResult a100;
+    };
+    runtime::SweepRunner sweepr("fig15bcd.vec_batch");
+    auto points = sweepr.mapIndex(
+        vec_sizes.size() * batches.size(), [&](std::size_t i) {
             EmbeddingConfig c = rm2Config();
-            c.vectorBytes = vec;
-            c.batch = batch;
+            c.vectorBytes = vec_sizes[i / batches.size()];
+            c.batch = batches[i % batches.size()];
             c.pooling = 10;
             EmbeddingLayerGaudi layer(c);
             Rng rng(11);
-            auto sdk = layer.run(EmbeddingVariant::SdkSingleTable, rng);
-            auto single = layer.run(EmbeddingVariant::SingleTable, rng);
-            auto batched =
-                layer.run(EmbeddingVariant::BatchedTable, rng);
-            auto a100 = kern::runEmbeddingA100(c);
+            PointResult pr;
+            pr.sdk = layer.run(EmbeddingVariant::SdkSingleTable, rng);
+            pr.single = layer.run(EmbeddingVariant::SingleTable, rng);
+            pr.batched = layer.run(EmbeddingVariant::BatchedTable, rng);
+            pr.a100 = kern::runEmbeddingA100(c);
+            return pr;
+        });
+    for (std::size_t v = 0; v < vec_sizes.size(); v++) {
+        for (std::size_t b = 0; b < batches.size(); b++) {
+            const Bytes vec = vec_sizes[v];
+            const PointResult &pr = points[v * batches.size() + b];
 
-            g_all.add(batched.hbmUtilization);
-            a_all.add(a100.hbmUtilization);
+            g_all.add(pr.batched.hbmUtilization);
+            a_all.add(pr.a100.hbmUtilization);
             if (vec < 256) {
-                g_small.add(batched.hbmUtilization);
-                a_small.add(a100.hbmUtilization);
+                g_small.add(pr.batched.hbmUtilization);
+                a_small.add(pr.a100.hbmUtilization);
             }
-            g_peak = std::max(g_peak, batched.hbmUtilization);
-            a_peak = std::max(a_peak, a100.hbmUtilization);
-            gain.add(single.time / batched.time);
+            g_peak = std::max(g_peak, pr.batched.hbmUtilization);
+            a_peak = std::max(a_peak, pr.a100.hbmUtilization);
+            gain.add(pr.single.time / pr.batched.time);
 
             t.addRow({Table::integer(static_cast<long long>(vec)),
-                      Table::integer(batch),
-                      Table::pct(sdk.hbmUtilization),
-                      Table::pct(single.hbmUtilization),
-                      Table::pct(batched.hbmUtilization),
-                      Table::pct(a100.hbmUtilization),
-                      Table::num(a100.time / batched.time, 2)});
+                      Table::integer(batches[b]),
+                      Table::pct(pr.sdk.hbmUtilization),
+                      Table::pct(pr.single.hbmUtilization),
+                      Table::pct(pr.batched.hbmUtilization),
+                      Table::pct(pr.a100.hbmUtilization),
+                      Table::num(pr.a100.time / pr.batched.time, 2)});
         }
     }
     t.print();

@@ -22,6 +22,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "kern/paged_attention.h"
+#include "runtime/sweep.h"
 #include "serve/engine.h"
 
 #include "bench_common.h"
@@ -39,17 +40,24 @@ optVsBase()
                  "(0% padding)");
     Table t({"SeqLen", "Batch 8", "Batch 16", "Batch 32", "Batch 64"});
     Accumulator acc;
-    for (std::int64_t seq : {1024, 2048, 4096}) {
-        std::vector<std::string> row = {Table::integer(seq)};
-        for (int batch : {8, 16, 32, 64}) {
+    const std::vector<std::int64_t> seqs = {1024, 2048, 4096};
+    const std::vector<int> batches = {8, 16, 32, 64};
+    runtime::SweepRunner sweepr("fig17a.opt_vs_base");
+    auto speedups = sweepr.mapIndex(
+        seqs.size() * batches.size(), [&](std::size_t i) {
             PagedAttentionConfig c;
-            c.batch = batch;
-            c.seqLen = seq;
+            c.batch = batches[i % batches.size()];
+            c.seqLen = seqs[i / batches.size()];
             auto base =
                 kern::runPagedAttention(c, PagedAttentionImpl::GaudiBase);
             auto opt =
                 kern::runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
-            const double sp = base.time / opt.time;
+            return base.time / opt.time;
+        });
+    for (std::size_t s = 0; s < seqs.size(); s++) {
+        std::vector<std::string> row = {Table::integer(seqs[s])};
+        for (std::size_t b = 0; b < batches.size(); b++) {
+            const double sp = speedups[s * batches.size() + b];
             acc.add(sp);
             row.push_back(Table::num(sp, 1));
         }
@@ -67,7 +75,9 @@ paddingSweep()
     Table t({"Padded fraction", "vLLM_opt speedup over vLLM_base"});
     Accumulator acc;
     double max_speedup = 0;
-    for (double pad : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const std::vector<double> pads = {0.1, 0.3, 0.5, 0.7, 0.9};
+    runtime::SweepRunner sweepr("fig17b.padding");
+    auto speedups = sweepr.map(pads, [](double pad) {
         PagedAttentionConfig c;
         c.batch = 32;
         c.seqLen = 4096;
@@ -77,10 +87,13 @@ paddingSweep()
         c.paddedFraction = 0;
         auto opt =
             kern::runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
-        const double sp = base.time / opt.time;
+        return base.time / opt.time;
+    });
+    for (std::size_t i = 0; i < pads.size(); i++) {
+        const double sp = speedups[i];
         acc.add(sp);
         max_speedup = std::max(max_speedup, sp);
-        t.addRow({Table::pct(pad, 0), Table::num(sp, 1)});
+        t.addRow({Table::pct(pads[i], 0), Table::num(sp, 1)});
     }
     t.print();
     std::printf("Average %.1fx (paper 21x), max %.1fx (paper 55.7x)\n",
@@ -94,19 +107,26 @@ vsA100()
                  "PagedAttention throughput");
     Table t({"SeqLen", "Batch", "Gaudi-2/A100 throughput"});
     Accumulator acc;
-    for (std::int64_t seq : {1024, 4096}) {
-        for (int batch : {8, 32, 64}) {
+    const std::vector<std::int64_t> seqs = {1024, 4096};
+    const std::vector<int> batches = {8, 32, 64};
+    runtime::SweepRunner sweepr("fig17c.vs_a100");
+    auto rels = sweepr.mapIndex(
+        seqs.size() * batches.size(), [&](std::size_t i) {
             PagedAttentionConfig c;
-            c.batch = batch;
-            c.seqLen = seq;
+            c.batch = batches[i % batches.size()];
+            c.seqLen = seqs[i / batches.size()];
             auto opt =
                 kern::runPagedAttention(c, PagedAttentionImpl::GaudiOpt);
             auto a100 = kern::runPagedAttention(
                 c, PagedAttentionImpl::A100Fused);
-            const double rel = a100.time / opt.time;
+            return a100.time / opt.time;
+        });
+    for (std::size_t s = 0; s < seqs.size(); s++) {
+        for (std::size_t b = 0; b < batches.size(); b++) {
+            const double rel = rels[s * batches.size() + b];
             acc.add(rel);
-            t.addRow({Table::integer(seq), Table::integer(batch),
-                      Table::pct(rel)});
+            t.addRow({Table::integer(seqs[s]),
+                      Table::integer(batches[b]), Table::pct(rel)});
         }
     }
     t.print();
@@ -128,7 +148,14 @@ endToEnd()
     serve::TraceConfig tc;
     tc.numRequests = 128;
 
-    for (int max_batch : {4, 8, 16, 32, 64}) {
+    const std::vector<int> max_batches = {4, 8, 16, 32, 64};
+    struct PointResult
+    {
+        serve::ServingMetrics gaudi;
+        serve::ServingMetrics a100;
+    };
+    runtime::SweepRunner sweepr("fig17de.end_to_end");
+    auto points = sweepr.map(max_batches, [&](int max_batch) {
         Rng rng(99);
         auto trace = serve::makeDynamicTrace(tc, rng);
 
@@ -137,14 +164,20 @@ endToEnd()
         gcfg.maxDecodeBatch = max_batch;
         gcfg.attention = models::AttentionBackend::VllmOpt;
         serve::Engine gaudi(model, gcfg);
-        auto gm = gaudi.run(trace);
 
         serve::EngineConfig acfg = gcfg;
         acfg.device = DeviceKind::A100;
         serve::Engine a100(model, acfg);
-        auto am = a100.run(trace);
 
-        t.addRow({Table::integer(max_batch),
+        PointResult pr;
+        pr.gaudi = gaudi.run(trace);
+        pr.a100 = a100.run(trace);
+        return pr;
+    });
+    for (std::size_t i = 0; i < max_batches.size(); i++) {
+        const auto &gm = points[i].gaudi;
+        const auto &am = points[i].a100;
+        t.addRow({Table::integer(max_batches[i]),
                   Table::num(gm.throughputTokensPerSec, 0),
                   Table::num(am.throughputTokensPerSec, 0),
                   Table::num(gm.throughputTokensPerSec /

@@ -16,6 +16,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "kern/gemm.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -37,24 +38,26 @@ main(int argc, char **argv)
     Table table({"Shape (MxKxN)", "OI (flop/B)", "Gaudi-2 TFLOPS",
                  "A100 TFLOPS", "Gaudi/A100", "Gaudi bound",
                  "A100 bound"});
-    for (const auto &shape : shapes) {
+    runtime::SweepRunner sweepr("fig4.roofline");
+    auto rows = sweepr.map(shapes, [&](const hw::GemmShape &shape) {
         auto g = kern::runGemm(DeviceKind::Gaudi2, shape,
                                DataType::BF16);
         auto a = kern::runGemm(DeviceKind::A100, shape, DataType::BF16);
         const double oi =
             shape.flops() /
             static_cast<double>(shape.idealTraffic(DataType::BF16));
-        table.addRow(
-            {strfmt("%lldx%lldx%lld",
-                    static_cast<long long>(shape.m),
-                    static_cast<long long>(shape.k),
-                    static_cast<long long>(shape.n)),
-             Table::num(oi, 1), Table::num(g.achievedFlops / TFLOPS, 1),
-             Table::num(a.achievedFlops / TFLOPS, 1),
-             Table::num(g.achievedFlops / a.achievedFlops, 2),
-             g.memoryBound() ? "memory" : "compute",
-             a.memoryBound() ? "memory" : "compute"});
-    }
+        return std::vector<std::string>{
+            strfmt("%lldx%lldx%lld", static_cast<long long>(shape.m),
+                   static_cast<long long>(shape.k),
+                   static_cast<long long>(shape.n)),
+            Table::num(oi, 1), Table::num(g.achievedFlops / TFLOPS, 1),
+            Table::num(a.achievedFlops / TFLOPS, 1),
+            Table::num(g.achievedFlops / a.achievedFlops, 2),
+            g.memoryBound() ? "memory" : "compute",
+            a.memoryBound() ? "memory" : "compute"};
+    });
+    for (auto &row : rows)
+        table.addRow(std::move(row));
     table.print();
     return bench::finish(opts);
 }

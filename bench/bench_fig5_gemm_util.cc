@@ -16,6 +16,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "kern/gemm.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -33,20 +34,30 @@ main(int argc, char **argv)
     Accumulator gap;
     double max_rel = 0;
     std::int64_t max_rel_at = 0;
-    for (auto s : sizes) {
+    struct UtilPair
+    {
+        double gaudi = 0;
+        double a100 = 0;
+    };
+    runtime::SweepRunner sq_sweep("fig5a.square");
+    auto square_utils = sq_sweep.map(sizes, [](std::int64_t s) {
         auto g = kern::runGemm(DeviceKind::Gaudi2, {s, s, s},
                                DataType::BF16);
         auto a = kern::runGemm(DeviceKind::A100, {s, s, s},
                                DataType::BF16);
-        gap.add(g.utilization - a.utilization);
-        if (g.utilization / a.utilization > max_rel) {
-            max_rel = g.utilization / a.utilization;
+        return UtilPair{g.utilization, a.utilization};
+    });
+    for (std::size_t i = 0; i < sizes.size(); i++) {
+        const auto s = sizes[i];
+        const UtilPair &u = square_utils[i];
+        gap.add(u.gaudi - u.a100);
+        if (u.gaudi / u.a100 > max_rel) {
+            max_rel = u.gaudi / u.a100;
             max_rel_at = s;
         }
-        square.addRow({Table::integer(s), Table::pct(g.utilization),
-                       Table::pct(a.utilization),
-                       Table::num((g.utilization - a.utilization) * 100,
-                                  1)});
+        square.addRow({Table::integer(s), Table::pct(u.gaudi),
+                       Table::pct(u.a100),
+                       Table::num((u.gaudi - u.a100) * 100, 1)});
     }
     square.print();
     std::printf("\nAverage utilization gap: %+.1f pp "
@@ -58,19 +69,24 @@ main(int argc, char **argv)
 
     printHeading("Figure 5(b): irregular GEMM (N=16) utilization");
     Table irr({"MxK", "Gaudi-2 util", "A100 util"});
-    for (auto m : sizes) {
-        for (auto k : {m / 2, m}) {
-            auto g = kern::runGemm(DeviceKind::Gaudi2, {m, k, 16},
-                                   DataType::BF16);
-            auto a = kern::runGemm(DeviceKind::A100, {m, k, 16},
-                                   DataType::BF16);
-            irr.addRow({strfmt("%lldx%lld",
-                               static_cast<long long>(m),
-                               static_cast<long long>(k)),
-                        Table::pct(g.utilization),
-                        Table::pct(a.utilization)});
-        }
-    }
+    std::vector<hw::GemmShape> irr_shapes;
+    for (auto m : sizes)
+        for (auto k : {m / 2, m})
+            irr_shapes.push_back({m, k, 16});
+    runtime::SweepRunner irr_sweep("fig5b.irregular");
+    auto irr_rows =
+        irr_sweep.map(irr_shapes, [](const hw::GemmShape &shape) {
+            auto g =
+                kern::runGemm(DeviceKind::Gaudi2, shape, DataType::BF16);
+            auto a =
+                kern::runGemm(DeviceKind::A100, shape, DataType::BF16);
+            return std::vector<std::string>{
+                strfmt("%lldx%lld", static_cast<long long>(shape.m),
+                       static_cast<long long>(shape.k)),
+                Table::pct(g.utilization), Table::pct(a.utilization)};
+        });
+    for (auto &row : irr_rows)
+        irr.addRow(std::move(row));
     irr.print();
     return bench::finish(opts);
 }

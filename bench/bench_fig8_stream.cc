@@ -21,6 +21,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "kern/stream.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -43,18 +44,26 @@ granularitySweep()
                  "(no unrolling)");
     Table t({"Granularity (B)", "ADD GFLOPS", "SCALE GFLOPS",
              "TRIAD GFLOPS"});
-    for (Bytes gran : {4, 16, 64, 128, 256, 512, 1024, 2048}) {
-        std::vector<std::string> row = {
-            Table::integer(static_cast<long long>(gran))};
-        for (StreamOp op : ops) {
+    // Flattened gran x op points (gran-major = the serial loop order,
+    // so the replayed counter sequence is unchanged).
+    const std::vector<Bytes> grans = {4,   16,  64,   128,
+                                      256, 512, 1024, 2048};
+    runtime::SweepRunner sweep("fig8a.granularity");
+    auto gflops =
+        sweep.mapIndex(grans.size() * ops.size(), [&](std::size_t i) {
             StreamConfig c;
-            c.op = op;
+            c.op = ops[i % ops.size()];
             c.numElements = singleTpcElems;
-            c.accessBytes = gran;
+            c.accessBytes = grans[i / ops.size()];
             c.unroll = 1;
             c.numTpcs = 1;
-            row.push_back(Table::num(kern::runStreamGaudi(c).gflops, 1));
-        }
+            return kern::runStreamGaudi(c).gflops;
+        });
+    for (std::size_t g = 0; g < grans.size(); g++) {
+        std::vector<std::string> row = {
+            Table::integer(static_cast<long long>(grans[g]))};
+        for (std::size_t o = 0; o < ops.size(); o++)
+            row.push_back(Table::num(gflops[g * ops.size() + o], 1));
         t.addRow(std::move(row));
     }
     t.print();
@@ -65,16 +74,21 @@ unrollSweep()
 {
     printHeading("Figure 8(b): single TPC, unroll factor sweep (256 B)");
     Table t({"Unroll", "ADD GFLOPS", "SCALE GFLOPS", "TRIAD GFLOPS"});
-    for (int unroll : {1, 2, 4, 8, 16}) {
-        std::vector<std::string> row = {Table::integer(unroll)};
-        for (StreamOp op : ops) {
+    const std::vector<int> unrolls = {1, 2, 4, 8, 16};
+    runtime::SweepRunner sweep("fig8b.unroll");
+    auto gflops =
+        sweep.mapIndex(unrolls.size() * ops.size(), [&](std::size_t i) {
             StreamConfig c;
-            c.op = op;
+            c.op = ops[i % ops.size()];
             c.numElements = singleTpcElems;
-            c.unroll = unroll;
+            c.unroll = unrolls[i / ops.size()];
             c.numTpcs = 1;
-            row.push_back(Table::num(kern::runStreamGaudi(c).gflops, 1));
-        }
+            return kern::runStreamGaudi(c).gflops;
+        });
+    for (std::size_t u = 0; u < unrolls.size(); u++) {
+        std::vector<std::string> row = {Table::integer(unrolls[u])};
+        for (std::size_t o = 0; o < ops.size(); o++)
+            row.push_back(Table::num(gflops[u * ops.size() + o], 1));
         t.addRow(std::move(row));
     }
     t.print();
@@ -86,15 +100,20 @@ weakScaling()
     printHeading("Figure 8(c): weak scaling over TPC count "
                  "(24M elements, unroll 4)");
     Table t({"TPCs", "ADD GFLOPS", "SCALE GFLOPS", "TRIAD GFLOPS"});
-    for (int tpcs : {1, 2, 4, 8, 11, 15, 20, 24}) {
-        std::vector<std::string> row = {Table::integer(tpcs)};
-        for (StreamOp op : ops) {
+    const std::vector<int> tpc_counts = {1, 2, 4, 8, 11, 15, 20, 24};
+    runtime::SweepRunner sweep("fig8c.weak_scaling");
+    auto gflops = sweep.mapIndex(
+        tpc_counts.size() * ops.size(), [&](std::size_t i) {
             StreamConfig c;
-            c.op = op;
+            c.op = ops[i % ops.size()];
             c.numElements = chipElems;
-            c.numTpcs = tpcs;
-            row.push_back(Table::num(kern::runStreamGaudi(c).gflops, 0));
-        }
+            c.numTpcs = tpc_counts[i / ops.size()];
+            return kern::runStreamGaudi(c).gflops;
+        });
+    for (std::size_t n = 0; n < tpc_counts.size(); n++) {
+        std::vector<std::string> row = {Table::integer(tpc_counts[n])};
+        for (std::size_t o = 0; o < ops.size(); o++)
+            row.push_back(Table::num(gflops[n * ops.size() + o], 0));
         t.addRow(std::move(row));
     }
     t.print();
@@ -109,25 +128,35 @@ intensitySweep(StreamOp op, const char *panel)
                         panel, kern::streamOpName(op)));
     Table t({"OI (flop/B)", "Gaudi-2 GFLOPS", "Gaudi-2 util",
              "A100 GFLOPS", "A100 util"});
-    double g_sat = 0, a_sat = 0;
-    for (int extra : {0, 2, 8, 32, 128, 512}) {
+    struct PointResult
+    {
+        kern::StreamResult gaudi;
+        kern::StreamResult a100;
+    };
+    const std::vector<int> extras = {0, 2, 8, 32, 128, 512};
+    runtime::SweepRunner sweep(strfmt("fig8%s.intensity", panel));
+    auto points = sweep.map(extras, [&](int extra) {
         StreamConfig cg;
         cg.op = op;
         cg.numElements = 1ull << 20;
         cg.extraComputePerVector = extra;
-        auto g = kern::runStreamGaudi(cg);
+        PointResult pr;
+        pr.gaudi = kern::runStreamGaudi(cg);
 
         StreamConfig ca = cg;
         ca.numElements = 16ull << 20;
-        auto a = kern::runStreamA100(ca);
-
-        g_sat = std::max(g_sat, g.vectorUtilization);
-        a_sat = std::max(a_sat, a.vectorUtilization);
-        t.addRow({Table::num(g.operationalIntensity, 2),
-                  Table::num(g.gflops, 0),
-                  Table::pct(g.vectorUtilization),
-                  Table::num(a.gflops, 0),
-                  Table::pct(a.vectorUtilization)});
+        pr.a100 = kern::runStreamA100(ca);
+        return pr;
+    });
+    double g_sat = 0, a_sat = 0;
+    for (const PointResult &pr : points) {
+        g_sat = std::max(g_sat, pr.gaudi.vectorUtilization);
+        a_sat = std::max(a_sat, pr.a100.vectorUtilization);
+        t.addRow({Table::num(pr.gaudi.operationalIntensity, 2),
+                  Table::num(pr.gaudi.gflops, 0),
+                  Table::pct(pr.gaudi.vectorUtilization),
+                  Table::num(pr.a100.gflops, 0),
+                  Table::pct(pr.a100.vectorUtilization)});
     }
     t.print();
     std::printf("Saturation utilization: Gaudi-2 %.0f%%, A100 %.0f%% "

@@ -21,6 +21,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "kern/gather_scatter.h"
+#include "runtime/sweep.h"
 
 #include "bench_common.h"
 
@@ -37,27 +38,51 @@ sweep(bool scatter)
     Table t({"Vector (B)", "Fraction", "Gaudi-2 util", "A100 util",
              "A100/Gaudi"});
     Accumulator g_small, g_big, a_small, a_big;
-    Rng rng(42);
-    for (Bytes vec : {16, 32, 64, 128, 256, 512, 1024, 2048}) {
-        for (double fraction : {0.25, 1.0}) {
+    const std::vector<Bytes> vecs = {16,  32,  64,   128,
+                                     256, 512, 1024, 2048};
+    const std::vector<double> fractions = {0.25, 1.0};
+    struct PointResult
+    {
+        kern::GatherScatterResult gaudi;
+        kern::GatherScatterResult a100;
+    };
+    runtime::SweepRunner sweepr(scatter ? "fig9b.scatter"
+                                        : "fig9a.gather");
+    auto points = sweepr.mapIndex(
+        vecs.size() * fractions.size(), [&](std::size_t i) {
+            const Bytes vec = vecs[i / fractions.size()];
             kern::GatherScatterConfig c;
             // Cap functional footprint; larger vectors use fewer rows.
             c.numVectors = std::min<std::uint64_t>(
                 1ull << 17, (256ull << 20) / vec);
             c.vectorBytes = vec;
-            c.accessFraction = fraction;
+            c.accessFraction = fractions[i % fractions.size()];
             c.scatter = scatter;
-            auto g = kern::runGatherScatterGaudi(c, rng);
-            auto a = kern::runGatherScatterA100(c);
+            // Per-point seed: points share no Rng stream, so any
+            // thread-count runs the same draws for the same point.
+            Rng rng(42 + 1000003 * static_cast<std::uint64_t>(i));
+            PointResult pr;
+            pr.gaudi = kern::runGatherScatterGaudi(c, rng);
+            pr.a100 = kern::runGatherScatterA100(c);
+            return pr;
+        });
+    for (std::size_t v = 0; v < vecs.size(); v++) {
+        for (std::size_t f = 0; f < fractions.size(); f++) {
+            const Bytes vec = vecs[v];
+            const double fraction = fractions[f];
+            const PointResult &pr = points[v * fractions.size() + f];
             if (fraction == 1.0) {
-                (vec >= 256 ? g_big : g_small).add(g.hbmUtilization);
-                (vec >= 256 ? a_big : a_small).add(a.hbmUtilization);
+                (vec >= 256 ? g_big : g_small)
+                    .add(pr.gaudi.hbmUtilization);
+                (vec >= 256 ? a_big : a_small)
+                    .add(pr.a100.hbmUtilization);
             }
             t.addRow({Table::integer(static_cast<long long>(vec)),
                       Table::pct(fraction, 0),
-                      Table::pct(g.hbmUtilization),
-                      Table::pct(a.hbmUtilization),
-                      Table::num(a.hbmUtilization / g.hbmUtilization,
+                      Table::pct(pr.gaudi.hbmUtilization),
+                      Table::pct(pr.a100.hbmUtilization),
+                      Table::num(pr.a100.hbmUtilization /
+                                     pr.gaudi.hbmUtilization,
                                  2)});
         }
     }

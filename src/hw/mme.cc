@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/capture.h"
 #include "obs/counters.h"
 
 namespace vespera::hw {
@@ -143,11 +144,22 @@ MmeModel::gemm(const GemmShape &shape, DataType dt) const
     gemms.add();
     flops.add(shape.flops());
     busy.add(cost.time);
-    if (cost.geometry != lastGeometry_) {
-        if (!lastGeometry_.empty())
-            reconfigs.add();
-        lastGeometry_ = cost.geometry;
-    }
+    // The reconfig decision compares against the *previous* gemm()
+    // call's geometry — an order-dependent read of shared state. Under
+    // a capture (parallel task) it must not run on the worker thread:
+    // defer it to the outermost replay, which is serial and
+    // index-ordered, so the count matches serial execution exactly.
+    auto apply_reconfig = [this, geom = cost.geometry] {
+        if (geom != lastGeometry_) {
+            if (!lastGeometry_.empty())
+                reconfigs.add();
+            lastGeometry_ = geom;
+        }
+    };
+    if (obs::SideEffectLog *log = obs::ScopedCapture::current())
+        log->appendDeferred(std::move(apply_reconfig));
+    else
+        apply_reconfig();
     return cost;
 }
 

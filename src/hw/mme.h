@@ -81,7 +81,10 @@ class MmeModel
     std::vector<MmeGeometry> geometries_;
     /// Last geometry chosen by gemm(), for counting reconfiguration
     /// events (`mme.reconfigs`) the way the Gaudi profiler surfaces
-    /// them. Telemetry only — never read by the cost math.
+    /// them. Telemetry only — never read by the cost math. Only ever
+    /// touched serially: under a runtime capture the update is
+    /// deferred to the outermost index-ordered replay (obs/capture.h),
+    /// so the count is thread-count-invariant.
     mutable std::string lastGeometry_;
 
     /// Extra cycles charged per output tile (tile-switch bubbles).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/capture.h"
+
 namespace vespera::obs {
 
 namespace {
@@ -31,6 +33,10 @@ atomicMax(std::atomic<double> &a, double v)
 void
 Counter::add(double v)
 {
+    if (SideEffectLog *log = ScopedCapture::current()) {
+        log->append({SideEffectOp::Kind::CounterAdd, this, v, 0, {}});
+        return;
+    }
     atomicAdd(value_, v);
     updates_.fetch_add(1, std::memory_order_relaxed);
     bumpPeak(value_.load(std::memory_order_relaxed));
@@ -39,6 +45,10 @@ Counter::add(double v)
 void
 Counter::set(double v)
 {
+    if (SideEffectLog *log = ScopedCapture::current()) {
+        log->append({SideEffectOp::Kind::CounterSet, this, v, 0, {}});
+        return;
+    }
     value_.store(v, std::memory_order_relaxed);
     updates_.fetch_add(1, std::memory_order_relaxed);
     bumpPeak(v);
@@ -61,6 +71,10 @@ Counter::reset()
 void
 RateMeter::add(double amount, Seconds dt)
 {
+    if (SideEffectLog *log = ScopedCapture::current()) {
+        log->append({SideEffectOp::Kind::RateAdd, this, amount, dt, {}});
+        return;
+    }
     atomicAdd(total_, amount);
     if (dt > 0)
         atomicAdd(elapsed_, dt);

@@ -33,6 +33,11 @@ namespace vespera::obs {
  * One named counter. `add` accumulates a monotonic total; `set` gives
  * gauge semantics (last value wins). Both maintain a high-water mark
  * and an update count. All updates are lock-free and thread-safe.
+ *
+ * Under an active obs::ScopedCapture (see capture.h) updates on that
+ * thread are deferred into the capture's SideEffectLog instead of
+ * applied — how the parallel runtime keeps counter totals
+ * bit-identical at any thread count.
  */
 class Counter
 {

@@ -112,6 +112,15 @@ metricsJson(const CounterRegistry &registry, const MetricsMeta &meta)
 
     std::map<std::string, json::Value> counters;
     for (const CounterSnapshot &c : registry.snapshot()) {
+        // `runtime.*` counters describe the simulator's own host-side
+        // execution (task counts, steals, worker busy time) and vary
+        // with --threads and scheduling. The metrics document records
+        // what the *simulated device* did, and its determinism contract
+        // (docs/runtime.md) is byte-identity at any thread count, so
+        // host telemetry stays out; it still appears in the end-of-run
+        // counter summary and the Perfetto trace.
+        if (c.name.rfind("runtime.", 0) == 0)
+            continue;
         std::map<std::string, json::Value> entry;
         entry["value"] = json::Value::makeNumber(c.value);
         entry["peak"] = json::Value::makeNumber(c.peak);

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic fork/join primitives: parallel_for / parallel_map.
+ *
+ * Both run their body across the global runtime::Pool with a *stable,
+ * index-ordered reduction* of every observable side effect:
+ *
+ *  - each index executes under an obs::ScopedCapture, so its
+ *    Counter/RateMeter updates land in a private, ordered log;
+ *  - after the join, the logs replay in index order — the exact
+ *    sequence a serial loop would have produced.
+ *
+ * Result: counter values, peaks, update counts — and therefore the
+ * `--metrics` JSON document — are bit-identical at any thread count.
+ * parallel_map additionally writes each result into its index slot,
+ * so the returned vector is order-stable by construction.
+ *
+ * Nesting composes: a body may itself call parallel_for. The nested
+ * replay happens inside the enclosing capture, appending to the outer
+ * log in the right position.
+ *
+ * Error semantics: if any index throws, every index still runs, the
+ * side-effect logs are discarded (a failed region leaves no partial
+ * counter state), and the lowest-index exception is rethrown.
+ */
+
+#ifndef VESPERA_RUNTIME_PARALLEL_H
+#define VESPERA_RUNTIME_PARALLEL_H
+
+#include <type_traits>
+#include <vector>
+
+#include "obs/capture.h"
+#include "obs/profiler.h"
+#include "runtime/pool.h"
+
+namespace vespera::runtime {
+
+/**
+ * Run fn(i) for i in [0, count) on the global pool with index-ordered
+ * side-effect replay. Serial (1-thread pool) executions skip the
+ * capture machinery entirely — an inline loop already applies effects
+ * in index order, which is precisely the contract.
+ */
+template <typename Fn>
+void
+parallel_for(std::size_t count, Fn &&fn)
+{
+    Pool &pool = Pool::global();
+    if (pool.threads() == 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; i++)
+            fn(i);
+        return;
+    }
+
+    obs::ScopedSpan span("runtime.parallel_for", "runtime");
+    std::vector<obs::SideEffectLog> logs(count);
+    pool.run(count, [&](std::size_t i) {
+        obs::ScopedCapture capture(logs[i]);
+        fn(i);
+    });
+    // Only reached when no index threw (Pool::run rethrows first).
+    for (obs::SideEffectLog &log : logs)
+        log.replay();
+}
+
+/**
+ * parallel_for that collects fn(i) into a vector by index. The result
+ * type must be default-constructible (rows, report structs, PODs).
+ */
+template <typename Fn>
+auto
+parallel_map(std::size_t count, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using R = std::invoke_result_t<Fn &, std::size_t>;
+    static_assert(std::is_default_constructible_v<R>,
+                  "parallel_map results are written into preallocated "
+                  "index slots");
+    std::vector<R> out(count);
+    parallel_for(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace vespera::runtime
+
+#endif // VESPERA_RUNTIME_PARALLEL_H

@@ -1,0 +1,227 @@
+#include "runtime/pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/counters.h"
+
+namespace vespera::runtime {
+
+namespace {
+
+/** Pool telemetry (host-side; excluded from metrics JSON). */
+struct PoolCounters
+{
+    obs::Counter &tasks;
+    obs::Counter &steals;
+    obs::Counter &batches;
+    obs::Counter &busySeconds;
+
+    static PoolCounters &
+    instance()
+    {
+        auto &reg = obs::CounterRegistry::instance();
+        static PoolCounters c{reg.counter("runtime.tasks"),
+                              reg.counter("runtime.steals"),
+                              reg.counter("runtime.batches"),
+                              reg.counter("runtime.busy_seconds")};
+        return c;
+    }
+};
+
+std::unique_ptr<Pool> &
+globalSlot()
+{
+    static std::unique_ptr<Pool> pool = std::make_unique<Pool>(1);
+    return pool;
+}
+
+} // namespace
+
+Pool::Pool(int threads) : threads_(std::max(1, threads))
+{
+    // Touch the counters so the registry names exist at any thread
+    // count — a metrics snapshot must list the same keys whether or
+    // not the pool ever went parallel.
+    PoolCounters::instance();
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 0; w < threads_ - 1; w++)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+Pool::~Pool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+Pool &
+Pool::global()
+{
+    return *globalSlot();
+}
+
+void
+Pool::setGlobalThreads(int threads)
+{
+    auto &slot = globalSlot();
+    const int want = std::max(1, threads);
+    if (slot->threads() == want)
+        return;
+    slot = std::make_unique<Pool>(want);
+}
+
+void
+Pool::run(std::size_t count,
+          const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    if (threads_ == 1 || count == 1) {
+        // Serial degenerate case: same all-indices-run,
+        // lowest-index-exception semantics as the parallel path.
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < count; i++) {
+            try {
+                body(i);
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->body = &body;
+    batch->count = count;
+    const auto participants = static_cast<std::size_t>(threads_);
+    const std::size_t per = (count + participants - 1) / participants;
+    batch->chunks = std::make_unique<Batch::Chunk[]>(participants);
+    batch->nchunks = participants;
+    for (std::size_t c = 0; c < participants; c++) {
+        batch->chunks[c].next.store(std::min(c * per, count),
+                                    std::memory_order_relaxed);
+        batch->chunks[c].end = std::min((c + 1) * per, count);
+    }
+    PoolCounters::instance().batches.add();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        active_.push_back(batch);
+    }
+    work_.notify_all();
+
+    participate(*batch, 0);
+
+    {
+        std::unique_lock<std::mutex> lock(batch->mu);
+        batch->joined.wait(lock, [&] {
+            return batch->done.load(std::memory_order_acquire) == count;
+        });
+    }
+    delist(*batch);
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+void
+Pool::participate(Batch &batch, std::size_t home)
+{
+    PoolCounters &counters = PoolCounters::instance();
+    const std::size_t nchunks = batch.nchunks;
+    home %= nchunks;
+    for (std::size_t off = 0; off < nchunks; off++) {
+        Batch::Chunk &chunk = batch.chunks[(home + off) % nchunks];
+        while (true) {
+            const std::size_t i =
+                chunk.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= chunk.end)
+                break;
+            if (off != 0)
+                counters.steals.add();
+            runIndex(batch, i);
+        }
+    }
+    // Leaving the loop means every chunk's cursor is exhausted: all
+    // indices are claimed (though stragglers may still be executing).
+    // Take the batch off the active list so idle workers sleep instead
+    // of rediscovering it.
+    delist(batch);
+}
+
+void
+Pool::runIndex(Batch &batch, std::size_t index)
+{
+    PoolCounters &counters = PoolCounters::instance();
+    counters.tasks.add();
+    const auto begin = std::chrono::steady_clock::now();
+    try {
+        (*batch.body)(index);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.mu);
+        if (index < batch.errorIndex) {
+            batch.errorIndex = index;
+            batch.error = std::current_exception();
+        }
+    }
+    counters.busySeconds.add(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count());
+
+    const std::size_t done =
+        batch.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == batch.count) {
+        // Lock-then-notify so the joiner cannot check its predicate
+        // between our fetch_add and notify and then sleep forever.
+        std::lock_guard<std::mutex> lock(batch.mu);
+        batch.joined.notify_all();
+    }
+}
+
+void
+Pool::delist(Batch &batch)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!batch.listed)
+        return;
+    batch.listed = false;
+    for (std::size_t b = 0; b < active_.size(); b++) {
+        if (active_[b].get() == &batch) {
+            active_.erase(active_.begin() +
+                          static_cast<std::ptrdiff_t>(b));
+            break;
+        }
+    }
+}
+
+void
+Pool::workerLoop(int worker_index)
+{
+    while (true) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_.wait(lock,
+                       [&] { return stop_ || !active_.empty(); });
+            if (stop_)
+                return;
+            // Newest batch first: nested batches are submitted last
+            // and their submitter is blocked inside an outer task, so
+            // they are the critical path.
+            batch = active_.back();
+        }
+        participate(*batch, static_cast<std::size_t>(worker_index) + 1);
+    }
+}
+
+} // namespace vespera::runtime

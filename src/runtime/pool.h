@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Work-stealing thread pool for the simulation runtime.
+ *
+ * The simulator's hot loops are embarrassingly parallel at three
+ * levels — bench sweep points, per-TPC grid slices, and the serving
+ * engine's step-cost evaluations — so the pool is built for coarse
+ * fork/join batches, not fine-grained task graphs:
+ *
+ *  - `run(count, body)` executes body(0..count-1) across the workers
+ *    and the calling thread, blocking until all complete.
+ *  - Each batch is split into one index chunk per participant; a
+ *    participant drains its own chunk through an atomic cursor, then
+ *    *steals* from the other chunks, so uneven point costs (a 4 B
+ *    granularity STREAM point costs ~500x a 2 KiB one) still balance.
+ *  - Nesting is safe: a body may call run() again. The nested caller
+ *    participates in its own batch, so progress never depends on a
+ *    free worker and nested parallel_for cannot deadlock.
+ *
+ * Determinism is NOT this layer's job: which thread runs which index
+ * is scheduling-dependent. The ordered layer above
+ * (runtime/parallel.h) captures per-index side effects and replays
+ * them in index order; see docs/runtime.md for the contract.
+ *
+ * Telemetry: `runtime.tasks`, `runtime.steals`, `runtime.batches`,
+ * and `runtime.busy_seconds` counters (host-side; excluded from the
+ * metrics JSON document, which must stay thread-count-invariant).
+ */
+
+#ifndef VESPERA_RUNTIME_POOL_H
+#define VESPERA_RUNTIME_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vespera::runtime {
+
+/** Fork/join work-stealing pool. */
+class Pool
+{
+  public:
+    /**
+     * @param threads Total parallelism including the calling thread:
+     *        `threads - 1` workers are spawned. 1 = fully serial (no
+     *        workers, run() degenerates to a plain loop).
+     */
+    explicit Pool(int threads = 1);
+    ~Pool();
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    /**
+     * The process-wide pool used by parallel_for / SweepRunner / the
+     * dispatcher and engine. Starts at 1 thread (serial) until
+     * setGlobalThreads is called (bench `--threads N`).
+     */
+    static Pool &global();
+
+    /**
+     * Resize the process-wide pool. Must not be called while parallel
+     * work is in flight. `threads < 1` is clamped to 1.
+     */
+    static void setGlobalThreads(int threads);
+
+    int threads() const { return threads_; }
+
+    /**
+     * Execute body(i) for every i in [0, count), blocking until all
+     * complete. The calling thread participates. If any body throws,
+     * the remaining indices still run and the exception thrown for the
+     * lowest index is rethrown after the join (deterministic choice).
+     */
+    void run(std::size_t count,
+             const std::function<void(std::size_t)> &body);
+
+  private:
+    /** One fork/join batch: per-participant index chunks + a cursor. */
+    struct Batch
+    {
+        /// One claimed-index cursor per chunk; `next` advances through
+        /// [base, end).
+        struct Chunk
+        {
+            std::atomic<std::size_t> next{0};
+            std::size_t end = 0;
+        };
+
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::unique_ptr<Chunk[]> chunks; ///< Atomics: not movable, so
+                                         ///< a flat array, not vector.
+        std::size_t nchunks = 0;
+        std::size_t count = 0;
+        std::atomic<std::size_t> done{0};
+        bool listed = true; ///< Still on the pool's active list
+                            ///< (guarded by the pool mutex).
+
+        std::mutex mu;
+        std::condition_variable joined;
+
+        /// Lowest-index exception (mu-guarded).
+        std::exception_ptr error;
+        std::size_t errorIndex = SIZE_MAX;
+    };
+
+    void workerLoop(int worker_index);
+
+    /** Drain `batch` starting from chunk `home`; returns when every
+     *  index is claimed (not necessarily finished). */
+    void participate(Batch &batch, std::size_t home);
+
+    void runIndex(Batch &batch, std::size_t index);
+
+    /** Remove the batch from the active list (idempotent). */
+    void delist(Batch &batch);
+
+    const int threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable work_;
+    std::vector<std::shared_ptr<Batch>> active_;
+    bool stop_ = false;
+};
+
+} // namespace vespera::runtime
+
+#endif // VESPERA_RUNTIME_POOL_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SweepRunner: the bench-facing adapter over parallel_map.
+ *
+ * Every bench binary is a set of sweeps — "for each (granularity, op)
+ * evaluate the model and print a row". SweepRunner fans the points out
+ * across the global pool and hands back per-point results in point
+ * order, so the bench assembles tables and accumulators exactly as the
+ * serial loop did (stdout and `--metrics` JSON are unchanged by
+ * `--threads`; see docs/runtime.md for the adoption recipe).
+ *
+ * Each sweep records a host trace span ("sweep:<name>", one per task
+ * batch) and bumps `runtime.sweep_points`, so a `--trace` of a
+ * parallel bench shows where the wall time went.
+ */
+
+#ifndef VESPERA_RUNTIME_SWEEP_H
+#define VESPERA_RUNTIME_SWEEP_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/profiler.h"
+#include "runtime/parallel.h"
+
+namespace vespera::runtime {
+
+/** Fans a bench's sweep points out across the global pool. */
+class SweepRunner
+{
+  public:
+    /** @param name Sweep label for trace spans ("fig8a.granularity"). */
+    explicit SweepRunner(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Evaluate fn over every point; results come back in point order.
+     * fn must be safe to call concurrently (points share no mutable
+     * state — give each point its own Rng, tensors, accumulators).
+     */
+    template <typename Point, typename Fn>
+    auto
+    map(const std::vector<Point> &points, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, const Point &>>
+    {
+        obs::ScopedSpan span("sweep:" + name_, "sweep");
+        obs::CounterRegistry::instance()
+            .counter("runtime.sweep_points")
+            .add(static_cast<double>(points.size()));
+        return parallel_map(points.size(), [&](std::size_t i) {
+            return fn(points[i]);
+        });
+    }
+
+    /** Index-based variant for sweeps without a natural point vector. */
+    template <typename Fn>
+    auto
+    mapIndex(std::size_t count, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        obs::ScopedSpan span("sweep:" + name_, "sweep");
+        obs::CounterRegistry::instance()
+            .counter("runtime.sweep_points")
+            .add(static_cast<double>(count));
+        return parallel_map(count, std::forward<Fn>(fn));
+    }
+
+  private:
+    std::string name_;
+};
+
+} // namespace vespera::runtime
+
+#endif // VESPERA_RUNTIME_SWEEP_H

@@ -7,6 +7,7 @@
 #include "common/stats.h"
 #include "obs/counters.h"
 #include "obs/profiler.h"
+#include "runtime/pool.h"
 
 namespace vespera::serve {
 
@@ -54,12 +55,43 @@ Engine::decodeStepTime(int batch, std::int64_t mean_ctx)
     const std::int64_t bucket = (mean_ctx + 63) / 64 * 64;
     const auto key = std::make_pair(batch, bucket);
     auto it = decodeCache_.find(key);
-    if (it != decodeCache_.end())
-        return it->second;
-    const Seconds t = model_.stepTime(config_.device, batch, 1, bucket,
-                                      false, servingCfg_);
-    decodeCache_.emplace(key, t);
-    return t;
+    if (it == decodeCache_.end()) {
+        runtime::Pool &pool = runtime::Pool::global();
+        const int fan = pool.threads();
+        if (fan > 1) {
+            // Speculative prefetch: decode context grows one token per
+            // step, so the misses that follow this one are the next
+            // ctx buckets at the same batch. Evaluate a pool-wide
+            // window of them now, capturing each evaluation's counter
+            // effects; CachedStep::use replays a capture only when the
+            // serial schedule first reads that entry, so entries the
+            // schedule never reads leave no counter footprint and the
+            // op sequence matches single-threaded execution exactly.
+            std::vector<std::pair<std::int64_t, CachedStep>> window(
+                static_cast<std::size_t>(fan));
+            pool.run(window.size(), [&](std::size_t i) {
+                const std::int64_t b =
+                    bucket + 64 * static_cast<std::int64_t>(i);
+                window[i].first = b;
+                obs::ScopedCapture cap(window[i].second.log);
+                window[i].second.t = model_.stepTime(
+                    config_.device, batch, 1, b, false, servingCfg_);
+            });
+            for (auto &entry : window) {
+                decodeCache_.emplace(
+                    std::make_pair(batch, entry.first),
+                    std::move(entry.second));
+            }
+        } else {
+            CachedStep step;
+            step.t = model_.stepTime(config_.device, batch, 1, bucket,
+                                     false, servingCfg_);
+            step.replayed = true; // Eager: effects already applied.
+            decodeCache_.emplace(key, std::move(step));
+        }
+        it = decodeCache_.find(key);
+    }
+    return it->second.use();
 }
 
 Seconds
@@ -67,12 +99,51 @@ Engine::prefillStepTime(int input_len)
 {
     const int bucket = (input_len + 63) / 64 * 64;
     auto it = prefillCache_.find(bucket);
-    if (it != prefillCache_.end())
-        return it->second;
-    const Seconds t = model_.stepTime(config_.device, 1, bucket, bucket,
-                                      true, servingCfg_);
-    prefillCache_.emplace(bucket, t);
-    return t;
+    if (it == prefillCache_.end()) {
+        CachedStep step;
+        step.t = model_.stepTime(config_.device, 1, bucket, bucket,
+                                 true, servingCfg_);
+        step.replayed = true; // Eager: effects already applied.
+        it = prefillCache_.emplace(bucket, std::move(step)).first;
+    }
+    return it->second.use();
+}
+
+void
+Engine::prewarmPrefill(const std::vector<Request> &trace)
+{
+    // Monolithic prefill cost depends only on the input-length bucket,
+    // so the full set of evaluations the run will need is known up
+    // front. Fill the cache across the pool; effects replay at first
+    // read (see decodeStepTime).
+    runtime::Pool &pool = runtime::Pool::global();
+    if (pool.threads() <= 1 || config_.chunkedPrefillTokens > 0)
+        return;
+
+    std::vector<int> buckets;
+    buckets.reserve(trace.size());
+    for (const Request &r : trace)
+        buckets.push_back((r.inputLen + 63) / 64 * 64);
+    std::sort(buckets.begin(), buckets.end());
+    buckets.erase(std::unique(buckets.begin(), buckets.end()),
+                  buckets.end());
+    buckets.erase(std::remove_if(buckets.begin(), buckets.end(),
+                                 [&](int b) {
+                                     return prefillCache_.count(b) > 0;
+                                 }),
+                  buckets.end());
+    if (buckets.empty())
+        return;
+
+    obs::ScopedSpan span("engine.prewarm_prefill", "runtime");
+    std::vector<CachedStep> steps(buckets.size());
+    pool.run(buckets.size(), [&](std::size_t i) {
+        obs::ScopedCapture cap(steps[i].log);
+        steps[i].t = model_.stepTime(config_.device, 1, buckets[i],
+                                     buckets[i], true, servingCfg_);
+    });
+    for (std::size_t i = 0; i < buckets.size(); i++)
+        prefillCache_.emplace(buckets[i], std::move(steps[i]));
 }
 
 ServingMetrics
@@ -84,6 +155,7 @@ Engine::run(std::vector<Request> trace)
                   return a.arrival < b.arrival;
               });
     events_.clear();
+    prewarmPrefill(trace);
 
     const auto &mc = model_.config();
     const Bytes per_token = kvBytesPerToken(
@@ -134,6 +206,8 @@ Engine::run(std::vector<Request> trace)
         registry.counter("engine.decode_tokens");
     static obs::Counter &c_preempt =
         registry.counter("engine.preemptions");
+    static obs::Counter &c_recomputed =
+        registry.counter("engine.recomputed_tokens");
     static obs::Counter &c_kv_in_use =
         registry.counter("kv.blocks_in_use");
     obs::Profiler &profiler = obs::Profiler::instance();
@@ -165,14 +239,29 @@ Engine::run(std::vector<Request> trace)
         events_.push_back(e);
     };
 
+    // Tokens already delivered per request: a preempted request's
+    // recompute regenerates tokens the user has already received, and
+    // those must not count twice toward throughput (or TTFT).
+    std::vector<int> delivered(trace.size(), 0);
+
     // Completes a request's prefill: its first token materializes.
+    // After a preemption the same request prefills again — recompute
+    // rebuilds its KV — but its first token was already delivered, so
+    // TTFT and the generated-token total are recorded only once.
     auto finish_prefill = [&](std::size_t idx) {
         Request &r = trace[idx];
         r.prefilled = true;
         r.generated = 1;
-        r.firstTokenTime = clock;
-        ttft.add(clock - r.arrival);
-        generated_total++;
+        if (r.firstTokenTime < 0) {
+            r.firstTokenTime = clock;
+            ttft.add(clock - r.arrival);
+        }
+        if (r.generated > delivered[idx]) {
+            delivered[idx] = r.generated;
+            generated_total++;
+        } else {
+            c_recomputed.add();
+        }
         if (finished(r)) {
             r.finishTime = clock;
             kv.release(r.id);
@@ -314,7 +403,12 @@ Engine::run(std::vector<Request> trace)
             for (std::size_t k = running.size(); k-- > 0;) {
                 Request &r = trace[running[k]];
                 r.generated++;
-                generated_total++;
+                if (r.generated > delivered[running[k]]) {
+                    delivered[running[k]] = r.generated;
+                    generated_total++;
+                } else {
+                    c_recomputed.add();
+                }
                 if (finished(r)) {
                     r.finishTime = clock;
                     if (r.outputLen > 1) {

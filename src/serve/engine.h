@@ -9,6 +9,16 @@
  * PagedKvCache; when the pool runs dry the newest running request is
  * preempted and re-queued. Step latencies come from the LlamaModel's
  * graph execution with the configured attention backend.
+ *
+ * Parallelism: when the runtime pool is parallel, the engine prefetches
+ * step-cost evaluations — the next decode ctx buckets at the current
+ * batch, and (monolithic-prefill mode) every prefill bucket the trace
+ * will need — across the pool's workers. Each prefetched evaluation
+ * captures its counter side effects (obs/capture.h); the capture is
+ * replayed the first time the serial schedule actually reads that cache
+ * entry, and never for entries the schedule never reads. Counter state
+ * and metrics therefore stay bit-identical at any thread count
+ * (docs/runtime.md).
  */
 
 #ifndef VESPERA_SERVE_ENGINE_H
@@ -18,6 +28,7 @@
 #include <vector>
 
 #include "models/llama.h"
+#include "obs/capture.h"
 #include "serve/kv_cache.h"
 #include "serve/trace.h"
 
@@ -107,16 +118,40 @@ class Engine
     Bytes kvBudget() const { return kvBudget_; }
 
   private:
+    /**
+     * One memoized step-cost evaluation. Entries computed eagerly on
+     * the serial path carry an empty, already-replayed log; entries
+     * prefetched on a worker carry the captured counter effects, which
+     * `use()` applies exactly once, at the first read.
+     */
+    struct CachedStep
+    {
+        Seconds t = 0;
+        obs::SideEffectLog log;
+        bool replayed = false;
+
+        Seconds
+        use()
+        {
+            if (!replayed) {
+                replayed = true;
+                log.replay();
+            }
+            return t;
+        }
+    };
+
     Seconds decodeStepTime(int batch, std::int64_t mean_ctx);
     Seconds prefillStepTime(int input_len);
     Seconds prefillChunkTime(int chunk, std::int64_t ctx);
+    void prewarmPrefill(const std::vector<Request> &trace);
 
     const models::LlamaModel &model_;
     EngineConfig config_;
     models::LlamaServingConfig servingCfg_;
     /// Memoized step times keyed by (batch, ctx bucket).
-    std::map<std::pair<int, std::int64_t>, Seconds> decodeCache_;
-    std::map<int, Seconds> prefillCache_;
+    std::map<std::pair<int, std::int64_t>, CachedStep> decodeCache_;
+    std::map<int, CachedStep> prefillCache_;
     std::vector<EngineEvent> events_;
     Bytes kvBudget_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "runtime/parallel.h"
 
 namespace vespera::tpc {
 
@@ -52,7 +53,16 @@ TpcDispatcher::launch(const Kernel &kernel, const IndexSpace &space,
     const std::int64_t per_tpc =
         (extent + params.numTpcs - 1) / params.numTpcs;
 
-    for (int t = 0; t < params.numTpcs; t++) {
+    // One TPC engine's slice: build the trace, time it.
+    struct TpcOutcome
+    {
+        bool active = false;
+        PipelineResult pr;
+        Bytes usefulBytes = 0;
+        Bytes localHighWater = 0;
+    };
+    auto simulateTpc = [&](int t) {
+        TpcOutcome out;
         MemberRange range;
         for (int d = 0; d < 5; d++) {
             range.start[d] = 0;
@@ -63,25 +73,56 @@ TpcDispatcher::launch(const Kernel &kernel, const IndexSpace &space,
         range.end[params.partitionDim] =
             std::min<std::int64_t>((t + 1) * per_tpc, extent);
         if (range.empty())
-            continue;
+            return out;
 
         Program program;
         program.setKernelName(params.kernelName);
         TpcContext ctx(program, range, params.vectorBytes);
         kernel(ctx);
         if (program.empty())
-            continue;
+            return out;
         if (traceObserver())
             traceObserver()(program, t);
 
-        PipelineResult pr = evaluatePipeline(program, params.tpc);
+        out.pr = evaluatePipeline(program, params.tpc);
+        out.usefulBytes = program.streamBytes() + program.randomBytes();
+        out.localHighWater = ctx.localHighWater();
+        out.active = true;
+        return out;
+    };
+
+    // Each TPC simulates its grid slice on its own worker; the
+    // reduction below runs in TPC order either way, so chip-level
+    // sums are bit-identical at any thread count (parallel_map replays
+    // per-TPC counter effects in index order — see runtime/parallel.h).
+    // The trace-observer path stays serial: observers are documented
+    // as unsynchronized and tooling (vespera-lint) does not need the
+    // parallel speedup.
+    std::vector<TpcOutcome> outcomes;
+    const bool parallel = runtime::Pool::global().threads() > 1 &&
+                          params.numTpcs > 1 && !traceObserver();
+    if (parallel) {
+        outcomes = runtime::parallel_map(
+            static_cast<std::size_t>(params.numTpcs),
+            [&](std::size_t t) {
+                return simulateTpc(static_cast<int>(t));
+            });
+    } else {
+        outcomes.reserve(static_cast<std::size_t>(params.numTpcs));
+        for (int t = 0; t < params.numTpcs; t++)
+            outcomes.push_back(simulateTpc(t));
+    }
+
+    for (const TpcOutcome &out : outcomes) {
+        if (!out.active)
+            continue;
+        const PipelineResult &pr = out.pr;
         result.slowestTpcTime = std::max(result.slowestTpcTime, pr.time);
         result.totalFlops += pr.flops;
         result.busBytes += pr.busBytes;
-        result.usefulBytes +=
-            program.streamBytes() + program.randomBytes();
+        result.usefulBytes += out.usefulBytes;
         result.localMemHighWater =
-            std::max(result.localMemHighWater, ctx.localHighWater());
+            std::max(result.localMemHighWater, out.localHighWater);
         random_accesses += pr.randomAccesses;
         chip_concurrency += pr.memConcurrency;
         random_bus += pr.randomTxns * params.tpc.granule;

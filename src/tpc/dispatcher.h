@@ -7,6 +7,13 @@
  * the chip's 24 TPCs; each TPC executes the same kernel over its slice.
  * The dispatcher runs each TPC's trace through the pipeline model and
  * combines per-TPC times with the chip-level HBM bandwidth bound.
+ *
+ * When the runtime pool is parallel (bench `--threads N`), each TPC
+ * engine simulates its slice on its own worker; the chip-level
+ * reduction always runs in TPC order, so results and counter totals
+ * are bit-identical at any thread count (docs/runtime.md). Kernels
+ * must confine writes to their assigned index-space slice — which the
+ * TPC programming model already requires on real hardware.
  */
 
 #ifndef VESPERA_TPC_DISPATCHER_H
@@ -74,8 +81,10 @@ struct LaunchResult
 /**
  * Observer invoked with every per-TPC Program the dispatcher records,
  * before timing evaluation. Used by the static analyzer / vespera-lint
- * to capture kernel traces without changing kernel entry points. The
- * simulation is single-threaded; no synchronization is provided.
+ * to capture kernel traces without changing kernel entry points. No
+ * synchronization is provided: installing an observer forces the
+ * dispatcher onto its serial per-TPC path even when the runtime pool
+ * is parallel, so observers always see TPCs one at a time, in order.
  */
 using TraceObserver = std::function<void(const Program &, int tpc_index)>;
 

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Paper-shape regression suite: the qualitative claims of the source
+ * paper's figures, as recorded in EXPERIMENTS.md, encoded as ctest
+ * assertions. These are *shape* invariants (who wins, where the
+ * cliffs are, what is monotone) — not re-calibration of the absolute
+ * numbers — so a model change that silently flips a figure's
+ * conclusion fails tier-1 CI instead of shipping.
+ *
+ * Each test names the figure it guards and the EXPERIMENTS.md row it
+ * encodes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "coll/collective.h"
+#include "hw/device_spec.h"
+#include "kern/gather_scatter.h"
+#include "kern/gemm.h"
+#include "kern/stream.h"
+#include "models/llama.h"
+#include "obs/counters.h"
+#include "serve/engine.h"
+
+namespace vespera {
+namespace {
+
+// ---------------------------------------------------------------------
+// Figure 4 — "Gaudi-2 wins every shape" and the 8192^3 near-peak point.
+// ---------------------------------------------------------------------
+
+TEST(RegressFig4, GaudiWinsEveryGemmShape)
+{
+    std::vector<hw::GemmShape> shapes;
+    for (std::int64_t s : {512, 1024, 2048, 4096, 8192, 16384})
+        shapes.push_back({s, s, s});
+    for (std::int64_t s : {2048, 4096, 8192, 16384, 32768})
+        shapes.push_back({s, s, 16});
+
+    for (const auto &shape : shapes) {
+        auto g = kern::runGemm(DeviceKind::Gaudi2, shape,
+                               DataType::BF16);
+        auto a = kern::runGemm(DeviceKind::A100, shape, DataType::BF16);
+        EXPECT_GT(g.achievedFlops, a.achievedFlops)
+            << "A100 won at " << shape.m << "x" << shape.k << "x"
+            << shape.n << " — Figure 4's headline claim is broken";
+    }
+}
+
+TEST(RegressFig4, GaudiNearPeakAtEightK)
+{
+    const hw::GemmShape shape{8192, 8192, 8192};
+    auto g = kern::runGemm(DeviceKind::Gaudi2, shape, DataType::BF16);
+    const double util =
+        g.achievedFlops /
+        static_cast<double>(hw::gaudi2Spec().matrixPeakBf16);
+    EXPECT_GE(util, 0.99) << "paper: 429 TFLOPS = 99.3% of peak";
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(RegressFig4, IrregularShapesAreMemoryBound)
+{
+    for (std::int64_t s : {4096, 8192, 16384}) {
+        auto g = kern::runGemm(DeviceKind::Gaudi2, {s, s, 16},
+                               DataType::BF16);
+        EXPECT_TRUE(g.memoryBound())
+            << "N=16 shapes must sit on the bandwidth slope (s=" << s
+            << ")";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 8(a) — throughput collapses in proportion to the access
+// granularity below the 256 B vector width, and saturates above it.
+// Mirrors the bench's single-TPC, no-unroll configuration.
+// ---------------------------------------------------------------------
+
+double
+streamGflopsAt(Bytes granularity)
+{
+    kern::StreamConfig c;
+    c.op = kern::StreamOp::Add;
+    c.numElements = 1ull << 20;
+    c.accessBytes = granularity;
+    c.unroll = 1;
+    c.numTpcs = 1;
+    return kern::runStreamGaudi(c).gflops;
+}
+
+TEST(RegressFig8, ProportionalCollapseBelow256B)
+{
+    // Sub-vector-width accesses waste the unused lanes of every
+    // 256 B VLIW load, so throughput tracks the granularity linearly:
+    // a 4x smaller granule costs ~4x the throughput.
+    const double g4 = streamGflopsAt(4);
+    const double g16 = streamGflopsAt(16);
+    const double g64 = streamGflopsAt(64);
+    const double g128 = streamGflopsAt(128);
+    const double g256 = streamGflopsAt(256);
+    EXPECT_GT(g16 / g4, 3.0) << "collapse too shallow at 4 B";
+    EXPECT_LT(g16 / g4, 5.0) << "collapse too steep at 4 B";
+    EXPECT_GT(g64 / g16, 3.0) << "collapse too shallow at 16 B";
+    EXPECT_LT(g64 / g16, 5.0) << "collapse too steep at 16 B";
+    EXPECT_GT(g256 / g128, 1.8)
+        << "the last halving before the vector width must still "
+           "roughly halve throughput";
+}
+
+TEST(RegressFig8, SaturatesAboveVectorWidth)
+{
+    // Above 256 B the lanes are full; gains taper and the curve is
+    // flat by 1 KiB (EXPERIMENTS.md: "flat above").
+    const double g256 = streamGflopsAt(256);
+    const double g1024 = streamGflopsAt(1024);
+    const double g2048 = streamGflopsAt(2048);
+    EXPECT_LT(g1024 / g256, 2.5)
+        << "gains above the vector width should taper, not keep "
+           "scaling linearly";
+    EXPECT_GE(g2048, g1024) << "throughput must not regress";
+    EXPECT_LT(g2048 / g1024, 1.15) << "curve must be flat by 1 KiB";
+}
+
+// ---------------------------------------------------------------------
+// Figure 9 — monotone rise with vector size; Gaudi cliff below 256 B;
+// A100's decisive small-vector advantage.
+// ---------------------------------------------------------------------
+
+kern::GatherScatterConfig
+gatherConfig(Bytes vector_bytes)
+{
+    kern::GatherScatterConfig c;
+    // The bench's footprint rule: cap rows so the array stays large
+    // relative to caches but the functional run stays fast.
+    c.numVectors = std::min<std::uint64_t>(
+        1ull << 17, (256ull << 20) / vector_bytes);
+    c.vectorBytes = vector_bytes;
+    c.accessFraction = 1.0;
+    return c;
+}
+
+double
+gatherUtilGaudi(Bytes vector_bytes)
+{
+    Rng rng(99);
+    return kern::runGatherScatterGaudi(gatherConfig(vector_bytes), rng)
+        .hbmUtilization;
+}
+
+TEST(RegressFig9, GaudiUtilizationMonotoneInVectorSize)
+{
+    double prev = 0;
+    for (Bytes vec : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+        const double util = gatherUtilGaudi(vec);
+        EXPECT_GE(util, prev)
+            << "gather utilization fell when vectors grew to " << vec
+            << " B";
+        prev = util;
+    }
+}
+
+TEST(RegressFig9, GaudiCliffBelow256B)
+{
+    // The paper's cliff: sub-vector-width gathers waste most of each
+    // VLIW access. 128 B must achieve well under half of 256 B.
+    EXPECT_LT(gatherUtilGaudi(128), 0.6 * gatherUtilGaudi(256));
+}
+
+TEST(RegressFig9, A100WinsDecisivelyOnSmallVectors)
+{
+    // Paper: <=128 B average 15% vs 36% (2.4x); ours 2.6x.
+    for (Bytes vec : {64u, 128u}) {
+        const double a =
+            kern::runGatherScatterA100(gatherConfig(vec)).hbmUtilization;
+        const double g = gatherUtilGaudi(vec);
+        EXPECT_GT(a, 1.5 * g)
+            << "A100's small-vector gather advantage shrank at " << vec
+            << " B";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 10 — collectives: Gaudi-2 wins 5 of 6 at 8 devices (AllToAll
+// the exception); A100 flat across device counts; Gaudi declines.
+// ---------------------------------------------------------------------
+
+constexpr Bytes kCollectiveSize = 32ull << 20;
+
+const coll::CollectiveOp kAllOps[] = {
+    coll::CollectiveOp::AllReduce,     coll::CollectiveOp::AllGather,
+    coll::CollectiveOp::ReduceScatter, coll::CollectiveOp::AllToAll,
+    coll::CollectiveOp::Reduce,       coll::CollectiveOp::Broadcast,
+};
+
+TEST(RegressFig10, GaudiWinsFiveOfSixAtEightDevices)
+{
+    auto hccl = coll::CollectiveModel::hcclOnGaudi2();
+    auto nccl = coll::CollectiveModel::ncclOnDgxA100();
+    int wins = 0;
+    for (auto op : kAllOps) {
+        const double g =
+            hccl.run(op, kCollectiveSize, 8).busBandwidthUtilization;
+        const double a =
+            nccl.run(op, kCollectiveSize, 8).busBandwidthUtilization;
+        if (op == coll::CollectiveOp::AllToAll) {
+            EXPECT_GT(a, g) << "AllToAll must stay the A100 exception";
+        } else {
+            EXPECT_GT(g, a) << "Gaudi-2 lost " << collectiveName(op)
+                            << " at 8 devices";
+        }
+        wins += g > a;
+    }
+    EXPECT_EQ(wins, 5);
+}
+
+TEST(RegressFig10, A100FlatWhereGaudiCollapses)
+{
+    // NVSwitch makes A100's per-device bandwidth nearly independent
+    // of participant count (spread under 5 pp across 2/4/8 devices),
+    // while Gaudi-2's point-to-point ring collapses at 2 devices.
+    // The contrast IS the figure: flat vs steep.
+    auto nccl = coll::CollectiveModel::ncclOnDgxA100();
+    auto hccl = coll::CollectiveModel::hcclOnGaudi2();
+    for (auto op : kAllOps) {
+        double lo = 1.0, hi = 0.0;
+        for (int n : {2, 4, 8}) {
+            const double u =
+                nccl.run(op, kCollectiveSize, n).busBandwidthUtilization;
+            lo = std::min(lo, u);
+            hi = std::max(hi, u);
+        }
+        EXPECT_LT(hi - lo, 0.05)
+            << collectiveName(op) << " no longer flat on A100";
+
+        const double g2 =
+            hccl.run(op, kCollectiveSize, 2).busBandwidthUtilization;
+        const double g8 =
+            hccl.run(op, kCollectiveSize, 8).busBandwidthUtilization;
+        EXPECT_GT(g8 - g2, 0.3)
+            << collectiveName(op)
+            << " lost Gaudi-2's device-count sensitivity";
+    }
+}
+
+TEST(RegressFig10, GaudiDeclinesWithFewerDevices)
+{
+    // Fewer participants leave P2P links idle: 8 > 4 > 2, strictly.
+    auto hccl = coll::CollectiveModel::hcclOnGaudi2();
+    const auto op = coll::CollectiveOp::AllReduce;
+    const double u8 =
+        hccl.run(op, kCollectiveSize, 8).busBandwidthUtilization;
+    const double u4 =
+        hccl.run(op, kCollectiveSize, 4).busBandwidthUtilization;
+    const double u2 =
+        hccl.run(op, kCollectiveSize, 2).busBandwidthUtilization;
+    EXPECT_GT(u8, u4);
+    EXPECT_GT(u4, u2);
+    EXPECT_GT(u8, 2.0 * u2)
+        << "the decline should be roughly linear in idle links "
+           "(78% -> 33% -> 11% in EXPERIMENTS.md)";
+}
+
+// ---------------------------------------------------------------------
+// Figure 12 — 70B tensor-parallel serving: Gaudi-2 wins at every TP
+// degree and the advantage grows with device count.
+// ---------------------------------------------------------------------
+
+double
+meanSpeedup70B(int tp)
+{
+    models::LlamaModel model(models::LlamaConfig::llama31_70b());
+    double sum = 0;
+    int count = 0;
+    for (int batch : {1, 16, 64}) {
+        for (int out : {50, 100, 400}) {
+            models::LlamaServingConfig s;
+            s.batch = batch;
+            s.inputLen = 100;
+            s.outputLen = out;
+            s.tpDevices = tp;
+            sum += model.serve(DeviceKind::A100, s).totalTime /
+                   model.serve(DeviceKind::Gaudi2, s).totalTime;
+            count++;
+        }
+    }
+    return sum / count;
+}
+
+TEST(RegressFig12, SeventyBSpeedupGrowsWithTpDegree)
+{
+    const double sp2 = meanSpeedup70B(2);
+    const double sp4 = meanSpeedup70B(4);
+    const double sp8 = meanSpeedup70B(8);
+    EXPECT_GT(sp2, 1.0) << "Gaudi-2 must win at TP=2";
+    EXPECT_GT(sp4, 1.0) << "Gaudi-2 must win at TP=4";
+    EXPECT_GT(sp8, 1.0) << "Gaudi-2 must win at TP=8";
+    // EXPERIMENTS.md: 1.22 / 1.22 / 1.37 — non-decreasing, with the
+    // clear step at TP=8 (P2P all-reduce scales with participants).
+    EXPECT_GE(sp4, sp2 - 0.02);
+    EXPECT_GT(sp8, sp4);
+}
+
+// ---------------------------------------------------------------------
+// Engine preemption accounting — the recompute-on-preemption policy
+// regenerates tokens the user already received; they must not count
+// twice toward throughput, and TTFT must not be re-stamped.
+// ---------------------------------------------------------------------
+
+TEST(RegressPreemption, RecomputedTokensNotDoubleCounted)
+{
+    models::LlamaModel model(models::LlamaConfig::llama31_8b());
+    serve::EngineConfig cfg;
+    cfg.device = DeviceKind::Gaudi2;
+    cfg.maxDecodeBatch = 64;
+    // A KV pool small enough that a burst of long requests overflows
+    // it and forces preemptions.
+    cfg.kvCacheBytes = 1ull << 30;
+    cfg.maxModelLen = 4096;
+    serve::Engine engine(model, cfg);
+
+    auto &recomputed = obs::CounterRegistry::instance().counter(
+        "engine.recomputed_tokens");
+    const double recomputed_before = recomputed.value();
+
+    const int n = 48, out_len = 256;
+    auto m = engine.run(serve::makeFixedTrace(n, 1024, out_len));
+
+    ASSERT_GT(m.preemptions, 0)
+        << "the trace must actually overflow the KV pool for this "
+           "regression to bite";
+    EXPECT_GT(recomputed.value(), recomputed_before)
+        << "preemptions imply recomputed tokens";
+    EXPECT_EQ(m.completed, n);
+
+    // throughput = generated_total / makespan. With the high-water
+    // accounting each request contributes exactly outputLen tokens no
+    // matter how often it was preempted and recomputed.
+    const double generated = m.throughputTokensPerSec * m.makespan;
+    EXPECT_NEAR(generated, static_cast<double>(n) * out_len,
+                1e-6 * generated)
+        << "recomputed tokens leaked into the throughput total";
+}
+
+} // namespace
+} // namespace vespera
