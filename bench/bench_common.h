@@ -6,9 +6,12 @@
  *
  *   --trace=<path>     write a Perfetto/Chrome trace (spans + counter
  *                      tracks) of everything the run recorded
- *   --metrics=<path>   write a `vespera-metrics/v1` JSON document
- *                      (device counters, rate meters, optional
- *                      google-benchmark timings)
+ *   --metrics=<path>   write a `vespera-metrics/v2` JSON document
+ *                      (device counters, rate meters, histograms,
+ *                      attribution, optional google-benchmark timings)
+ *   --telemetry-dir=<dir>  convenience: both of the above, at
+ *                      <dir>/<bench>.trace.json and
+ *                      <dir>/<bench>.metrics.json
  *   --threads=<n>      size the runtime::Pool the bench's sweeps fan
  *                      out on (also `--threads <n>`; 0 = all cores).
  *                      Output is bit-identical at any value — the
@@ -48,6 +51,7 @@ struct Options
     std::string name;        ///< Bench binary name (metrics `tool`).
     std::string tracePath;   ///< Empty = no trace export.
     std::string metricsPath; ///< Empty = no metrics export.
+    std::string telemetryDir; ///< Empty = no derived paths.
     bool quiet = false;
     int threads = 1;         ///< Runtime pool size this run used.
     /** Extra google-benchmark results merged into the metrics doc. */
@@ -73,6 +77,11 @@ parseArgs(int &argc, char **argv, const char *bench_name)
             opts.tracePath = arg + 8;
         } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
             opts.metricsPath = arg + 10;
+        } else if (std::strncmp(arg, "--telemetry-dir=", 16) == 0) {
+            // Derived paths; explicit --trace/--metrics win regardless
+            // of flag order (see below).
+            const std::string dir(arg + 16);
+            opts.telemetryDir = dir.empty() ? "." : dir;
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
             opts.threads = std::atoi(arg + 10);
         } else if (std::strcmp(arg, "--threads") == 0 &&
@@ -85,12 +94,14 @@ parseArgs(int &argc, char **argv, const char *bench_name)
             std::printf(
                 "%s — vespera benchmark\n"
                 "  --trace=<path>    write Perfetto/Chrome trace JSON\n"
-                "  --metrics=<path>  write vespera-metrics/v1 JSON\n"
+                "  --metrics=<path>  write vespera-metrics/v2 JSON\n"
+                "  --telemetry-dir=<dir>  write both, as "
+                "<dir>/%s.{trace,metrics}.json\n"
                 "  --threads=<n>     parallel sweep workers (0 = all "
                 "cores);\n"
                 "                    output is identical at any value\n"
                 "  --quiet           suppress normal stdout\n",
-                bench_name);
+                bench_name, bench_name);
             std::exit(0);
         } else {
             argv[kept++] = argv[i];
@@ -106,6 +117,15 @@ parseArgs(int &argc, char **argv, const char *bench_name)
     if (opts.threads < 1)
         opts.threads = 1;
     runtime::Pool::setGlobalThreads(opts.threads);
+
+    if (!opts.telemetryDir.empty()) {
+        if (opts.tracePath.empty())
+            opts.tracePath =
+                opts.telemetryDir + "/" + opts.name + ".trace.json";
+        if (opts.metricsPath.empty())
+            opts.metricsPath =
+                opts.telemetryDir + "/" + opts.name + ".metrics.json";
+    }
 
     if (!opts.tracePath.empty())
         obs::Profiler::instance().setEnabled(true);

@@ -8,7 +8,7 @@
  *   - counter tracks: MME utilization, achieved HBM bandwidth, KV
  *     blocks in use, decode batch size, and TPC stall cycles,
  *   - host-side ScopedSpan timings of the simulator itself,
- * plus a vespera-metrics/v1 JSON document of all device counters.
+ * plus a vespera-metrics/v2 JSON document of all device counters.
  *
  * Run: ./build/examples/profile_step
  * Then open /tmp/vespera_profile.json at ui.perfetto.dev.

@@ -12,8 +12,10 @@ writeFile(const std::string &path, const std::string &content)
         return false;
     const std::size_t n =
         std::fwrite(content.data(), 1, content.size(), f);
-    std::fclose(f);
-    return n == content.size();
+    // fclose flushes; errors the buffered fwrite deferred (ENOSPC,
+    // EIO) surface here, and a bench's exit code must reflect them.
+    const bool closed = std::fclose(f) == 0;
+    return closed && n == content.size();
 }
 
 bool

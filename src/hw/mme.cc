@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/attrib.h"
 #include "obs/capture.h"
 #include "obs/counters.h"
 
@@ -144,22 +145,52 @@ MmeModel::gemm(const GemmShape &shape, DataType dt) const
     gemms.add();
     flops.add(shape.flops());
     busy.add(cost.time);
+
+    // Attribution: overlapped compute is useful work; only the stall
+    // the bandwidth term exposes beyond it is charged to memory_bw.
+    // The launch overhead's category depends on the reconfig decision
+    // below (geometry switch -> reconfig, else exposed_latency).
+    static const int attribScope =
+        obs::AttributionLedger::instance().scope("mme");
+    obs::AttribBreakdown b;
+    b[obs::AttribCat::Compute] = cost.computeTime;
+    b[obs::AttribCat::MemoryBw] =
+        std::max(0.0, cost.memoryTime - cost.computeTime);
+
     // The reconfig decision compares against the *previous* gemm()
     // call's geometry — an order-dependent read of shared state. Under
     // a capture (parallel task) it must not run on the worker thread:
     // defer it to the outermost replay, which is serial and
     // index-ordered, so the count matches serial execution exactly.
-    auto apply_reconfig = [this, geom = cost.geometry] {
+    // The attribution charge rides the same closure since the launch
+    // overhead's category hinges on that decision (and the ledger's
+    // per-op lane is itself order-dependent).
+    auto apply_tail = [this, geom = cost.geometry, b,
+                       total = cost.time,
+                       op = strfmt("gemm %lldx%lldx%lld %s",
+                                   static_cast<long long>(shape.m),
+                                   static_cast<long long>(shape.k),
+                                   static_cast<long long>(shape.n),
+                                   cost.geometry.c_str())]() mutable {
+        bool reconfigured = false;
         if (geom != lastGeometry_) {
-            if (!lastGeometry_.empty())
+            if (!lastGeometry_.empty()) {
                 reconfigs.add();
+                reconfigured = true;
+            }
             lastGeometry_ = geom;
         }
+        const obs::AttribCat launchCat =
+            reconfigured ? obs::AttribCat::Reconfig
+                         : obs::AttribCat::ExposedLat;
+        b.settle(launchCat, total);
+        obs::AttributionLedger::instance().charge(attribScope,
+                                                  std::move(op), b);
     };
     if (obs::SideEffectLog *log = obs::ScopedCapture::current())
-        log->appendDeferred(std::move(apply_reconfig));
+        log->appendDeferred(std::move(apply_tail));
     else
-        apply_reconfig();
+        apply_tail();
     return cost;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/attrib.h"
 #include "obs/counters.h"
 
 namespace vespera::mem {
@@ -60,6 +61,17 @@ HbmModel::streamTime(Bytes bytes) const
     static obs::RateMeter &rate = registry.rate("hbm.stream_bytes_per_sec");
     streamed.add(static_cast<double>(bytes));
     rate.add(static_cast<double>(bytes), t);
+
+    if (t > 0) {
+        // Sequential streaming is pure bandwidth time.
+        static const int attribScope =
+            obs::AttributionLedger::instance().scope("hbm");
+        obs::AttribBreakdown b;
+        b.settle(obs::AttribCat::MemoryBw, t);
+        obs::AttributionLedger::instance().charge(
+            attribScope,
+            strfmt("stream %lld B", static_cast<long long>(bytes)), b);
+    }
     return t;
 }
 
@@ -134,6 +146,20 @@ HbmModel::randomAccess(const RandomAccessWorkload &w) const
     bus.add(static_cast<double>(r.transactionBytes));
     txns.add(static_cast<double>(w.numAccesses));
     rate.add(static_cast<double>(r.usefulBytes), r.time);
+
+    // The access ramp is unhidden fixed latency; the steady-state
+    // drain beyond it is bandwidth time (settled residual).
+    static const int attribScope =
+        obs::AttributionLedger::instance().scope("hbm");
+    obs::AttribBreakdown b;
+    b[obs::AttribCat::ExposedLat] = rampLatency_;
+    b.settle(obs::AttribCat::MemoryBw, r.time);
+    obs::AttributionLedger::instance().charge(
+        attribScope,
+        strfmt("%s %lld B x%llu", w.write ? "scatter" : "gather",
+               static_cast<long long>(w.accessSize),
+               static_cast<unsigned long long>(w.numAccesses)),
+        b);
     return r;
 }
 

@@ -125,6 +125,19 @@ CounterRegistry::rate(const std::string &name)
     return *it->second;
 }
 
+Histogram &
+CounterRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, std::make_unique<Histogram>(name))
+                 .first;
+    }
+    return *it->second;
+}
+
 const Counter *
 CounterRegistry::find(const std::string &name) const
 {
@@ -139,6 +152,14 @@ CounterRegistry::findRate(const std::string &name) const
     std::lock_guard<std::mutex> lock(mu_);
     auto it = rates_.find(name);
     return it == rates_.end() ? nullptr : it->second.get();
+}
+
+const Histogram *
+CounterRegistry::findHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 double
@@ -179,6 +200,17 @@ CounterRegistry::rates() const
     return out;
 }
 
+std::vector<const Histogram *>
+CounterRegistry::histograms() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<const Histogram *> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        out.push_back(h.get());
+    return out;
+}
+
 void
 CounterRegistry::reset()
 {
@@ -187,6 +219,8 @@ CounterRegistry::reset()
         c->reset();
     for (auto &[name, r] : rates_)
         r->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
 }
 
 std::size_t

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/hist.h"
 
 namespace vespera::obs {
 
@@ -137,9 +138,19 @@ class CounterRegistry
     /** Get-or-create a rate meter. */
     RateMeter &rate(const std::string &name);
 
+    /**
+     * Get-or-create a streaming latency histogram (obs/hist.h).
+     * Unlike counters, Histogram mutation is NOT thread-safe or
+     * capture-deferred: publish into registry histograms from the
+     * serial path only, or via a capture Deferred op the way
+     * serve::Engine merges its per-run histograms.
+     */
+    Histogram &histogram(const std::string &name);
+
     /** Lookup without creating; nullptr when absent. */
     const Counter *find(const std::string &name) const;
     const RateMeter *findRate(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
 
     /**
      * Sum of `value()` over the counter named `prefix` (if any) and
@@ -154,6 +165,9 @@ class CounterRegistry
     /** Name-ordered list of registered rate meters. */
     std::vector<const RateMeter *> rates() const;
 
+    /** Name-ordered list of registered histograms. */
+    std::vector<const Histogram *> histograms() const;
+
     /** Zero every counter and rate meter (names stay registered). */
     void reset();
 
@@ -163,6 +177,7 @@ class CounterRegistry
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<RateMeter>> rates_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 } // namespace vespera::obs

@@ -1,6 +1,7 @@
 #include "obs/export.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/json.h"
 #include "common/logging.h"
@@ -93,6 +94,39 @@ chromeTraceJson(const Profiler &profiler)
             static_cast<int>(TrackGroup::Device), c.value));
     }
 
+    // Flow arrows: spans sharing a nonzero flowId form one flow. The
+    // chrome format wants a flow-start ("s") anchored to the first
+    // slice, steps ("t") on the middle ones, and a binding-enclosing
+    // finish ("f", bp=e) on the last; the viewer matches them by id
+    // and draws arrows between the anchoring slices.
+    std::map<std::uint64_t, std::vector<std::size_t>> flows;
+    for (std::size_t i = 0; i < spans.size(); i++) {
+        if (spans[i].flowId != 0)
+            flows[spans[i].flowId].push_back(i);
+    }
+    for (auto &[id, idx] : flows) {
+        if (idx.size() < 2)
+            continue; // A single span has nothing to link to.
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&spans](std::size_t a, std::size_t b) {
+                             return spans[a].start < spans[b].start;
+                         });
+        for (std::size_t k = 0; k < idx.size(); k++) {
+            const SpanEvent &s = spans[idx[k]];
+            const char *ph = k == 0 ? "s"
+                             : k + 1 == idx.size() ? "f"
+                                                   : "t";
+            const char *bind =
+                k + 1 == idx.size() ? ", \"bp\": \"e\"" : "";
+            events.push_back(strfmt(
+                "{\"name\": \"flow\", \"cat\": \"flow\", "
+                "\"ph\": \"%s\", \"id\": %llu, \"ts\": %.3f, "
+                "\"pid\": %d, \"tid\": %d%s}",
+                ph, static_cast<unsigned long long>(id), s.start * 1e6,
+                static_cast<int>(s.group), s.track, bind));
+        }
+    }
+
     std::string out = "{\n  \"traceEvents\": [\n";
     for (std::size_t i = 0; i < events.size(); i++) {
         out += "    " + events[i];
@@ -111,6 +145,8 @@ metricsJson(const CounterRegistry &registry, const MetricsMeta &meta)
         root["tool"] = json::Value::makeString(meta.tool);
 
     std::map<std::string, json::Value> counters;
+    // scope -> (category -> seconds), parsed from `attrib.*` names.
+    std::map<std::string, std::map<std::string, json::Value>> attrib;
     for (const CounterSnapshot &c : registry.snapshot()) {
         // `runtime.*` counters describe the simulator's own host-side
         // execution (task counts, steals, worker busy time) and vary
@@ -121,6 +157,17 @@ metricsJson(const CounterRegistry &registry, const MetricsMeta &meta)
         // counter summary and the Perfetto trace.
         if (c.name.rfind("runtime.", 0) == 0)
             continue;
+        // Attribution counters ("attrib.<scope>.<category>") become
+        // the structured v2 section instead of counter entries.
+        if (c.name.rfind("attrib.", 0) == 0 &&
+            c.name.rfind('.') > 7) {
+            const std::size_t dot = c.name.rfind('.');
+            const std::string scope =
+                c.name.substr(7, dot - 7); // between the dots
+            const std::string cat = c.name.substr(dot + 1);
+            attrib[scope][cat] = json::Value::makeNumber(c.value);
+            continue;
+        }
         std::map<std::string, json::Value> entry;
         entry["value"] = json::Value::makeNumber(c.value);
         entry["peak"] = json::Value::makeNumber(c.peak);
@@ -129,6 +176,47 @@ metricsJson(const CounterRegistry &registry, const MetricsMeta &meta)
         counters[c.name] = json::Value::makeObject(std::move(entry));
     }
     root["counters"] = json::Value::makeObject(std::move(counters));
+
+    if (!attrib.empty()) {
+        std::map<std::string, json::Value> scopes;
+        for (auto &[scope, cats] : attrib)
+            scopes[scope] = json::Value::makeObject(std::move(cats));
+        root["attribution"] =
+            json::Value::makeObject(std::move(scopes));
+    }
+
+    const auto hists = registry.histograms();
+    if (!hists.empty()) {
+        std::map<std::string, json::Value> section;
+        for (const Histogram *h : hists) {
+            std::map<std::string, json::Value> entry;
+            entry["count"] = json::Value::makeNumber(
+                static_cast<double>(h->count()));
+            entry["sum"] = json::Value::makeNumber(h->sum());
+            entry["min"] = json::Value::makeNumber(h->min());
+            entry["max"] = json::Value::makeNumber(h->max());
+            entry["mean"] = json::Value::makeNumber(h->mean());
+            entry["p50"] = json::Value::makeNumber(h->percentile(50));
+            entry["p90"] = json::Value::makeNumber(h->percentile(90));
+            entry["p99"] = json::Value::makeNumber(h->percentile(99));
+            entry["p999"] =
+                json::Value::makeNumber(h->percentile(99.9));
+            std::vector<json::Value> buckets;
+            for (const Histogram::Bucket &b : h->nonzeroBuckets()) {
+                buckets.push_back(json::Value::makeArray(
+                    {json::Value::makeNumber(b.lo),
+                     json::Value::makeNumber(b.hi),
+                     json::Value::makeNumber(
+                         static_cast<double>(b.count))}));
+            }
+            entry["buckets"] =
+                json::Value::makeArray(std::move(buckets));
+            section[h->name()] =
+                json::Value::makeObject(std::move(entry));
+        }
+        root["histograms"] =
+            json::Value::makeObject(std::move(section));
+    }
 
     std::map<std::string, json::Value> rates;
     for (const RateMeter *r : registry.rates()) {
@@ -156,11 +244,15 @@ printCounterSummary(const CounterRegistry &registry, std::FILE *out)
 {
     const auto counters = registry.snapshot();
     const auto rates = registry.rates();
+    const auto hists = registry.histograms();
 
-    bool any = false;
+    bool anyHist = false;
+    for (const Histogram *h : hists)
+        anyHist = anyHist || h->count() > 0;
+
+    bool any = anyHist || !rates.empty();
     for (const CounterSnapshot &c : counters)
         any = any || c.updates > 0;
-    any = any || !rates.empty();
     if (!any)
         return;
 
@@ -183,6 +275,22 @@ printCounterSummary(const CounterRegistry &registry, std::FILE *out)
                        Table::num(r->rate(), 3)});
         }
         rt.print(out);
+    }
+
+    if (anyHist) {
+        Table ht({"Histogram", "Count", "Mean", "p50", "p99", "Max"});
+        for (const Histogram *h : hists) {
+            if (h->count() == 0)
+                continue;
+            ht.addRow({h->name(),
+                       Table::integer(
+                           static_cast<long long>(h->count())),
+                       Table::num(h->mean(), 6),
+                       Table::num(h->percentile(50), 6),
+                       Table::num(h->percentile(99), 6),
+                       Table::num(h->max(), 6)});
+        }
+        ht.print(out);
     }
 }
 

@@ -7,8 +7,8 @@
  *     tracks interleaved (open at ui.perfetto.dev), the view the paper
  *     reasoned from when reverse-engineering the Gaudi graph compiler.
  *  2. metricsJson — schema-versioned machine-readable document
- *     (`vespera-metrics/v1`) for BENCH_*.json-style trajectory
- *     tracking across commits.
+ *     (`vespera-metrics/v2`) for BENCH_*.json-style trajectory
+ *     tracking across commits (diff two with tools/vespera-stat).
  *  3. printCounterSummary — human-readable end-of-run table.
  */
 
@@ -24,13 +24,23 @@
 
 namespace vespera::obs {
 
-/** Schema identifier stamped into every metrics document. */
-inline constexpr const char *metricsSchema = "vespera-metrics/v1";
+/**
+ * Schema identifier stamped into every metrics document. v2 adds the
+ * "histograms" (streaming latency distributions, obs/hist.h) and
+ * "attribution" (per-scope category totals, obs/attrib.h) sections and
+ * moves `attrib.*` counters out of "counters" into the latter;
+ * consumers of v1 documents keep working — v2 is a superset plus that
+ * one relocation.
+ */
+inline constexpr const char *metricsSchema = "vespera-metrics/v2";
 
 /**
  * Chrome-trace JSON of everything the profiler recorded: spans as
- * "X" events, counter samples as "C" (counter-track) events, and
- * process/thread-name metadata for the Device and Host track groups.
+ * "X" events, counter samples as "C" (counter-track) events,
+ * process/thread-name metadata for the Device and Host track groups,
+ * and flow arrows ("s"/"t"/"f" events) linking spans that share a
+ * nonzero SpanEvent::flowId — how one serving request is followed
+ * across lanes in ui.perfetto.dev.
  */
 std::string chromeTraceJson(const Profiler &profiler);
 
@@ -44,9 +54,12 @@ struct MetricsMeta
 };
 
 /**
- * The `vespera-metrics/v1` document: schema/tool identification, every
+ * The `vespera-metrics/v2` document: schema/tool identification, every
  * registered counter (value, peak, update count), every rate meter
- * (total, elapsed, rate), and optional benchmark timings.
+ * (total, elapsed, rate), every histogram (count/sum/min/max/quantiles
+ * plus nonzero buckets), the attribution section (scope -> category ->
+ * seconds, from the `attrib.*` counters), and optional benchmark
+ * timings.
  */
 std::string metricsJson(const CounterRegistry &registry,
                         const MetricsMeta &meta);

@@ -1,0 +1,109 @@
+#include "obs/hist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vespera::obs {
+
+double Histogram::growth()
+{
+    return std::exp2(1.0 / kBucketsPerOctave);
+}
+
+int Histogram::bucketIndex(double v)
+{
+    if (!(v > kMinTrackable)) // negatives and NaN clamp down
+        return 0;
+    const double octaves = std::log2(v / kMinTrackable);
+    int idx = 1 + static_cast<int>(octaves * kBucketsPerOctave);
+    if (idx >= kBuckets) // beyond the top octave: overflow bucket
+        return kBuckets - 1;
+    // Guard the exact-edge case: log2/exp2 rounding can land a value
+    // computed *as* a bucket edge in the bucket above it. A sample must
+    // never sit above its bucket's upper edge or percentile() would
+    // undershoot it.
+    if (idx > 1 && v <= bucketHi(idx - 1))
+        --idx;
+    return idx;
+}
+
+double Histogram::bucketLo(int index)
+{
+    vassert(index >= 0 && index < kBuckets, "bucket index out of range");
+    if (index == 0)
+        return 0.0;
+    return kMinTrackable * std::exp2(static_cast<double>(index - 1) / kBucketsPerOctave);
+}
+
+double Histogram::bucketHi(int index)
+{
+    vassert(index >= 0 && index < kBuckets, "bucket index out of range");
+    if (index == 0)
+        return kMinTrackable;
+    return kMinTrackable * std::exp2(static_cast<double>(index) / kBucketsPerOctave);
+}
+
+void Histogram::add(double v)
+{
+    counts_[static_cast<std::size_t>(bucketIndex(v))] += 1;
+    count_ += 1;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void Histogram::merge(const Histogram &other)
+{
+    for (int i = 0; i < kBuckets; ++i)
+        counts_[static_cast<std::size_t>(i)] += other.counts_[static_cast<std::size_t>(i)];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double frac = std::clamp(p, 0.0, 100.0) / 100.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(frac * static_cast<double>(count_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        cum += counts_[static_cast<std::size_t>(i)];
+        if (cum >= rank) {
+            // Overflow bucket has no finite upper edge; the clamp to
+            // the observed max supplies it.
+            const double hi = (i == kBuckets - 1) ? max_ : bucketHi(i);
+            return std::min(hi, max_);
+        }
+    }
+    return max_; // unreachable: cum ends at count_ >= rank
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzeroBuckets() const
+{
+    std::vector<Bucket> out;
+    for (int i = 0; i < kBuckets; ++i) {
+        const std::uint64_t c = counts_[static_cast<std::size_t>(i)];
+        if (c == 0)
+            continue;
+        const bool overflow = i == kBuckets - 1;
+        out.push_back({bucketLo(i), overflow ? max_ : bucketHi(i), c});
+    }
+    return out;
+}
+
+void Histogram::reset()
+{
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+} // namespace vespera::obs

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -46,6 +47,11 @@ struct SpanEvent
     int depth = 0;     ///< Nesting depth at record time (host spans).
     Seconds start = 0;
     Seconds duration = 0;
+    /// Nonzero links spans into one Perfetto flow (e.g. all lifecycle
+    /// phases of one serving request): the exporter sorts a flow's
+    /// spans by start time and emits flow-start/step/end arrows
+    /// between consecutive spans. 0 = not part of any flow.
+    std::uint64_t flowId = 0;
 };
 
 /** One counter-track sample: `track` had `value` at time `t`. */

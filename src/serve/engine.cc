@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <deque>
 
+#include <set>
+
 #include "common/logging.h"
-#include "common/stats.h"
 #include "obs/counters.h"
+#include "obs/hist.h"
 #include "obs/profiler.h"
 #include "runtime/pool.h"
 
@@ -188,7 +190,11 @@ Engine::run(std::vector<Request> trace)
 
     Seconds clock = 0;
     std::int64_t generated_total = 0;
-    Samples ttft, tpot;
+    // Streaming histograms instead of Samples: fixed memory at any
+    // trace length (obs/hist.h). mean() is bitwise what Samples gave
+    // (sum/count in add order); percentiles become conservative
+    // bucket-edge estimates within ~4.4% relative error.
+    obs::Histogram ttft, tpot;
     ServingMetrics m;
     double batch_sum = 0;
     std::int64_t decode_steps = 0;
@@ -211,6 +217,69 @@ Engine::run(std::vector<Request> trace)
     static obs::Counter &c_kv_in_use =
         registry.counter("kv.blocks_in_use");
     obs::Profiler &profiler = obs::Profiler::instance();
+
+    // Request-lifecycle flow tracing: one Perfetto flow per request
+    // (queued -> prefill -> decode, with preemption/re-prefill
+    // episodes), linked via SpanEvent::flowId. Queue time renders on
+    // one shared lane; admitted requests occupy one of maxDecodeBatch
+    // slot lanes for their prefill+decode residency. Recording is
+    // skipped under an active capture (a parallel sweep worker): the
+    // span order and lane cursors there would depend on thread
+    // interleaving, and overlapping sweep points on shared lanes are
+    // unreadable anyway — single-run traces (examples/profile_step)
+    // are where per-request flows make sense.
+    const bool flow_trace =
+        profiler.enabled() && obs::ScopedCapture::current() == nullptr;
+    constexpr int kLaneQueue = 31;  // after attrib lanes (6..)
+    constexpr int kLaneSlot0 = 32;
+    std::vector<int> slot_of;
+    std::vector<Seconds> phase_start;
+    std::vector<int> episodes;
+    std::set<int> free_slots;
+    if (flow_trace) {
+        slot_of.assign(trace.size(), -1);
+        phase_start.assign(trace.size(), 0);
+        episodes.assign(trace.size(), 0);
+        for (std::size_t i = 0; i < trace.size(); i++)
+            phase_start[i] = trace[i].arrival;
+        for (int s = 0; s < config_.maxDecodeBatch; s++)
+            free_slots.insert(s);
+        profiler.nameTrack(obs::TrackGroup::Device, kLaneQueue,
+                           "req queue");
+    }
+    auto flow_span = [&](const Request &r, const char *phase, int lane,
+                         Seconds start) {
+        obs::SpanEvent e;
+        e.name = strfmt("req %lld %s", static_cast<long long>(r.id),
+                        phase);
+        e.category = "request";
+        e.group = obs::TrackGroup::Device;
+        e.track = lane;
+        e.start = start;
+        e.duration = clock - start;
+        e.flowId = static_cast<std::uint64_t>(r.id) + 1;
+        profiler.recordSpan(std::move(e));
+    };
+    auto alloc_slot = [&](std::size_t idx) {
+        vassert(!free_slots.empty(), "more residents than batch slots");
+        const int s = *free_slots.begin();
+        free_slots.erase(free_slots.begin());
+        slot_of[idx] = s;
+        profiler.nameTrack(obs::TrackGroup::Device, kLaneSlot0 + s,
+                           strfmt("req slot %d", s));
+    };
+    auto release_slot = [&](std::size_t idx) {
+        free_slots.insert(slot_of[idx]);
+        slot_of[idx] = -1;
+    };
+    // Queue span ends and a slot lane begins when prefill starts.
+    auto flow_admit = [&](std::size_t idx) {
+        flow_span(trace[idx],
+                  episodes[idx] ? "re-queued" : "queued", kLaneQueue,
+                  phase_start[idx]);
+        alloc_slot(idx);
+        phase_start[idx] = clock;
+    };
 
     auto record = [&](EngineEvent::Kind kind, Seconds start,
                       Seconds duration, int batch, int chunk) {
@@ -252,6 +321,11 @@ Engine::run(std::vector<Request> trace)
         Request &r = trace[idx];
         r.prefilled = true;
         r.generated = 1;
+        if (flow_trace) {
+            flow_span(r, episodes[idx] ? "re-prefill" : "prefill",
+                      kLaneSlot0 + slot_of[idx], phase_start[idx]);
+            phase_start[idx] = clock;
+        }
         if (r.firstTokenTime < 0) {
             r.firstTokenTime = clock;
             ttft.add(clock - r.arrival);
@@ -266,6 +340,8 @@ Engine::run(std::vector<Request> trace)
             r.finishTime = clock;
             kv.release(r.id);
             remaining--;
+            if (flow_trace)
+                release_slot(idx);
         } else {
             running.push_back(idx);
         }
@@ -310,6 +386,8 @@ Engine::run(std::vector<Request> trace)
             const std::size_t idx = prefill_queue.front();
             prefill_queue.pop_front();
             Request &r = trace[idx];
+            if (flow_trace)
+                flow_admit(idx);
             const Seconds t = prefillStepTime(r.inputLen);
             record(EngineEvent::Kind::Prefill, clock, t, 0, r.inputLen);
             clock += t;
@@ -333,6 +411,14 @@ Engine::run(std::vector<Request> trace)
         for (std::size_t k = running.size(); k-- > 0;) {
             Request &r = trace[running[k]];
             if (!kv.grow(r.id, r.inputLen + r.generated + 1)) {
+                if (flow_trace) {
+                    flow_span(r, "decode (preempted)",
+                              kLaneSlot0 + slot_of[running[k]],
+                              phase_start[running[k]]);
+                    release_slot(running[k]);
+                    episodes[running[k]]++;
+                    phase_start[running[k]] = clock;
+                }
                 kv.release(r.id);
                 r.generated = 0;
                 r.prefilled = false;
@@ -363,6 +449,10 @@ Engine::run(std::vector<Request> trace)
         if (has_chunk) {
             chunk_idx = prefill_queue.front();
             Request &r = trace[chunk_idx];
+            // First chunk of this prefill episode: the request leaves
+            // the queue lane and takes a slot.
+            if (flow_trace && slot_of[chunk_idx] < 0)
+                flow_admit(chunk_idx);
             chunk = std::min(config_.chunkedPrefillTokens,
                              r.inputLen - r.prefillProgress);
             chunk_time = prefillChunkTime(chunk, r.prefillProgress);
@@ -415,6 +505,12 @@ Engine::run(std::vector<Request> trace)
                         tpot.add((r.finishTime - r.firstTokenTime) /
                                  (r.outputLen - 1));
                     }
+                    if (flow_trace) {
+                        flow_span(r, "decode",
+                                  kLaneSlot0 + slot_of[running[k]],
+                                  phase_start[running[k]]);
+                        release_slot(running[k]);
+                    }
                     kv.release(r.id);
                     running.erase(running.begin() +
                                   static_cast<std::ptrdiff_t>(k));
@@ -438,7 +534,24 @@ Engine::run(std::vector<Request> trace)
     registry.counter("engine.throughput_tokens_per_sec")
         .set(m.throughputTokensPerSec);
     registry.counter("engine.mean_ttft_seconds").set(m.meanTtft);
+    registry.counter("engine.p99_ttft_seconds").set(m.p99Ttft);
+    registry.counter("engine.mean_tpot_seconds").set(m.meanTpot);
     registry.counter("engine.avg_decode_batch").set(m.avgDecodeBatch);
+
+    // Publish the full latency distributions. Histogram::merge is not
+    // capture-aware like Counter::set, so when this run executes on a
+    // sweep worker (bench_fig17_vllm) the merge is deferred to the
+    // outermost replay — serial, in task-index order — keeping the
+    // registry histograms bit-identical at any thread count.
+    auto publish_hists = [ttft, tpot]() {
+        auto &reg = obs::CounterRegistry::instance();
+        reg.histogram("engine.ttft_seconds").merge(ttft);
+        reg.histogram("engine.tpot_seconds").merge(tpot);
+    };
+    if (obs::SideEffectLog *log = obs::ScopedCapture::current())
+        log->appendDeferred(publish_hists);
+    else
+        publish_hists();
     return m;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/attrib.h"
 #include "runtime/parallel.h"
 
 namespace vespera::tpc {
@@ -113,10 +114,12 @@ TpcDispatcher::launch(const Kernel &kernel, const IndexSpace &space,
             outcomes.push_back(simulateTpc(t));
     }
 
+    double busy_sum = 0;
     for (const TpcOutcome &out : outcomes) {
         if (!out.active)
             continue;
         const PipelineResult &pr = out.pr;
+        busy_sum += pr.time;
         result.slowestTpcTime = std::max(result.slowestTpcTime, pr.time);
         result.totalFlops += pr.flops;
         result.busBytes += pr.busBytes;
@@ -145,6 +148,27 @@ TpcDispatcher::launch(const Kernel &kernel, const IndexSpace &space,
     result.achievedFlopsPerSec = result.totalFlops / result.time;
     result.hbmUtilization = static_cast<double>(result.usefulBytes) /
                             (result.time * spec_.hbmBandwidth);
+
+    // Chip-level attribution for this launch: the mean per-TPC busy
+    // time over all *allocated* engines is useful compute; the gap up
+    // to the slowest engine is slot-imbalance idle time; any HBM bound
+    // beyond the slowest engine is exposed bandwidth stall; the launch
+    // overhead is exposed latency (and absorbs fp residue as the
+    // settled residual).
+    static const int attribScope =
+        obs::AttributionLedger::instance().scope("tpc");
+    obs::AttribBreakdown b;
+    const double mean_busy = busy_sum / params.numTpcs;
+    b[obs::AttribCat::Compute] = mean_busy;
+    b[obs::AttribCat::Idle] =
+        std::max(0.0, result.slowestTpcTime - mean_busy);
+    b[obs::AttribCat::MemoryBw] = std::max(
+        0.0, result.memoryBoundTime - result.slowestTpcTime);
+    b.settle(obs::AttribCat::ExposedLat, result.time);
+    obs::AttributionLedger::instance().charge(
+        attribScope,
+        strfmt("%s x%d", params.kernelName.c_str(), params.numTpcs),
+        b);
     return result;
 }
 

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "obs/counters.h"
+#include "obs/hist.h"
+
+namespace vespera::obs {
+namespace {
+
+// The satellite contract (ISSUE): quantile estimates within a bounded
+// relative error of the exact Samples::percentile, plus the stronger
+// constructive guarantee that the estimate brackets the true order
+// statistic from above: v_rank <= estimate <= v_rank * growth().
+
+std::vector<double>
+fillBoth(Histogram &h, Samples *s, const std::vector<double> &vs)
+{
+    for (double v : vs) {
+        h.add(v);
+        if (s)
+            s->add(v);
+    }
+    return vs;
+}
+
+double
+orderStat(std::vector<double> sorted, double p)
+{
+    // The rank the histogram targets: ceil(p/100 * n), 1-based.
+    const std::size_t n = sorted.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    rank = std::clamp<std::size_t>(rank, 1, n);
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[rank - 1];
+}
+
+TEST(Histogram, BucketGeometryBrackets)
+{
+    // Every representable latency must fall strictly inside its
+    // bucket's (lo, hi] interval, across the full dynamic range.
+    for (double v : {2e-12, 1e-9, 3.7e-6, 1e-3, 0.042, 1.0, 97.0, 1e4}) {
+        const int idx = Histogram::bucketIndex(v);
+        ASSERT_GT(idx, 0) << v;
+        ASSERT_LT(idx, Histogram::kBuckets) << v;
+        EXPECT_LT(Histogram::bucketLo(idx), v) << v;
+        EXPECT_GE(Histogram::bucketHi(idx), v) << v;
+        // Relative bucket width is the advertised growth factor.
+        EXPECT_LE(Histogram::bucketHi(idx),
+                  Histogram::bucketLo(idx) * Histogram::growth() *
+                      (1 + 1e-12))
+            << v;
+    }
+    // At-or-below the floor -> underflow bucket.
+    EXPECT_EQ(Histogram::bucketIndex(0.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(-1.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(Histogram::kMinTrackable), 0);
+    // Beyond the top octave -> overflow bucket.
+    EXPECT_EQ(Histogram::bucketIndex(1e30), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    Histogram h("empty");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.percentile(50), 0.0);
+    EXPECT_EQ(h.percentile(99.9), 0.0);
+    EXPECT_TRUE(h.nonzeroBuckets().empty());
+}
+
+TEST(Histogram, SingleValueClampsToMax)
+{
+    Histogram h;
+    h.add(1.25e-3);
+    // The bucket's upper edge overshoots, but the clamp to the
+    // observed max makes a one-sample histogram exact.
+    EXPECT_EQ(h.percentile(0), 1.25e-3);
+    EXPECT_EQ(h.percentile(50), 1.25e-3);
+    EXPECT_EQ(h.percentile(100), 1.25e-3);
+    EXPECT_EQ(h.min(), 1.25e-3);
+    EXPECT_EQ(h.max(), 1.25e-3);
+}
+
+TEST(Histogram, AggregatesMatchSamples)
+{
+    Histogram h;
+    Samples s;
+    Rng rng(11);
+    std::vector<double> vs;
+    for (int i = 0; i < 5000; i++)
+        vs.push_back(rng.uniform(1e-4, 5e-2));
+    fillBoth(h, &s, vs);
+
+    EXPECT_EQ(h.count(), s.count());
+    // Same insertion order, same accumulation order: identical bits.
+    EXPECT_EQ(h.mean(), s.mean());
+    EXPECT_EQ(h.min(), *std::min_element(vs.begin(), vs.end()));
+    EXPECT_EQ(h.max(), *std::max_element(vs.begin(), vs.end()));
+}
+
+TEST(Histogram, QuantilesBracketOrderStatistic)
+{
+    // Uniform and heavy-tailed (lognormal-ish) latency shapes.
+    Rng rng(42);
+    std::vector<std::vector<double>> dists(2);
+    for (int i = 0; i < 20000; i++) {
+        dists[0].push_back(rng.uniform(5e-4, 5e-2));
+        dists[1].push_back(1e-3 * std::exp(0.6 * rng.normal()));
+    }
+    for (const auto &vs : dists) {
+        Histogram h;
+        fillBoth(h, nullptr, vs);
+        for (double p : {50.0, 90.0, 99.0, 99.9}) {
+            const double vk = orderStat(vs, p);
+            const double est = h.percentile(p);
+            // Constructive guarantee: upper edge of v_rank's bucket,
+            // clamped to max -> never below the order statistic and
+            // never more than one bucket width above it.
+            EXPECT_GE(est, vk) << "p" << p;
+            EXPECT_LE(est, vk * Histogram::growth() * (1 + 1e-12))
+                << "p" << p;
+        }
+    }
+}
+
+TEST(Histogram, QuantilesTrackExactPercentile)
+{
+    // Versus the interpolating exact collector the engine used to
+    // carry: within one bucket width plus order-statistic slack.
+    Rng rng(7);
+    Histogram h;
+    Samples s;
+    std::vector<double> vs;
+    for (int i = 0; i < 50000; i++)
+        vs.push_back(2e-3 + 0.1 * rng.uniform() * rng.uniform());
+    fillBoth(h, &s, vs);
+    for (double p : {50.0, 90.0, 99.0, 99.9}) {
+        const double exact = s.percentile(p);
+        const double est = h.percentile(p);
+        const double tol = Histogram::growth() - 1.0 + 0.01;
+        EXPECT_NEAR(est, exact, exact * tol) << "p" << p;
+    }
+}
+
+TEST(Histogram, MergeEqualsCombinedFill)
+{
+    Rng rng(3);
+    std::vector<double> a, b;
+    for (int i = 0; i < 4000; i++)
+        a.push_back(rng.uniform(1e-4, 1e-2));
+    for (int i = 0; i < 6000; i++)
+        b.push_back(rng.uniform(5e-3, 2e-1));
+
+    Histogram ha, hb, hall;
+    fillBoth(ha, nullptr, a);
+    fillBoth(hb, nullptr, b);
+    fillBoth(hall, nullptr, a);
+    fillBoth(hall, nullptr, b);
+
+    ha.merge(hb);
+    EXPECT_EQ(ha.count(), hall.count());
+    EXPECT_DOUBLE_EQ(ha.sum(), hall.sum());
+    EXPECT_EQ(ha.min(), hall.min());
+    EXPECT_EQ(ha.max(), hall.max());
+    // Bucket counts are additive, so quantiles agree exactly.
+    for (double p : {1.0, 50.0, 90.0, 99.0, 99.9, 100.0})
+        EXPECT_EQ(ha.percentile(p), hall.percentile(p)) << "p" << p;
+    const auto ba = ha.nonzeroBuckets();
+    const auto bc = hall.nonzeroBuckets();
+    ASSERT_EQ(ba.size(), bc.size());
+    for (std::size_t i = 0; i < ba.size(); i++)
+        EXPECT_EQ(ba[i].count, bc[i].count);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram full, empty;
+    for (int i = 1; i <= 100; i++)
+        full.add(i * 1e-3);
+    const double p99 = full.percentile(99);
+    full.merge(empty);
+    EXPECT_EQ(full.count(), 100u);
+    EXPECT_EQ(full.percentile(99), p99);
+
+    empty.merge(full);
+    EXPECT_EQ(empty.count(), 100u);
+    EXPECT_EQ(empty.percentile(99), p99);
+    EXPECT_EQ(empty.min(), full.min());
+    EXPECT_EQ(empty.max(), full.max());
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h("r");
+    h.add(1.0);
+    h.add(2.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(99), 0.0);
+    EXPECT_TRUE(h.nonzeroBuckets().empty());
+    EXPECT_EQ(h.name(), "r");
+}
+
+TEST(Histogram, RegistryGetOrCreate)
+{
+    auto &reg = CounterRegistry::instance();
+    Histogram &h1 = reg.histogram("test.hist.registry");
+    h1.add(4e-3);
+    Histogram &h2 = reg.histogram("test.hist.registry");
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.count(), 1u);
+    const Histogram *found = reg.findHistogram("test.hist.registry");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &h1);
+    EXPECT_EQ(reg.findHistogram("test.hist.nope"), nullptr);
+
+    bool listed = false;
+    for (const Histogram *h : reg.histograms())
+        listed = listed || h == &h1;
+    EXPECT_TRUE(listed);
+}
+
+} // namespace
+} // namespace vespera::obs

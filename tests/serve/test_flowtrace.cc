@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/export.h"
+#include "obs/profiler.h"
+#include "serve/engine.h"
+
+namespace vespera::serve {
+namespace {
+
+// Request-lifecycle flow tracing: with the profiler on, every request
+// emits a linked chain of Device-track spans (queued -> prefill ->
+// decode, with preemption episodes in between) sharing one flowId,
+// and the Chrome exporter turns each chain into Perfetto flow arrows.
+
+class FlowTraceTest : public ::testing::Test
+{
+  protected:
+    FlowTraceTest() : model_(models::LlamaConfig::llama31_8b()) {}
+
+    void
+    SetUp() override
+    {
+        obs::Profiler::instance().clear();
+        obs::Profiler::instance().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        obs::Profiler::instance().setEnabled(false);
+        obs::Profiler::instance().clear();
+    }
+
+    std::map<std::uint64_t, std::vector<obs::SpanEvent>>
+    requestFlows()
+    {
+        std::map<std::uint64_t, std::vector<obs::SpanEvent>> flows;
+        for (const auto &sp : obs::Profiler::instance().spans())
+            if (sp.category == "request")
+                flows[sp.flowId].push_back(sp);
+        for (auto &[id, spans] : flows)
+            std::stable_sort(spans.begin(), spans.end(),
+                             [](const obs::SpanEvent &a,
+                                const obs::SpanEvent &b) {
+                                 return a.start < b.start;
+                             });
+        return flows;
+    }
+
+    models::LlamaModel model_;
+};
+
+TEST_F(FlowTraceTest, EveryRequestGetsALinkedLifecycle)
+{
+    EngineConfig cfg;
+    cfg.device = DeviceKind::Gaudi2;
+    cfg.maxDecodeBatch = 4;
+    cfg.kvCacheBytes = 16ull << 30;
+    Engine engine(model_, cfg);
+    auto m = engine.run(makeFixedTrace(6, 128, 16));
+    ASSERT_EQ(m.completed, 6);
+
+    auto flows = requestFlows();
+    ASSERT_EQ(flows.size(), 6u); // One flow per request, flowId = id+1.
+    for (const auto &[id, spans] : flows) {
+        ASSERT_NE(id, 0u);
+        ASSERT_GE(spans.size(), 3u) << "flow " << id;
+        // Lifecycle starts queued, then prefills, then decodes.
+        EXPECT_NE(spans[0].name.find("queued"), std::string::npos);
+        EXPECT_NE(spans[1].name.find("prefill"), std::string::npos);
+        EXPECT_NE(spans.back().name.find("decode"), std::string::npos);
+        for (const auto &sp : spans) {
+            EXPECT_EQ(sp.group, obs::TrackGroup::Device);
+            EXPECT_GE(sp.duration, 0.0);
+            // Span names carry the request id for the trace viewer.
+            EXPECT_NE(sp.name.find(std::to_string(id - 1)),
+                      std::string::npos);
+        }
+        // Phases of one request never run concurrently.
+        for (std::size_t i = 1; i < spans.size(); i++)
+            EXPECT_GE(spans[i].start,
+                      spans[i - 1].start + spans[i - 1].duration -
+                          1e-12)
+                << "flow " << id;
+    }
+}
+
+TEST_F(FlowTraceTest, PreemptionAddsReprefillEpisodes)
+{
+    // Tiny paged KV with outputs long enough to outgrow each
+    // request's admission-time block reservation: forces
+    // recompute-style preemption, which must show up as extra
+    // lifecycle episodes.
+    EngineConfig cfg;
+    cfg.device = DeviceKind::Gaudi2;
+    cfg.maxDecodeBatch = 8;
+    cfg.kvCacheBytes = 1ull << 28;
+    auto &reg = obs::CounterRegistry::instance();
+    const double preempt0 = reg.counter("engine.preemptions").value();
+    Engine engine(model_, cfg);
+    auto m = engine.run(makeFixedTrace(8, 300, 200));
+    ASSERT_EQ(m.completed, 8);
+    const double preempts =
+        reg.counter("engine.preemptions").value() - preempt0;
+
+    auto flows = requestFlows();
+    ASSERT_EQ(flows.size(), 8u);
+    int preempted_spans = 0, requeues = 0, reprefills = 0;
+    for (const auto &[id, spans] : flows) {
+        (void)id;
+        for (const auto &sp : spans) {
+            if (sp.name.find("preempted") != std::string::npos)
+                preempted_spans++;
+            if (sp.name.find("re-queued") != std::string::npos)
+                requeues++;
+            if (sp.name.find("re-prefill") != std::string::npos)
+                reprefills++;
+        }
+    }
+    // Every preemption the engine counted appears in the trace as a
+    // truncated decode, a re-queue, and a second prefill.
+    EXPECT_EQ(preempted_spans, static_cast<int>(preempts));
+    EXPECT_EQ(requeues, static_cast<int>(preempts));
+    EXPECT_EQ(reprefills, static_cast<int>(preempts));
+    EXPECT_GT(m.preemptions, 0) << "scenario no longer preempts; "
+                                   "shrink kvCacheBytes";
+}
+
+TEST_F(FlowTraceTest, ExporterEmitsPerfettoFlowArrows)
+{
+    EngineConfig cfg;
+    cfg.device = DeviceKind::Gaudi2;
+    cfg.maxDecodeBatch = 2;
+    cfg.kvCacheBytes = 16ull << 30;
+    Engine engine(model_, cfg);
+    (void)engine.run(makeFixedTrace(3, 64, 8));
+
+    const std::string json =
+        obs::chromeTraceJson(obs::Profiler::instance());
+    // Flow start / step / end arrows, with binding-point-enclosing on
+    // the terminator so the arrow lands inside the final span.
+    EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"flow\""), std::string::npos);
+    // The queue lane and per-slot lanes are labeled for the viewer.
+    EXPECT_NE(json.find("req queue"), std::string::npos);
+    EXPECT_NE(json.find("req slot 0"), std::string::npos);
+}
+
+} // namespace
+} // namespace vespera::serve

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# --telemetry-dir must derive <dir>/<bench>.{trace,metrics}.json, and
+# an unwritable --metrics path must turn into a nonzero bench exit
+# (ISSUE PR 4 satellites). Takes any bench binary.
+#
+#   check_telemetry_dir.sh <path-to-bench-binary>
+set -u
+
+bench="${1:?usage: check_telemetry_dir.sh <bench-binary>}"
+name="$(basename "$bench")"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# 1. Derived telemetry paths.
+"$bench" --quiet --telemetry-dir="$tmp" 2> /dev/null \
+    || fail "$name exited nonzero with --telemetry-dir"
+[ -s "$tmp/$name.metrics.json" ] || fail "derived metrics file missing"
+[ -s "$tmp/$name.trace.json" ] || fail "derived trace file missing"
+grep -q "vespera-metrics/v2" "$tmp/$name.metrics.json" \
+    || fail "metrics doc is not vespera-metrics/v2"
+grep -q '"traceEvents"' "$tmp/$name.trace.json" \
+    || fail "trace doc has no traceEvents"
+
+# 2. Explicit flags win over the derived paths.
+"$bench" --quiet --telemetry-dir="$tmp" \
+    --metrics="$tmp/explicit.json" 2> /dev/null \
+    || fail "$name exited nonzero with explicit --metrics"
+[ -s "$tmp/explicit.json" ] || fail "explicit metrics path ignored"
+
+# 3. Export failure is a bench failure.
+if "$bench" --quiet \
+    --metrics="$tmp/no-such-dir/metrics.json" 2> /dev/null; then
+    fail "unwritable --metrics path exited 0"
+fi
+
+echo "TELEMETRY_OK"

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * vespera-stat: diff two vespera-metrics documents and gate on
+ * regression — the comparison engine behind the BENCH trajectory
+ * (compare a fresh `--metrics` export against the committed baseline
+ * in tools/bench_baseline/ and fail CI on drift).
+ *
+ *   vespera-stat [options] <baseline.json> <candidate.json>
+ *
+ *     --threshold=<frac>           global relative-change gate
+ *                                  (default 0.10 = 10%)
+ *     --threshold=<prefix>=<frac>  override for metrics whose name
+ *                                  starts with <prefix> (longest
+ *                                  matching prefix wins; repeatable)
+ *     --ignore=<prefix>            exclude matching metrics entirely
+ *                                  (repeatable)
+ *     --json                       machine-readable vespera-stat/v1
+ *                                  report on stdout instead of text
+ *
+ * Compared metrics, flattened to dotted names:
+ *   counters.<name>               counter value
+ *   rates.<name>                  rate meter mean rate
+ *   attribution.<scope>.<cat>     attribution seconds (v2 section; v1
+ *                                 docs' attrib.* counters normalize to
+ *                                 the same keys, so v1 vs v2 works)
+ *   histograms.<name>.<stat>      count/mean/p50/p90/p99/p999
+ * The "benchmarks" section (host wall time) is deliberately not
+ * compared: it varies with the machine, and the simulated counters
+ * are the deterministic signal.
+ *
+ * Any relative change beyond the threshold — in either direction — is
+ * a regression: a counter that *dropped* 20% usually means lost
+ * coverage, not a win. Metrics present only in the candidate are
+ * reported but don't fail; metrics that disappeared do fail.
+ *
+ * Exit codes: 0 = within thresholds, 1 = regression (each offending
+ * metric named on stdout), 2 = usage or document error.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace {
+
+using vespera::json::Value;
+using vespera::strfmt;
+
+/** Absolute slack below which a change is noise, not signal. */
+constexpr double kAbsEps = 1e-12;
+
+struct PrefixThreshold
+{
+    std::string prefix;
+    double frac = 0.10;
+};
+
+struct Config
+{
+    double threshold = 0.10;
+    std::vector<PrefixThreshold> overrides;
+    std::vector<std::string> ignores;
+    bool jsonOut = false;
+    std::string baselinePath;
+    std::string candidatePath;
+};
+
+struct Finding
+{
+    std::string metric;
+    double baseline = 0;
+    double candidate = 0;
+    double change = 0; ///< Relative change (inf when baseline is 0).
+};
+
+double
+thresholdFor(const Config &cfg, const std::string &name)
+{
+    std::size_t best_len = 0;
+    double frac = cfg.threshold;
+    for (const PrefixThreshold &o : cfg.overrides) {
+        if (o.prefix.size() >= best_len &&
+            name.compare(0, o.prefix.size(), o.prefix) == 0) {
+            best_len = o.prefix.size();
+            frac = o.frac;
+        }
+    }
+    return frac;
+}
+
+bool
+ignored(const Config &cfg, const std::string &name)
+{
+    for (const std::string &p : cfg.ignores)
+        if (name.compare(0, p.size(), p) == 0)
+            return true;
+    return false;
+}
+
+/** Flatten one metrics document into comparable dotted-name scalars. */
+bool
+flatten(const Value &doc, const std::string &path,
+        std::map<std::string, double> &out)
+{
+    const Value *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->str().rfind("vespera-metrics/", 0) != 0) {
+        std::fprintf(stderr,
+                     "vespera-stat: %s is not a vespera-metrics "
+                     "document\n",
+                     path.c_str());
+        return false;
+    }
+
+    if (const Value *counters = doc.find("counters");
+        counters && counters->isObject()) {
+        for (const auto &[name, entry] : counters->object()) {
+            const Value *v = entry.find("value");
+            if (!v || !v->isNumber())
+                continue;
+            // v1 docs carry attribution as plain attrib.* counters;
+            // normalize them onto the v2 section's key space.
+            if (name.rfind("attrib.", 0) == 0 && name.rfind('.') > 7) {
+                out["attribution." + name.substr(7)] = v->number();
+            } else {
+                out["counters." + name] = v->number();
+            }
+        }
+    }
+    if (const Value *rates = doc.find("rates");
+        rates && rates->isObject()) {
+        for (const auto &[name, entry] : rates->object()) {
+            if (const Value *v = entry.find("rate");
+                v && v->isNumber())
+                out["rates." + name] = v->number();
+        }
+    }
+    if (const Value *attrib = doc.find("attribution");
+        attrib && attrib->isObject()) {
+        for (const auto &[scope, cats] : attrib->object()) {
+            if (!cats.isObject())
+                continue;
+            for (const auto &[cat, v] : cats.object()) {
+                if (v.isNumber())
+                    out["attribution." + scope + "." + cat] =
+                        v.number();
+            }
+        }
+    }
+    if (const Value *hists = doc.find("histograms");
+        hists && hists->isObject()) {
+        static const char *stats[] = {"count", "mean", "p50",
+                                      "p90",   "p99",  "p999"};
+        for (const auto &[name, entry] : hists->object()) {
+            for (const char *stat : stats) {
+                if (const Value *v = entry.find(stat);
+                    v && v->isNumber())
+                    out["histograms." + name + "." + stat] =
+                        v->number();
+            }
+        }
+    }
+    return true;
+}
+
+bool
+loadDoc(const std::string &path, std::map<std::string, double> &out)
+{
+    std::string text;
+    if (!vespera::readFile(path, text)) {
+        std::fprintf(stderr, "vespera-stat: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    Value doc;
+    std::string err;
+    if (!vespera::json::parse(text, doc, &err)) {
+        std::fprintf(stderr, "vespera-stat: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    return flatten(doc, path, out);
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vespera-stat [options] <baseline.json> "
+        "<candidate.json>\n"
+        "  --threshold=<frac>           relative-change gate "
+        "(default 0.10)\n"
+        "  --threshold=<prefix>=<frac>  per-prefix override "
+        "(repeatable)\n"
+        "  --ignore=<prefix>            skip matching metrics "
+        "(repeatable)\n"
+        "  --json                       vespera-stat/v1 JSON report\n");
+    return 2;
+}
+
+std::string
+jsonFindings(const std::vector<Finding> &findings)
+{
+    std::vector<Value> arr;
+    for (const Finding &f : findings) {
+        std::map<std::string, Value> e;
+        e["metric"] = Value::makeString(f.metric);
+        e["baseline"] = Value::makeNumber(f.baseline);
+        e["candidate"] = Value::makeNumber(f.candidate);
+        e["change"] = Value::makeNumber(
+            std::isinf(f.change) ? 1e308 : f.change);
+        arr.push_back(Value::makeObject(std::move(e)));
+    }
+    return vespera::json::serialize(Value::makeArray(std::move(arr)));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--threshold=", 12) == 0) {
+            const std::string rest(arg + 12);
+            const std::size_t eq = rest.find('=');
+            if (eq == std::string::npos) {
+                cfg.threshold = std::atof(rest.c_str());
+            } else {
+                cfg.overrides.push_back(
+                    {rest.substr(0, eq),
+                     std::atof(rest.c_str() + eq + 1)});
+            }
+        } else if (std::strncmp(arg, "--ignore=", 9) == 0) {
+            cfg.ignores.emplace_back(arg + 9);
+        } else if (std::strcmp(arg, "--json") == 0) {
+            cfg.jsonOut = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage();
+            return 0;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "vespera-stat: unknown flag %s\n",
+                         arg);
+            return usage();
+        } else {
+            positional.emplace_back(arg);
+        }
+    }
+    if (positional.size() != 2)
+        return usage();
+    cfg.baselinePath = positional[0];
+    cfg.candidatePath = positional[1];
+
+    std::map<std::string, double> base, cand;
+    if (!loadDoc(cfg.baselinePath, base) ||
+        !loadDoc(cfg.candidatePath, cand))
+        return 2;
+
+    std::vector<Finding> regressions;
+    std::vector<std::string> added, removed;
+    std::size_t compared = 0;
+
+    for (const auto &[name, bval] : base) {
+        if (ignored(cfg, name))
+            continue;
+        const auto it = cand.find(name);
+        if (it == cand.end()) {
+            removed.push_back(name);
+            continue;
+        }
+        compared++;
+        const double cval = it->second;
+        const double diff = std::abs(cval - bval);
+        if (diff <= kAbsEps)
+            continue;
+        const double rel =
+            bval != 0.0
+                ? diff / std::abs(bval)
+                : std::numeric_limits<double>::infinity();
+        if (rel > thresholdFor(cfg, name))
+            regressions.push_back({name, bval, cval, rel});
+    }
+    for (const auto &[name, cval] : cand) {
+        (void)cval;
+        if (!ignored(cfg, name) && base.find(name) == base.end())
+            added.push_back(name);
+    }
+
+    const bool fail = !regressions.empty() || !removed.empty();
+
+    if (cfg.jsonOut) {
+        std::string out = "{\n";
+        out += "  \"schema\": \"vespera-stat/v1\",\n";
+        out += strfmt("  \"baseline\": \"%s\",\n",
+                      cfg.baselinePath.c_str());
+        out += strfmt("  \"candidate\": \"%s\",\n",
+                      cfg.candidatePath.c_str());
+        out += strfmt("  \"threshold\": %g,\n", cfg.threshold);
+        out += strfmt("  \"compared\": %zu,\n", compared);
+        out += "  \"regressions\": " + jsonFindings(regressions) +
+               ",\n";
+        std::vector<Value> rm, ad;
+        for (const std::string &n : removed)
+            rm.push_back(Value::makeString(n));
+        for (const std::string &n : added)
+            ad.push_back(Value::makeString(n));
+        out += "  \"removed\": " +
+               vespera::json::serialize(
+                   Value::makeArray(std::move(rm))) +
+               ",\n";
+        out += "  \"added\": " +
+               vespera::json::serialize(
+                   Value::makeArray(std::move(ad))) +
+               ",\n";
+        out += strfmt("  \"pass\": %s\n", fail ? "false" : "true");
+        out += "}\n";
+        std::fputs(out.c_str(), stdout);
+        return fail ? 1 : 0;
+    }
+
+    std::printf("vespera-stat: %s vs %s (threshold %g%%)\n",
+                cfg.baselinePath.c_str(), cfg.candidatePath.c_str(),
+                cfg.threshold * 100.0);
+    std::sort(regressions.begin(), regressions.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.change > b.change;
+              });
+    for (const Finding &f : regressions) {
+        std::printf("  REGRESSION %-48s %.6g -> %.6g (%+.1f%%)\n",
+                    f.metric.c_str(), f.baseline, f.candidate,
+                    (f.candidate - f.baseline) /
+                        (f.baseline != 0 ? std::abs(f.baseline)
+                                         : 1.0) *
+                        100.0);
+    }
+    for (const std::string &n : removed)
+        std::printf("  REMOVED    %s (present in baseline only)\n",
+                    n.c_str());
+    for (const std::string &n : added)
+        std::printf("  added      %s (not gated)\n", n.c_str());
+    std::printf("%s: %zu metrics compared, %zu regression%s, "
+                "%zu removed, %zu added\n",
+                fail ? "FAIL" : "OK", compared, regressions.size(),
+                regressions.size() == 1 ? "" : "s", removed.size(),
+                added.size());
+    return fail ? 1 : 0;
+}
