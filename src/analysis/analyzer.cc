@@ -41,10 +41,7 @@ slotName(tpc::Slot slot)
 bool
 isGlobalMem(const tpc::Instr &i)
 {
-    const bool is_mem = i.slot == tpc::Slot::Load ||
-                        i.slot == tpc::Slot::Store ||
-                        (i.slot == tpc::Slot::Scalar && i.memBytes > 0);
-    return is_mem && i.access != tpc::Access::Local;
+    return tpc::isGlobalMemAccess(i);
 }
 
 /** Collects per-rule findings, enforcing the per-rule emission cap. */
@@ -130,36 +127,6 @@ checkSsa(const tpc::Program &program, Sink &sink)
     return ok;
 }
 
-/** Result latency of an instruction, mirroring the pipeline model. */
-double
-resultLatency(const tpc::Instr &instr, const tpc::TpcParams &params)
-{
-    switch (instr.slot) {
-      case tpc::Slot::Vector:
-        return params.vectorLatency;
-      case tpc::Slot::Scalar:
-        if (instr.memBytes > 0 && instr.dst >= 0) {
-            if (instr.access == tpc::Access::Random)
-                return params.loadLatencyRandom;
-            if (instr.access == tpc::Access::Local)
-                return params.loadLatencyLocal;
-            return params.loadLatencyStream;
-        }
-        return params.scalarLatency;
-      case tpc::Slot::Load:
-        if (instr.dst < 0)
-            return 0;
-        if (instr.access == tpc::Access::Random)
-            return params.loadLatencyRandom;
-        if (instr.access == tpc::Access::Local)
-            return params.loadLatencyLocal;
-        return params.loadLatencyStream;
-      case tpc::Slot::Store:
-        return 0;
-    }
-    return 0;
-}
-
 /** Longest def-use chain in cycles (infinite-resource schedule). */
 double
 criticalPath(const tpc::Program &program, const tpc::TpcParams &params)
@@ -175,7 +142,7 @@ criticalPath(const tpc::Program &program, const tpc::TpcParams &params)
                                  finish[static_cast<std::size_t>(src)]);
         }
         const double done =
-            start + std::max(resultLatency(instr, params), 1.0);
+            start + std::max(tpc::resultLatency(instr, params), 1.0);
         if (instr.dst >= 0)
             finish[static_cast<std::size_t>(instr.dst)] = done;
         longest = std::max(longest, done);
@@ -362,7 +329,11 @@ void
 findSlotImbalance(const Report &report, const AnalyzerOptions &options,
                   Sink &sink)
 {
-    if (report.cycles <= 0 || report.instructions == 0)
+    // Occupancy and stall fractions are meaningless on empty or
+    // single-instruction traces (a lone store "stalls" for its whole
+    // drain), and report.cycles would be a degenerate denominator —
+    // bail before the divide.
+    if (report.cycles <= 0 || report.instructions < 2)
         return;
     (void)options;
     double best_occ = 0;

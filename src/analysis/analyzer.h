@@ -85,6 +85,10 @@ struct Diagnostic
     /// Op label of the offending instruction (intrinsic or phase tag).
     std::string opLabel;
     std::string message;
+    /// One-line suggested remediation ("" when the message says it
+    /// all). The static pipeline fills this for every finding; the
+    /// vespera-lint-static/v1 JSON exposes it as "fix_hint".
+    std::string fixHint;
     /// Estimated cycles this finding costs (0 when inapplicable).
     double costCycles = 0;
     /// Estimated bus/HBM bytes wasted (0 when inapplicable).

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Pre-execution static analyzer over recorded TPC kernel traces.
+ *
+ * The sibling of analysis/analyzer.h with the measurement removed:
+ * where analyzeProgram replays the cycle simulator and attributes its
+ * IssueTrace, analyzeProgramStatic lifts the trace to SSA IR
+ * (analysis/static/ir.h), runs dataflow passes over that IR, and
+ * predicts issue cycles with the static cost model
+ * (analysis/static/cost_model.h) — no simulator cycle is consumed.
+ *
+ * Every trace rule with a static counterpart (exposed-latency,
+ * narrow-access, random-should-stream, slot-imbalance, dead-value,
+ * redundant-reload, local-overflow, invalid-ssa) produces the same
+ * finding set through both pipelines on the registered kernels;
+ * tests/analysis/test_static_cost.cc pins that parity. Two passes are
+ * static-only: register-pressure (live-range analysis against the TPC
+ * local-memory budget) and swp-opportunity (loops whose achieved
+ * initiation interval trails their recurrence/resource bound, i.e.
+ * software pipelining would pay).
+ */
+
+#ifndef VESPERA_ANALYSIS_STATIC_STATIC_ANALYZER_H
+#define VESPERA_ANALYSIS_STATIC_STATIC_ANALYZER_H
+
+#include "analysis/analyzer.h"
+#include "analysis/static/cost_model.h"
+#include "analysis/static/ir.h"
+
+namespace vespera::analysis {
+
+namespace rules {
+/// Peak live SSA state near/over the TPC local-memory budget
+/// (static-only: live-range analysis).
+inline constexpr const char *registerPressure = "register-pressure";
+/// Loop whose achieved initiation interval exceeds its
+/// recurrence/resource lower bound: software pipelining would pay
+/// (static-only).
+inline constexpr const char *swpOpportunity = "swp-opportunity";
+} // namespace rules
+
+/** Static-analyzer knobs. Defaults match the simulated Gaudi-2 TPC
+ *  and the trace analyzer's thresholds (parity depends on it). */
+struct StaticAnalyzerOptions
+{
+    tpc::TpcParams params = tpc::TpcParams::forGaudi2();
+    Bytes localMemoryBytes = 80 * 1024;
+    int maxDiagnosticsPerRule = 8;
+    /// Predicted dependency stall below which no exposed-latency
+    /// diagnostic is emitted (same default as AnalyzerOptions).
+    double minStallCycles = 3.0;
+    int minSequentialRun = 4;
+    /// Publish per-rule counts as "analysis.static.diag.<rule>".
+    bool exportCounters = true;
+
+    /// @name IR lifting.
+    /// @{
+    std::size_t maxLoopPeriod = 128;
+    int maxLoopNesting = 3;
+    /// @}
+
+    /// @name Static-only pass thresholds.
+    /// @{
+    /// Peak live bytes / local memory above which register-pressure
+    /// reports Info resp. Warning.
+    double registerPressureInfoFrac = 0.5;
+    double registerPressureWarnFrac = 0.9;
+    /// Achieved II must exceed bound * this factor to flag SWP.
+    double swpGapFactor = 1.2;
+    /// ... and the projected saving must reach this many cycles.
+    double swpMinSavedCycles = 16;
+    /// @}
+};
+
+/** Everything the static pipeline learned about one trace. */
+struct StaticReport
+{
+    /// Diagnostics / per-rule summaries / slot counts, in the same
+    /// shape the trace analyzer emits (predictedStallCycles and the
+    /// per-cause stalls come from the cost model; measuredStallCycles
+    /// stays 0 — nothing was measured).
+    Report report;
+    /// The full static schedule (per-instruction issue prediction).
+    StaticSchedule schedule;
+
+    /// @name IR shape.
+    /// @{
+    std::size_t blockCount = 0;
+    std::size_t loopCount = 0;
+    int maxLoopDepth = 0;
+    /// @}
+
+    /// @name Live-range analysis results.
+    /// @{
+    std::uint64_t maxLiveValues = 0;
+    Bytes peakLiveBytes = 0;
+    /// @}
+
+    /// Predicted issue cycles (schedule.cycles; the number the cost
+    /// model is cross-validated on).
+    double predictedCycles() const { return schedule.cycles; }
+};
+
+/** Analyze one recorded trace statically. Never runs the simulator. */
+StaticReport
+analyzeProgramStatic(const tpc::Program &program,
+                     const StaticAnalyzerOptions &options = {});
+
+} // namespace vespera::analysis
+
+#endif // VESPERA_ANALYSIS_STATIC_STATIC_ANALYZER_H

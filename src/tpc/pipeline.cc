@@ -18,6 +18,45 @@ TpcParams::forGaudi2()
     return p;
 }
 
+bool
+isMemAccess(const Instr &instr)
+{
+    return instr.slot == Slot::Load || instr.slot == Slot::Store ||
+           (instr.slot == Slot::Scalar && instr.memBytes > 0);
+}
+
+bool
+isGlobalMemAccess(const Instr &instr)
+{
+    return isMemAccess(instr) && instr.access != Access::Local;
+}
+
+double
+resultLatency(const Instr &instr, const TpcParams &params)
+{
+    if (instr.slot == Slot::Store)
+        return 0;
+    if (isMemAccess(instr)) {
+        if (instr.dst < 0)
+            return 0;
+        if (instr.access == Access::Local)
+            return params.loadLatencyLocal;
+        return instr.access == Access::Random
+                   ? params.loadLatencyRandom
+                   : params.loadLatencyStream;
+    }
+    switch (instr.slot) {
+      case Slot::Vector:
+        return params.vectorLatency;
+      case Slot::Scalar:
+        return params.scalarLatency;
+      case Slot::Load:
+      case Slot::Store:
+        break;
+    }
+    return 0;
+}
+
 PipelineResult
 evaluatePipeline(const Program &program, const TpcParams &params,
                  IssueTrace *trace)
@@ -62,24 +101,9 @@ evaluatePipeline(const Program &program, const TpcParams &params,
             }
         }
 
-        const bool is_mem =
-            instr.slot == Slot::Load || instr.slot == Slot::Store ||
-            (instr.slot == Slot::Scalar && instr.memBytes > 0);
-        double result_latency = 0;
-        switch (instr.slot) {
-          case Slot::Vector:
-            result_latency = params.vectorLatency;
-            break;
-          case Slot::Scalar:
-            result_latency = params.scalarLatency;
-            break;
-          case Slot::Load:
-          case Slot::Store:
-            result_latency = 0; // Set below for loads.
-            break;
-        }
+        const double result_latency = resultLatency(instr, params);
 
-        if (is_mem && instr.access != Access::Local) {
+        if (isGlobalMemAccess(instr)) {
             // Global memory: every access moves whole granules through
             // the per-TPC memory interface at a bounded sustained rate.
             const std::uint64_t txns =
@@ -95,15 +119,6 @@ evaluatePipeline(const Program &program, const TpcParams &params,
                 r.randomTxns += txns;
                 r.randomAccesses++;
             }
-            if (instr.dst >= 0) {
-                result_latency = instr.access == Access::Random
-                                     ? params.loadLatencyRandom
-                                     : params.loadLatencyStream;
-            }
-        } else if (is_mem) {
-            // TPC-local scratchpad: no global traffic, short latency.
-            if (instr.dst >= 0)
-                result_latency = params.loadLatencyLocal;
         }
 
         if (instr.dst >= 0)

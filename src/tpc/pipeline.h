@@ -106,6 +106,28 @@ PipelineResult evaluatePipeline(const Program &program,
                                 const TpcParams &params,
                                 IssueTrace *trace = nullptr);
 
+/// @name Timing-rule hooks shared with the analyzers.
+/// Exactly the rules evaluatePipeline applies, exported so the trace
+/// analyzer (src/analysis/) and the static cost model
+/// (src/analysis/static/) consume one definition instead of keeping
+/// drift-prone copies.
+/// @{
+
+/** True when `instr` touches memory at all (loads, stores, scalar
+ *  accesses carrying payload bytes — local or global). */
+bool isMemAccess(const Instr &instr);
+
+/** True when `instr` moves bytes through the global-memory interface
+ *  (isMemAccess and not TPC-local). */
+bool isGlobalMemAccess(const Instr &instr);
+
+/** Cycles an in-order consumer waits for `instr`'s result: the vector/
+ *  scalar ALU latency, or the access-class load-to-use latency for
+ *  loads. 0 for results nobody can wait on (stores, dst < 0 loads). */
+double resultLatency(const Instr &instr, const TpcParams &params);
+
+/// @}
+
 } // namespace vespera::tpc
 
 #endif // VESPERA_TPC_PIPELINE_H

@@ -48,6 +48,9 @@ class Program
 
     /** Label text for an Instr::opLabel index ("" for -1/invalid). */
     const std::string &label(std::int16_t index) const;
+
+    /** The interned label table (IR-lifting hook: analysis/static/). */
+    const std::vector<std::string> &labels() const { return labels_; }
     /// @}
 
     /** Total useful flops executed by the trace. */

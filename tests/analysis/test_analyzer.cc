@@ -301,6 +301,32 @@ TEST(Analyzer, CountersExported)
                      programs_before + 1); // Unchanged.
 }
 
+// Degenerate-trace contract: an empty IssueTrace produces a clean
+// report — no rule (in particular not slot-imbalance, whose occupancy
+// math divides by total cycles) may fire on zero instructions.
+TEST(Analyzer, EmptyTraceProducesZeroFindings)
+{
+    Program p;
+    const Report r = analyzeProgram(p);
+    EXPECT_TRUE(r.diagnostics.empty());
+    EXPECT_TRUE(r.rules.empty());
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_EQ(r.cycles, 0.0);
+}
+
+// A single-instruction kernel trivially leaves three slots idle; that
+// is not an imbalance finding (there is nothing to rebalance).
+TEST(Analyzer, SingleInstructionKernelHasNoSlotImbalance)
+{
+    Program p;
+    TpcContext ctx(p, oneTpc());
+    Tensor t({64}, DataType::FP32);
+    (void)ctx.v_ld_tnsr({0, 0, 0, 0, 0}, t, 256);
+    const Report r = analyzeProgram(p);
+    EXPECT_EQ(r.countFor(rules::slotImbalance), 0);
+    EXPECT_FALSE(r.hasSeverity(Severity::Warning));
+}
+
 TEST(Analyzer, KernelNamePropagates)
 {
     Program p;

@@ -108,6 +108,38 @@ TEST_F(RegistryTest, StallPredictionMatchesPipelineOnAllKernels)
     }
 }
 
+// Every registered kernel — the full 11-kernel corpus — round-trips
+// through by-name lookup: the traced result carries the registry name,
+// a non-empty program, and a named embedded kernel. (Registry names
+// are variant names — "stream_triad_tuned" traces the "stream_TRIAD"
+// kernel — so the embedded name need not equal the registry name.)
+TEST_F(RegistryTest, AllKernelsRoundTripThroughLookup)
+{
+    KernelRegistry &reg = KernelRegistry::instance();
+    EXPECT_EQ(reg.size(), 11u);
+    for (const std::string &name : reg.names()) {
+        const TracedKernel t = reg.trace(name);
+        EXPECT_EQ(t.name, name);
+        EXPECT_FALSE(t.program.empty()) << name;
+        EXPECT_FALSE(t.program.kernelName().empty()) << name;
+    }
+}
+
+TEST_F(RegistryTest, DuplicateRegistrationFailsLoudly)
+{
+    KernelRegistry &reg = KernelRegistry::instance();
+    EXPECT_DEATH(reg.add("softmax",
+                         [] { return TracedKernel{}; }),
+                 "duplicate kernel registration");
+}
+
+TEST_F(RegistryTest, UnknownKernelFailsLoudly)
+{
+    EXPECT_DEATH(
+        (void)KernelRegistry::instance().trace("no_such_kernel"),
+        "unknown kernel");
+}
+
 // The known-bad STREAM shape must trip the paper's two headline rules;
 // the tuned shape must not trip narrow-access.
 TEST_F(RegistryTest, NaiveStreamIsFlaggedTunedIsNot)

@@ -3,17 +3,28 @@
  * vespera-lint: static analysis over the repo's TPC kernels and model
  * graphs.
  *
- * Runs every kernel registered in analysis::KernelRegistry under trace
- * capture, analyzes each recorded tpc::Program, lints the DLRM dense
- * graph at raw and compiled stages, and reports findings as text and/or
- * JSON (schema "vespera-lint/v1"). CI runs this with a checked-in
- * warnings baseline: any error-severity finding, or any warning count
- * above the baseline, fails the build.
+ * Two modes share one CLI:
+ *
+ *  - trace (default): runs every kernel registered in
+ *    analysis::KernelRegistry under trace capture, analyzes each
+ *    recorded tpc::Program against the cycle simulator's IssueTrace,
+ *    lints the DLRM dense graph at raw and compiled stages, and
+ *    reports findings as text and/or JSON (schema "vespera-lint/v1").
+ *
+ *  - static: lifts the same recorded traces to SSA IR and runs the
+ *    pre-execution analyzer (analysis/static/) — dataflow passes plus
+ *    the static cost model — without consuming a simulator cycle.
+ *    Reports use schema "vespera-lint-static/v1" (per-finding fix
+ *    hints, IR shape, predicted-cycle breakdown).
+ *
+ * CI runs both with checked-in warnings baselines: any error-severity
+ * finding, or any warning count above the baseline, fails the build.
  *
  * Usage:
- *   vespera-lint [--list] [--kernel=SUBSTR] [--json[=PATH]]
+ *   vespera-lint [static] [--list] [--kernel=SUBSTR] [--json[=PATH]]
  *                [--baseline=PATH] [--write-baseline=PATH]
- *                [--fail-on=error|warning|none] [--verbose]
+ *                [--update-baseline] [--fail-on=error|warning|none]
+ *                [--verbose]
  */
 
 #include <cstdio>
@@ -27,6 +38,8 @@
 #include "analysis/analyzer.h"
 #include "analysis/kernel_registry.h"
 #include "analysis/report.h"
+#include "analysis/static/static_analyzer.h"
+#include "analysis/static/static_report.h"
 #include "graph/compiler.h"
 #include "graph/lint.h"
 #include "models/dlrm.h"
@@ -37,9 +50,11 @@ using vespera::analysis::Diagnostic;
 using vespera::analysis::LintEntry;
 using vespera::analysis::Report;
 using vespera::analysis::Severity;
+using vespera::analysis::StaticLintEntry;
 
 struct Options
 {
+    bool staticMode = false; ///< "static" subcommand.
     bool list = false;
     bool verbose = false;
     bool json = false;
@@ -47,6 +62,9 @@ struct Options
     std::string kernelFilter;
     std::string baselinePath;
     std::string writeBaselinePath;
+    /// Rewrite --baseline's file in place from this run instead of
+    /// comparing against it (the ratchet update).
+    bool updateBaseline = false;
     Severity failOn = Severity::Error;
     bool failOnNothing = false;
 };
@@ -56,13 +74,18 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [options]\n"
+        "usage: %s [static] [options]\n"
+        "  static                 pre-execution analyzer (SSA IR +\n"
+        "                         static cost model) instead of the\n"
+        "                         trace/simulator pipeline\n"
         "  --list                 list registered kernels and exit\n"
         "  --kernel=SUBSTR        only kernels whose name contains "
         "SUBSTR\n"
         "  --json[=PATH]          emit JSON report (stdout or PATH)\n"
         "  --baseline=PATH        fail when warnings exceed baseline\n"
         "  --write-baseline=PATH  write the current warnings baseline\n"
+        "  --update-baseline      rewrite --baseline's file in place\n"
+        "                         from this run (skips the check)\n"
         "  --fail-on=SEV          error (default) | warning | none\n"
         "  --verbose              per-trace stats even when clean\n",
         argv0);
@@ -82,12 +105,16 @@ parseArgs(int argc, char **argv, Options &opt)
             }
             return nullptr;
         };
-        if (arg == "--list") {
+        if (arg == "static") {
+            opt.staticMode = true;
+        } else if (arg == "--list") {
             opt.list = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--json") {
             opt.json = true;
+        } else if (arg == "--update-baseline") {
+            opt.updateBaseline = true;
         } else if (const char *v = value("--json")) {
             opt.json = true;
             opt.jsonPath = v;
@@ -111,6 +138,9 @@ parseArgs(int argc, char **argv, Options &opt)
             return false;
         }
     }
+    // --update-baseline without a --baseline has nothing to rewrite.
+    if (opt.updateBaseline && opt.baselinePath.empty())
+        return false;
     return true;
 }
 
@@ -167,77 +197,43 @@ appendGraphEntries(const Options &opt, std::vector<LintEntry> &entries)
     }
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+bool
+writeFile(const std::string &path, const std::string &content)
 {
-    Options opt;
-    if (!parseArgs(argc, argv, opt))
-        return usage(argv[0]);
-
-    vespera::analysis::registerBuiltinKernels();
-    vespera::analysis::KernelRegistry &reg =
-        vespera::analysis::KernelRegistry::instance();
-
-    if (opt.list) {
-        for (const std::string &name : reg.names())
-            std::printf("%s\n", name.c_str());
-        return 0;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
     }
+    out << content << "\n";
+    return true;
+}
 
-    std::vector<LintEntry> entries;
-    for (vespera::analysis::TracedKernel &t :
-         reg.traceAll(opt.kernelFilter)) {
-        LintEntry e;
-        e.kernel = t.name;
-        e.shape = t.shape;
-        e.report = vespera::analysis::analyzeProgram(t.program);
-        entries.push_back(std::move(e));
-    }
-    appendGraphEntries(opt, entries);
-
-    if (entries.empty()) {
-        std::fprintf(stderr, "no kernels match filter '%s'\n",
-                     opt.kernelFilter.c_str());
+/**
+ * Everything after rendering, identical in both modes: baseline
+ * writing / in-place update / comparison, and the --fail-on gate.
+ * Returns the process exit code.
+ */
+int
+finishRun(const Options &opt, const std::vector<LintEntry> &entries)
+{
+    const std::string baseline_doc = vespera::json::serialize(
+        vespera::analysis::baselineJson(entries));
+    if (!opt.writeBaselinePath.empty() &&
+        !writeFile(opt.writeBaselinePath, baseline_doc)) {
         return 2;
     }
-
-    if (!opt.json || !opt.jsonPath.empty()) {
-        std::fputs(
-            vespera::analysis::lintReportText(entries, opt.verbose)
-                .c_str(),
-            stdout);
-    }
-    if (opt.json) {
-        const std::string doc = vespera::json::serialize(
-            vespera::analysis::lintReportJson(entries));
-        if (opt.jsonPath.empty()) {
-            std::puts(doc.c_str());
-        } else {
-            std::ofstream out(opt.jsonPath);
-            if (!out) {
-                std::fprintf(stderr, "cannot write %s\n",
-                             opt.jsonPath.c_str());
-                return 2;
-            }
-            out << doc << "\n";
-        }
-    }
-    if (!opt.writeBaselinePath.empty()) {
-        std::ofstream out(opt.writeBaselinePath);
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         opt.writeBaselinePath.c_str());
+    if (opt.updateBaseline) {
+        // Rewrite the ratchet from this run; comparing against the
+        // file we just wrote would be vacuous, so skip the check.
+        if (!writeFile(opt.baselinePath, baseline_doc))
             return 2;
-        }
-        out << vespera::json::serialize(
-                   vespera::analysis::baselineJson(entries))
-            << "\n";
+        std::fprintf(stderr, "baseline %s updated\n",
+                     opt.baselinePath.c_str());
     }
 
     int rc = 0;
-    if (!opt.baselinePath.empty()) {
+    if (!opt.baselinePath.empty() && !opt.updateBaseline) {
         std::ifstream in(opt.baselinePath);
         if (!in) {
             std::fprintf(stderr, "cannot read baseline %s\n",
@@ -272,4 +268,105 @@ main(int argc, char **argv)
         }
     }
     return rc;
+}
+
+/** Emit `doc` per the --json options. */
+int
+emitJson(const Options &opt, const vespera::json::Value &doc)
+{
+    const std::string text = vespera::json::serialize(doc);
+    if (opt.jsonPath.empty()) {
+        std::puts(text.c_str());
+        return 0;
+    }
+    return writeFile(opt.jsonPath, text) ? 0 : 2;
+}
+
+int
+runStatic(const Options &opt)
+{
+    vespera::analysis::KernelRegistry &reg =
+        vespera::analysis::KernelRegistry::instance();
+    std::vector<StaticLintEntry> entries;
+    for (vespera::analysis::TracedKernel &t :
+         reg.traceAll(opt.kernelFilter)) {
+        StaticLintEntry e;
+        e.kernel = t.name;
+        e.shape = t.shape;
+        e.report = vespera::analysis::analyzeProgramStatic(t.program);
+        entries.push_back(std::move(e));
+    }
+    if (entries.empty()) {
+        std::fprintf(stderr, "no kernels match filter '%s'\n",
+                     opt.kernelFilter.c_str());
+        return 2;
+    }
+
+    if (!opt.json || !opt.jsonPath.empty()) {
+        std::fputs(vespera::analysis::staticLintReportText(
+                       entries, opt.verbose)
+                       .c_str(),
+                   stdout);
+    }
+    if (opt.json) {
+        const int rc = emitJson(
+            opt, vespera::analysis::staticLintReportJson(entries));
+        if (rc != 0)
+            return rc;
+    }
+    return finishRun(opt,
+                     vespera::analysis::toLintEntries(entries));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return usage(argv[0]);
+
+    vespera::analysis::registerBuiltinKernels();
+    vespera::analysis::KernelRegistry &reg =
+        vespera::analysis::KernelRegistry::instance();
+
+    if (opt.list) {
+        for (const std::string &name : reg.names())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (opt.staticMode)
+        return runStatic(opt);
+
+    std::vector<LintEntry> entries;
+    for (vespera::analysis::TracedKernel &t :
+         reg.traceAll(opt.kernelFilter)) {
+        LintEntry e;
+        e.kernel = t.name;
+        e.shape = t.shape;
+        e.report = vespera::analysis::analyzeProgram(t.program);
+        entries.push_back(std::move(e));
+    }
+    appendGraphEntries(opt, entries);
+
+    if (entries.empty()) {
+        std::fprintf(stderr, "no kernels match filter '%s'\n",
+                     opt.kernelFilter.c_str());
+        return 2;
+    }
+
+    if (!opt.json || !opt.jsonPath.empty()) {
+        std::fputs(
+            vespera::analysis::lintReportText(entries, opt.verbose)
+                .c_str(),
+            stdout);
+    }
+    if (opt.json) {
+        const int rc =
+            emitJson(opt, vespera::analysis::lintReportJson(entries));
+        if (rc != 0)
+            return rc;
+    }
+    return finishRun(opt, entries);
 }
