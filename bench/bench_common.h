@@ -16,6 +16,16 @@
  *                      out on (also `--threads <n>`; 0 = all cores).
  *                      Output is bit-identical at any value — the
  *                      runtime's determinism contract (docs/runtime.md)
+ *   --selfprof         attribute the simulator's *own* wall time
+ *                      (obs/selfprof.h): prints a host self-profile
+ *                      table and adds the v2.1 "host" section to the
+ *                      metrics document. Precedence: --selfprof only
+ *                      changes what a metrics export *contains* — it
+ *                      writes no file by itself, so pair it with
+ *                      --metrics or --telemetry-dir to persist the
+ *                      section. Wall times vary run to run, so the
+ *                      determinism contract covers documents produced
+ *                      *without* this flag.
  *   --quiet            suppress normal stdout (telemetry still written)
  *
  * Usage pattern (see any bench_*.cc):
@@ -53,6 +63,7 @@ struct Options
     std::string metricsPath; ///< Empty = no metrics export.
     std::string telemetryDir; ///< Empty = no derived paths.
     bool quiet = false;
+    bool selfprof = false;   ///< Host self-profiling was requested.
     int threads = 1;         ///< Runtime pool size this run used.
     /** Extra google-benchmark results merged into the metrics doc. */
     obs::MetricsMeta meta;
@@ -87,6 +98,8 @@ parseArgs(int &argc, char **argv, const char *bench_name)
         } else if (std::strcmp(arg, "--threads") == 0 &&
                    i + 1 < argc) {
             opts.threads = std::atoi(argv[++i]);
+        } else if (std::strcmp(arg, "--selfprof") == 0) {
+            opts.selfprof = true;
         } else if (std::strcmp(arg, "--quiet") == 0) {
             opts.quiet = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
@@ -100,6 +113,12 @@ parseArgs(int &argc, char **argv, const char *bench_name)
                 "  --threads=<n>     parallel sweep workers (0 = all "
                 "cores);\n"
                 "                    output is identical at any value\n"
+                "  --selfprof        attribute the simulator's own wall "
+                "time\n"
+                "                    (adds the \"host\" section to a "
+                "--metrics/\n"
+                "                    --telemetry-dir export; writes no "
+                "file alone)\n"
                 "  --quiet           suppress normal stdout\n",
                 bench_name, bench_name);
             std::exit(0);
@@ -129,6 +148,8 @@ parseArgs(int &argc, char **argv, const char *bench_name)
 
     if (!opts.tracePath.empty())
         obs::Profiler::instance().setEnabled(true);
+    if (opts.selfprof)
+        obs::SelfProf::instance().setEnabled(true);
     if (opts.quiet) {
         // Telemetry files are the only output anyone asked for.
         if (!std::freopen("/dev/null", "w", stdout))
@@ -147,11 +168,30 @@ finish(const Options &opts)
     int rc = 0;
     auto &registry = obs::CounterRegistry::instance();
 
-    if (!opts.quiet)
+    obs::MetricsMeta meta = opts.meta;
+    if (opts.selfprof) {
+        {
+            // The summary print is telemetry work on the host clock;
+            // charging it before settle() closes the window keeps the
+            // category from reading zero on every bench.
+            obs::SelfTimer t(obs::SelfCat::TelemetryExport);
+            if (!opts.quiet)
+                obs::printCounterSummary(registry);
+        }
+        meta.host = obs::SelfProf::instance().settle();
+        meta.hostPresent = true;
+        if (!opts.quiet)
+            obs::printHostSelfProfile(meta.host);
+        // Counter tracks land next to the Host span lanes in the
+        // Perfetto trace, so publish before the trace is serialized.
+        obs::publishHostSelfProfile(meta.host,
+                                    obs::Profiler::instance());
+    } else if (!opts.quiet) {
         obs::printCounterSummary(registry);
+    }
 
     if (!opts.metricsPath.empty()) {
-        const std::string doc = obs::metricsJson(registry, opts.meta);
+        const std::string doc = obs::metricsJson(registry, meta);
         if (writeFile(opts.metricsPath, doc)) {
             std::fprintf(stderr, "wrote metrics to %s\n",
                          opts.metricsPath.c_str());

@@ -1,17 +1,35 @@
 /**
  * @file
- * Google-benchmark microbenchmarks of the simulator's own hot paths
- * (GEMM costing, TPC pipeline evaluation, collective costing). These
- * guard the interactive performance of the serving-engine simulations,
- * which evaluate thousands of step graphs.
+ * Google-benchmark self-benchmarks of the simulator itself.
+ *
+ * Two tiers guard the interactive performance of the tool:
+ *
+ *  - microbenchmarks of the hot paths (GEMM costing, TPC pipeline
+ *    evaluation, collective costing, one decode-step graph), and
+ *  - end-to-end self-benchmarks that run whole user-visible workflows
+ *    (a serving-engine decode run, a Figure-12 sweep point, the trace
+ *    and static analyzers) so regressions in glue code — caching,
+ *    scheduling, graph construction — are caught, not just kernel math.
+ *
+ * After the timing loops the harness resets all counters and runs one
+ * *fixed-work* scenario, so the exported metrics document carries
+ * machine-independent work counters next to the machine-dependent
+ * `benchmarks` timings. CI gates both against tools/bench_baseline/
+ * with per-prefix thresholds (tight on counters, loose on wall time);
+ * see docs/observability.md §"Profiling the simulator itself".
  */
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/analyzer.h"
+#include "analysis/kernel_registry.h"
+#include "analysis/static/static_analyzer.h"
 #include "coll/collective.h"
 #include "kern/gemm.h"
 #include "kern/stream.h"
 #include "models/llama.h"
+#include "serve/engine.h"
+#include "serve/trace.h"
 #include "tpc/dispatcher.h"
 
 #include "bench_common.h"
@@ -83,10 +101,109 @@ BM_LlamaDecodeStepCost(benchmark::State &state)
 }
 BENCHMARK(BM_LlamaDecodeStepCost);
 
+/// @name End-to-end self-benchmarks.
+/// Whole user workflows, timed: step caching, the scheduler loop, and
+/// analyzer passes dominate these, none of which the micro loops touch.
+/// @{
+
+/** A full continuous-batching decode run (cold caches every lap). */
+void
+BM_EngineDecodeRun(benchmark::State &state)
+{
+    models::LlamaModel model(models::LlamaConfig::llama31_8b());
+    for (auto _ : state) {
+        serve::EngineConfig ec;
+        ec.maxDecodeBatch = 8;
+        serve::Engine engine(model, ec);
+        auto m = engine.run(serve::makeFixedTrace(8, 128, 32));
+        benchmark::DoNotOptimize(m.makespan);
+    }
+}
+BENCHMARK(BM_EngineDecodeRun);
+
+/** One Figure-12 sweep point: monolithic prefill + integrated decode. */
+void
+BM_Fig12SweepPoint(benchmark::State &state)
+{
+    models::LlamaModel model(models::LlamaConfig::llama31_8b());
+    models::LlamaServingConfig cfg; // batch 32, 100 in / 100 out
+    for (auto _ : state) {
+        auto r = model.serve(DeviceKind::Gaudi2, cfg);
+        benchmark::DoNotOptimize(r.tokensPerSec);
+    }
+}
+BENCHMARK(BM_Fig12SweepPoint);
+
+/** Trace-analyzer pass over a captured kernel trace. */
+void
+BM_TraceAnalyzer(benchmark::State &state)
+{
+    analysis::registerBuiltinKernels();
+    auto traced =
+        analysis::KernelRegistry::instance().traceAll("softmax");
+    analysis::AnalyzerOptions opts;
+    opts.exportCounters = false; // timing loop must not touch counters
+    for (auto _ : state) {
+        for (const auto &t : traced) {
+            auto rep = analysis::analyzeProgram(t.program, opts);
+            benchmark::DoNotOptimize(rep.diagnostics.size());
+        }
+    }
+}
+BENCHMARK(BM_TraceAnalyzer);
+
+/** Pre-execution static-analyzer pass over the same trace corpus. */
+void
+BM_StaticAnalyzer(benchmark::State &state)
+{
+    analysis::registerBuiltinKernels();
+    auto traced =
+        analysis::KernelRegistry::instance().traceAll("softmax");
+    for (auto _ : state) {
+        for (const auto &t : traced) {
+            auto rep = analysis::analyzeProgramStatic(t.program);
+            benchmark::DoNotOptimize(&rep);
+        }
+    }
+}
+BENCHMARK(BM_StaticAnalyzer);
+
+/// @}
+
 /**
- * Console reporter that also captures each run's real time, so the
- * harness can emit them in the `benchmarks` section of the metrics
- * document — the BENCH_*.json perf trajectory future PRs diff against.
+ * The fixed-work scenario behind the metrics document: the same
+ * workflows as the end-to-end benchmarks, run exactly once on freshly
+ * reset counters. Its counter values depend only on the simulator's
+ * code, never on the machine or on google-benchmark's adaptive
+ * iteration counts — the tight-threshold half of the selfperf gate.
+ */
+void
+runFixedScenario()
+{
+    models::LlamaModel model(models::LlamaConfig::llama31_8b());
+
+    serve::EngineConfig ec;
+    ec.maxDecodeBatch = 8;
+    serve::Engine engine(model, ec);
+    engine.run(serve::makeFixedTrace(8, 128, 32));
+
+    models::LlamaServingConfig cfg;
+    model.serve(DeviceKind::Gaudi2, cfg);
+
+    analysis::registerBuiltinKernels();
+    for (const auto &t :
+         analysis::KernelRegistry::instance().traceAll("softmax")) {
+        analysis::analyzeProgram(t.program);
+        analysis::analyzeProgramStatic(t.program);
+    }
+}
+
+/**
+ * Console reporter that also captures run times for the `benchmarks`
+ * section of the metrics document — the trajectory CI diffs against.
+ * Under --benchmark_repetitions with aggregates, only the median is
+ * captured (one noise-tolerant number per benchmark); plain runs are
+ * captured as-is.
  */
 class CapturingReporter : public benchmark::ConsoleReporter
 {
@@ -99,8 +216,17 @@ class CapturingReporter : public benchmark::ConsoleReporter
         for (const Run &run : runs) {
             if (run.error_occurred)
                 continue;
-            meta_.benchmarks[run.benchmark_name()] =
-                run.GetAdjustedRealTime();
+            if (run.run_type == Run::RT_Aggregate) {
+                if (run.aggregate_name == "median") {
+                    // run_name is the un-suffixed benchmark name (the
+                    // display name would carry "_median").
+                    meta_.benchmarks[run.run_name.str()] =
+                        run.GetAdjustedRealTime();
+                }
+            } else {
+                meta_.benchmarks[run.benchmark_name()] =
+                    run.GetAdjustedRealTime();
+            }
         }
         ConsoleReporter::ReportRuns(runs);
     }
@@ -121,5 +247,11 @@ main(int argc, char **argv)
     CapturingReporter reporter(opts.meta);
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
+
+    // Drop everything the adaptive timing loops recorded, then run the
+    // deterministic fixed-work scenario the metrics document reports.
+    obs::CounterRegistry::instance().reset();
+    obs::SelfProf::instance().reset();
+    runFixedScenario();
     return bench::finish(opts);
 }

@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include "common/logging.h"
+#include "obs/selfprof.h"
 
 namespace vespera::graph {
 
@@ -12,7 +13,15 @@ Graph::push(Node n)
         vassert(in >= 0 && in < n.id, "node %s has bad input %d",
                 n.name.c_str(), in);
     }
-    nodes_.push_back(std::move(n));
+    // Step-graph growth is rebuilt per engine step, so it shows up in
+    // the self-profile's allocation columns when --selfprof is on.
+    if (obs::SelfProf::instance().enabled()) {
+        const std::size_t cap = nodes_.capacity();
+        nodes_.push_back(std::move(n));
+        obs::selfRecordGrowth(nodes_, cap);
+    } else {
+        nodes_.push_back(std::move(n));
+    }
     return nodes_.back().id;
 }
 

@@ -3,12 +3,14 @@
 #include "common/logging.h"
 #include "hw/mme.h"
 #include "hw/tensor_core.h"
+#include "obs/selfprof.h"
 
 namespace vespera::kern {
 
 hw::GemmCost
 runGemm(DeviceKind device, const hw::GemmShape &shape, DataType dt)
 {
+    obs::SelfTimer self(obs::SelfCat::KernelEval);
     switch (device) {
       case DeviceKind::Gaudi2: {
         static const hw::MmeModel mme;

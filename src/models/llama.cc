@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "graph/compiler.h"
+#include "obs/selfprof.h"
 
 namespace vespera::models {
 
@@ -154,6 +155,7 @@ LlamaModel::buildStepGraph(DeviceKind device, int batch,
                            std::int64_t context_len, bool prefill,
                            const LlamaServingConfig &cfg) const
 {
+    obs::SelfTimer self(obs::SelfCat::GraphBuild);
     const int tp = cfg.tpDevices;
     vassert(config_.numQHeads % tp == 0, "TP must divide q-heads");
     const std::int64_t m =
@@ -214,6 +216,10 @@ LlamaModel::stepReport(DeviceKind device, int batch,
                        int tokens_per_request, std::int64_t context_len,
                        bool prefill, const LlamaServingConfig &cfg) const
 {
+    // Whole-step evaluation is kernel-eval work on the host clock; the
+    // nested GraphBuild timer inside buildStepGraph carves its own
+    // share out, so the two categories never double-count.
+    obs::SelfTimer self(obs::SelfCat::KernelEval);
     graph::Graph layer = buildStepGraph(device, batch,
                                         tokens_per_request, context_len,
                                         prefill, cfg);

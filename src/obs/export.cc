@@ -56,8 +56,8 @@ chromeTraceJson(const Profiler &profiler)
     bool groupUsed[2] = {false, false};
     for (const SpanEvent &s : spans)
         groupUsed[s.group == TrackGroup::Host] = true;
-    if (!samples.empty())
-        groupUsed[0] = true; // Counter samples live in simulated time.
+    for (const TrackSample &c : samples)
+        groupUsed[c.group == TrackGroup::Host] = true;
     for (int g = 0; g < 2; g++) {
         if (!groupUsed[g])
             continue;
@@ -85,13 +85,14 @@ chromeTraceJson(const Profiler &profiler)
     }
 
     // Counter tracks: one "C" event per sample; Perfetto groups them
-    // by name into per-counter tracks under the Device process.
+    // by name into per-counter tracks under the sample's track group
+    // (Device for simulated-time counters, Host for selfprof tracks).
     for (const TrackSample &c : samples) {
         events.push_back(strfmt(
             "{\"name\": \"%s\", \"ph\": \"C\", \"ts\": %.3f, "
             "\"pid\": %d, \"args\": {\"value\": %.6g}}",
             escape(c.track).c_str(), c.t * 1e6,
-            static_cast<int>(TrackGroup::Device), c.value));
+            static_cast<int>(c.group), c.value));
     }
 
     // Flow arrows: spans sharing a nonzero flowId form one flow. The
@@ -235,6 +236,49 @@ metricsJson(const CounterRegistry &registry, const MetricsMeta &meta)
         root["benchmarks"] = json::Value::makeObject(std::move(bm));
     }
 
+    // v2.1 "host" section (--selfprof): the simulator's own settled
+    // wall-time attribution, allocation telemetry, and kernel-eval
+    // cache counters. Every category is emitted even when zero so the
+    // document shape is stable across runs (vespera-stat treats a
+    // disappearing metric as a failure).
+    if (meta.hostPresent) {
+        const SelfLedger &l = meta.host.ledger;
+        std::map<std::string, json::Value> host;
+        host["total_ns"] = json::Value::makeNumber(
+            static_cast<double>(l.totalNs()));
+        host["window_ns"] = json::Value::makeNumber(
+            static_cast<double>(meta.host.windowNs));
+        std::map<std::string, json::Value> time, calls, alloc;
+        for (int c = 0; c < kSelfCats; ++c) {
+            const auto i = static_cast<std::size_t>(c);
+            const char *name =
+                selfCatName(static_cast<SelfCat>(c));
+            time[name] = json::Value::makeNumber(
+                static_cast<double>(l.ns[i]));
+            calls[name] = json::Value::makeNumber(
+                static_cast<double>(l.calls[i]));
+            std::map<std::string, json::Value> a;
+            a["bytes"] = json::Value::makeNumber(
+                static_cast<double>(l.allocBytes[i]));
+            a["count"] = json::Value::makeNumber(
+                static_cast<double>(l.allocCount[i]));
+            alloc[name] = json::Value::makeObject(std::move(a));
+        }
+        host["time"] = json::Value::makeObject(std::move(time));
+        host["calls"] = json::Value::makeObject(std::move(calls));
+        host["alloc"] = json::Value::makeObject(std::move(alloc));
+        std::map<std::string, json::Value> cache, ke;
+        ke["hits"] = json::Value::makeNumber(
+            static_cast<double>(meta.host.cacheHits));
+        ke["misses"] = json::Value::makeNumber(
+            static_cast<double>(meta.host.cacheMisses));
+        ke["key_count"] = json::Value::makeNumber(
+            static_cast<double>(meta.host.cacheKeyCount));
+        cache["kernel_eval"] = json::Value::makeObject(std::move(ke));
+        host["cache"] = json::Value::makeObject(std::move(cache));
+        root["host"] = json::Value::makeObject(std::move(host));
+    }
+
     return json::serialize(json::Value::makeObject(std::move(root))) +
            "\n";
 }
@@ -291,6 +335,72 @@ printCounterSummary(const CounterRegistry &registry, std::FILE *out)
                        Table::num(h->max(), 6)});
         }
         ht.print(out);
+    }
+}
+
+void
+printHostSelfProfile(const SelfSnapshot &snap, std::FILE *out)
+{
+    const SelfLedger &l = snap.ledger;
+    const std::uint64_t total = l.totalNs();
+    if (total == 0)
+        return;
+
+    printHeading("Host self-profile (wall time)", out);
+    Table t({"Category", "Self ms", "Share", "Scopes", "Alloc bytes",
+             "Allocs"});
+    for (int c = 0; c < kSelfCats; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        if (l.ns[i] == 0 && l.calls[i] == 0 && l.allocBytes[i] == 0 &&
+            l.allocCount[i] == 0)
+            continue;
+        t.addRow({selfCatName(static_cast<SelfCat>(c)),
+                  Table::num(static_cast<double>(l.ns[i]) * 1e-6, 3),
+                  strfmt("%5.1f%%", 100.0 *
+                                        static_cast<double>(l.ns[i]) /
+                                        static_cast<double>(total)),
+                  Table::integer(static_cast<long long>(l.calls[i])),
+                  Table::integer(
+                      static_cast<long long>(l.allocBytes[i])),
+                  Table::integer(
+                      static_cast<long long>(l.allocCount[i]))});
+    }
+    t.addRow({"total",
+              Table::num(static_cast<double>(total) * 1e-6, 3),
+              "100.0%", "", "", ""});
+    t.print(out);
+
+    if (snap.cacheHits + snap.cacheMisses > 0) {
+        std::fprintf(
+            out,
+            "kernel-eval cache: %llu hits / %llu misses (%llu keys)\n",
+            static_cast<unsigned long long>(snap.cacheHits),
+            static_cast<unsigned long long>(snap.cacheMisses),
+            static_cast<unsigned long long>(snap.cacheKeyCount));
+    }
+}
+
+void
+publishHostSelfProfile(const SelfSnapshot &snap, Profiler &profiler)
+{
+    if (!profiler.enabled())
+        return;
+    const SelfLedger &l = snap.ledger;
+    const Seconds window =
+        static_cast<double>(snap.windowNs) * 1e-9;
+    for (int c = 0; c < kSelfCats; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        if (l.ns[i] == 0)
+            continue;
+        const std::string track =
+            std::string("selfprof.") +
+            selfCatName(static_cast<SelfCat>(c)) + ".ms";
+        // Two samples per track — zero at the window start and the
+        // cumulative self time at its end — so the counter renders as
+        // a ramp spanning the run next to the Host span lanes.
+        profiler.sample(TrackGroup::Host, track, 0.0, 0.0);
+        profiler.sample(TrackGroup::Host, track, window,
+                        static_cast<double>(l.ns[i]) * 1e-6);
     }
 }
 

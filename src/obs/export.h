@@ -21,6 +21,7 @@
 
 #include "obs/counters.h"
 #include "obs/profiler.h"
+#include "obs/selfprof.h"
 
 namespace vespera::obs {
 
@@ -30,9 +31,13 @@ namespace vespera::obs {
  * "attribution" (per-scope category totals, obs/attrib.h) sections and
  * moves `attrib.*` counters out of "counters" into the latter;
  * consumers of v1 documents keep working — v2 is a superset plus that
- * one relocation.
+ * one relocation. v2.1 adds the *optional* "host" section (simulator
+ * self-profile, obs/selfprof.h), present only when the producer ran
+ * with --selfprof; v2 readers that ignore unknown sections keep
+ * working, and absent the flag the document is byte-for-byte what v2
+ * produced apart from the schema string.
  */
-inline constexpr const char *metricsSchema = "vespera-metrics/v2";
+inline constexpr const char *metricsSchema = "vespera-metrics/v2.1";
 
 /**
  * Chrome-trace JSON of everything the profiler recorded: spans as
@@ -51,6 +56,13 @@ struct MetricsMeta
     std::string tool;
     /** Optional google-benchmark results: name -> real time (ns). */
     std::map<std::string, double> benchmarks;
+    /** Optional settled self-profile (--selfprof): becomes the v2.1
+        "host" section. Host wall times vary with the machine, and
+        cache hit/miss splits vary with --threads, so the section is
+        strictly opt-in — the determinism contract (docs/runtime.md)
+        covers documents produced without it. */
+    SelfSnapshot host;
+    bool hostPresent = false;
 };
 
 /**
@@ -70,6 +82,23 @@ std::string metricsJson(const CounterRegistry &registry,
  */
 void printCounterSummary(const CounterRegistry &registry,
                          std::FILE *out = stdout);
+
+/**
+ * Print a settled self-profile (--selfprof) as an aligned table: per
+ * category the self time, share of the window, scope count, and
+ * allocation bytes/events, plus the kernel-eval cache line.
+ */
+void printHostSelfProfile(const SelfSnapshot &snap,
+                          std::FILE *out = stdout);
+
+/**
+ * Publish a settled self-profile as counter tracks on the Host group
+ * of `profiler` (one `selfprof.<cat>.ms` track per nonzero category,
+ * sampled at the window edges), next to the ScopedSpan host lanes.
+ * No-op when the profiler is disabled.
+ */
+void publishHostSelfProfile(const SelfSnapshot &snap,
+                            Profiler &profiler);
 
 } // namespace vespera::obs
 

@@ -12,42 +12,77 @@ double Histogram::growth()
     return std::exp2(1.0 / kBucketsPerOctave);
 }
 
-int Histogram::bucketIndex(double v)
+Histogram::Histogram(std::string name, Layout layout)
+    : name_(std::move(name)), layout_(layout)
 {
-    if (!(v > kMinTrackable)) // negatives and NaN clamp down
+    vassert(layout_.minTrackable > 0 && layout_.bucketsPerOctave >= 1 &&
+                layout_.octaves >= 1,
+            "degenerate histogram layout");
+    // Storage is the fixed max-size array; a custom layout may only
+    // shrink the geometry, never outgrow it.
+    vassert(layout_.buckets() <= kBuckets,
+            "histogram layout needs %d buckets, storage has %d",
+            layout_.buckets(), kBuckets);
+}
+
+int Histogram::bucketIndex(const Layout &layout, double v)
+{
+    if (!(v > layout.minTrackable)) // negatives and NaN clamp down
         return 0;
-    const double octaves = std::log2(v / kMinTrackable);
-    int idx = 1 + static_cast<int>(octaves * kBucketsPerOctave);
-    if (idx >= kBuckets) // beyond the top octave: overflow bucket
-        return kBuckets - 1;
+    const int buckets = layout.buckets();
+    const double octaves = std::log2(v / layout.minTrackable);
+    int idx = 1 + static_cast<int>(octaves * layout.bucketsPerOctave);
+    if (idx >= buckets) // beyond the top octave: overflow bucket
+        return buckets - 1;
     // Guard the exact-edge case: log2/exp2 rounding can land a value
     // computed *as* a bucket edge in the bucket above it. A sample must
     // never sit above its bucket's upper edge or percentile() would
     // undershoot it.
-    if (idx > 1 && v <= bucketHi(idx - 1))
+    if (idx > 1 && v <= bucketHi(layout, idx - 1))
         --idx;
     return idx;
 }
 
-double Histogram::bucketLo(int index)
+double Histogram::bucketLo(const Layout &layout, int index)
 {
-    vassert(index >= 0 && index < kBuckets, "bucket index out of range");
+    vassert(index >= 0 && index < layout.buckets(),
+            "bucket index out of range");
     if (index == 0)
         return 0.0;
-    return kMinTrackable * std::exp2(static_cast<double>(index - 1) / kBucketsPerOctave);
+    return layout.minTrackable *
+           std::exp2(static_cast<double>(index - 1) /
+                     layout.bucketsPerOctave);
+}
+
+double Histogram::bucketHi(const Layout &layout, int index)
+{
+    vassert(index >= 0 && index < layout.buckets(),
+            "bucket index out of range");
+    if (index == 0)
+        return layout.minTrackable;
+    return layout.minTrackable *
+           std::exp2(static_cast<double>(index) /
+                     layout.bucketsPerOctave);
+}
+
+int Histogram::bucketIndex(double v)
+{
+    return bucketIndex(Layout{}, v);
+}
+
+double Histogram::bucketLo(int index)
+{
+    return bucketLo(Layout{}, index);
 }
 
 double Histogram::bucketHi(int index)
 {
-    vassert(index >= 0 && index < kBuckets, "bucket index out of range");
-    if (index == 0)
-        return kMinTrackable;
-    return kMinTrackable * std::exp2(static_cast<double>(index) / kBucketsPerOctave);
+    return bucketHi(Layout{}, index);
 }
 
 void Histogram::add(double v)
 {
-    counts_[static_cast<std::size_t>(bucketIndex(v))] += 1;
+    counts_[static_cast<std::size_t>(bucketIndex(layout_, v))] += 1;
     count_ += 1;
     sum_ += v;
     min_ = std::min(min_, v);
@@ -56,7 +91,17 @@ void Histogram::add(double v)
 
 void Histogram::merge(const Histogram &other)
 {
-    for (int i = 0; i < kBuckets; ++i)
+    // Folding counts_ arrays with different geometries would silently
+    // misplace every sample; fail loudly instead (the satellite guard).
+    vassert(layout_ == other.layout_,
+            "histogram merge: mismatched bucket layouts "
+            "('%s': min=%g x%d oct=%d vs '%s': min=%g x%d oct=%d)",
+            name_.c_str(), layout_.minTrackable,
+            layout_.bucketsPerOctave, layout_.octaves,
+            other.name_.c_str(), other.layout_.minTrackable,
+            other.layout_.bucketsPerOctave, other.layout_.octaves);
+    const int buckets = layout_.buckets();
+    for (int i = 0; i < buckets; ++i)
         counts_[static_cast<std::size_t>(i)] += other.counts_[static_cast<std::size_t>(i)];
     count_ += other.count_;
     sum_ += other.sum_;
@@ -71,13 +116,15 @@ double Histogram::percentile(double p) const
     const double frac = std::clamp(p, 0.0, 100.0) / 100.0;
     std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(frac * static_cast<double>(count_)));
     rank = std::clamp<std::uint64_t>(rank, 1, count_);
+    const int buckets = layout_.buckets();
     std::uint64_t cum = 0;
-    for (int i = 0; i < kBuckets; ++i) {
+    for (int i = 0; i < buckets; ++i) {
         cum += counts_[static_cast<std::size_t>(i)];
         if (cum >= rank) {
             // Overflow bucket has no finite upper edge; the clamp to
             // the observed max supplies it.
-            const double hi = (i == kBuckets - 1) ? max_ : bucketHi(i);
+            const double hi =
+                (i == buckets - 1) ? max_ : bucketHi(layout_, i);
             return std::min(hi, max_);
         }
     }
@@ -87,12 +134,14 @@ double Histogram::percentile(double p) const
 std::vector<Histogram::Bucket> Histogram::nonzeroBuckets() const
 {
     std::vector<Bucket> out;
-    for (int i = 0; i < kBuckets; ++i) {
+    const int buckets = layout_.buckets();
+    for (int i = 0; i < buckets; ++i) {
         const std::uint64_t c = counts_[static_cast<std::size_t>(i)];
         if (c == 0)
             continue;
-        const bool overflow = i == kBuckets - 1;
-        out.push_back({bucketLo(i), overflow ? max_ : bucketHi(i), c});
+        const bool overflow = i == buckets - 1;
+        out.push_back({bucketLo(layout_, i),
+                       overflow ? max_ : bucketHi(layout_, i), c});
     }
     return out;
 }

@@ -51,13 +51,47 @@ class Histogram
     /// [exact, exact * kGrowth].
     static double growth();
 
+    /**
+     * Bucket geometry. The defaults are the compile-time constants
+     * above — every registry histogram uses them — but a histogram
+     * built for a different dynamic range (coarser buckets, fewer
+     * octaves) may shrink them. Two histograms are merge-compatible
+     * only when their layouts are equal: folding counts_ arrays with
+     * different geometries silently miscounts every quantile, so
+     * merge() asserts equality instead.
+     */
+    struct Layout
+    {
+        double minTrackable = kMinTrackable;
+        int bucketsPerOctave = kBucketsPerOctave;
+        int octaves = kOctaves;
+
+        /// Underflow + log buckets + overflow.
+        int
+        buckets() const
+        {
+            return octaves * bucketsPerOctave + 2;
+        }
+
+        bool operator==(const Layout &) const = default;
+    };
+
     Histogram() = default;
     explicit Histogram(std::string name) : name_(std::move(name)) {}
+    /** A histogram with non-default geometry (storage stays fixed, so
+        layout.buckets() must not exceed kBuckets). */
+    Histogram(std::string name, Layout layout);
+
+    const Layout &layout() const { return layout_; }
 
     /** Record one observation (negatives clamp to the underflow bucket). */
     void add(double v);
 
-    /** Fold `other` into this histogram (same fixed layout always). */
+    /**
+     * Fold `other` into this histogram. The layouts must be equal —
+     * a mismatched merge is a hard failure (vassert), never a silent
+     * miscount.
+     */
     void merge(const Histogram &other);
 
     std::uint64_t count() const { return count_; }
@@ -88,15 +122,21 @@ class Histogram
 
     void reset();
 
-    /// @name Bucket geometry (exposed for tests/exporters).
+    /// @name Bucket geometry (exposed for tests/exporters). The
+    /// static forms use the default Layout; the Layout-taking forms
+    /// serve histograms with custom geometry.
     /// @{
     static int bucketIndex(double v);
     static double bucketLo(int index);
     static double bucketHi(int index);
+    static int bucketIndex(const Layout &layout, double v);
+    static double bucketLo(const Layout &layout, int index);
+    static double bucketHi(const Layout &layout, int index);
     /// @}
 
   private:
     std::string name_;
+    Layout layout_;
     std::array<std::uint64_t, kBuckets> counts_{};
     std::uint64_t count_ = 0;
     double sum_ = 0;

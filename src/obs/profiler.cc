@@ -59,8 +59,15 @@ Profiler::recordSpan(const std::string &name,
 void
 Profiler::sample(const std::string &track, Seconds t, double value)
 {
+    sample(TrackGroup::Device, track, t, value);
+}
+
+void
+Profiler::sample(TrackGroup group, const std::string &track, Seconds t,
+                 double value)
+{
     std::lock_guard<std::mutex> lock(mu_);
-    samples_.push_back({track, t, value});
+    samples_.push_back({track, group, t, value});
 }
 
 void

@@ -58,6 +58,10 @@ struct SpanEvent
 struct TrackSample
 {
     std::string track;
+    /// Which track group (trace "process") the counter track renders
+    /// under: Device samples carry simulated time, Host samples carry
+    /// wall time (e.g. the selfprof attribution tracks).
+    TrackGroup group = TrackGroup::Device;
     Seconds t = 0;
     double value = 0;
 };
@@ -93,8 +97,13 @@ class Profiler
     void recordSpan(const std::string &name, const std::string &category,
                     int track, Seconds start, Seconds duration);
 
-    /** Record a counter-track sample at simulated time `t`. */
+    /** Record a Device counter-track sample at simulated time `t`. */
     void sample(const std::string &track, Seconds t, double value);
+
+    /** Record a counter-track sample on an explicit track group
+        (Host samples carry wall time, e.g. selfprof.* tracks). */
+    void sample(TrackGroup group, const std::string &track, Seconds t,
+                double value);
 
     /** Label a lane ("MME", "TPC", ...) for the trace viewer. */
     void nameTrack(TrackGroup group, int track, const std::string &name);

@@ -9,6 +9,7 @@
 #include "obs/counters.h"
 #include "obs/hist.h"
 #include "obs/profiler.h"
+#include "obs/selfprof.h"
 #include "runtime/pool.h"
 
 namespace vespera::serve {
@@ -47,6 +48,14 @@ Engine::prefillChunkTime(int chunk, std::int64_t ctx)
     const int bucket = (chunk + 63) / 64 * 64;
     const std::int64_t ctx_bucket = std::max<std::int64_t>(
         bucket, (ctx + 255) / 256 * 256);
+    if (obs::SelfProf::instance().enabled()) {
+        // Chunked prefill is evaluated fresh every time (no cache), so
+        // each call is a kernel-eval miss in the self-profile.
+        obs::SelfProf::instance().cacheMiss(
+            strfmt("prefill_chunk|%s|n%d|ctx%lld",
+                   deviceName(config_.device), bucket,
+                   static_cast<long long>(ctx_bucket)));
+    }
     return model_.stepTime(config_.device, 1, bucket, ctx_bucket, true,
                            servingCfg_);
 }
@@ -57,6 +66,20 @@ Engine::decodeStepTime(int batch, std::int64_t mean_ctx)
     const std::int64_t bucket = (mean_ctx + 63) / 64 * 64;
     const auto key = std::make_pair(batch, bucket);
     auto it = decodeCache_.find(key);
+    if (obs::SelfProf::instance().enabled()) {
+        // Self-profile cache accounting, keyed kernel x shape x device
+        // x bucket granularity. Hit/miss splits shift with --threads
+        // (the prefetch window below pre-inserts entries), which is why
+        // these live in SelfProf and never in the deterministic
+        // counter registry.
+        const std::string ck =
+            strfmt("decode|%s|b%d|ctx%lld", deviceName(config_.device),
+                   batch, static_cast<long long>(bucket));
+        if (it == decodeCache_.end())
+            obs::SelfProf::instance().cacheMiss(ck);
+        else
+            obs::SelfProf::instance().cacheHit(ck);
+    }
     if (it == decodeCache_.end()) {
         runtime::Pool &pool = runtime::Pool::global();
         const int fan = pool.threads();
@@ -101,6 +124,14 @@ Engine::prefillStepTime(int input_len)
 {
     const int bucket = (input_len + 63) / 64 * 64;
     auto it = prefillCache_.find(bucket);
+    if (obs::SelfProf::instance().enabled()) {
+        const std::string ck = strfmt("prefill|%s|in%d",
+                                      deviceName(config_.device), bucket);
+        if (it == prefillCache_.end())
+            obs::SelfProf::instance().cacheMiss(ck);
+        else
+            obs::SelfProf::instance().cacheHit(ck);
+    }
     if (it == prefillCache_.end()) {
         CachedStep step;
         step.t = model_.stepTime(config_.device, 1, bucket, bucket,
@@ -138,6 +169,14 @@ Engine::prewarmPrefill(const std::vector<Request> &trace)
         return;
 
     obs::ScopedSpan span("engine.prewarm_prefill", "runtime");
+    if (obs::SelfProf::instance().enabled()) {
+        // Prewarmed buckets are the run's prefill misses, recorded here
+        // (serially, in bucket order) so prefillStepTime sees hits.
+        for (int b : buckets)
+            obs::SelfProf::instance().cacheMiss(
+                strfmt("prefill|%s|in%d", deviceName(config_.device),
+                       b));
+    }
     std::vector<CachedStep> steps(buckets.size());
     pool.run(buckets.size(), [&](std::size_t i) {
         obs::ScopedCapture cap(steps[i].log);
@@ -152,6 +191,9 @@ ServingMetrics
 Engine::run(std::vector<Request> trace)
 {
     vassert(!trace.empty(), "empty trace");
+    // Engine-loop self time; the kernel-eval timers nested inside the
+    // step caches subtract themselves out (see obs/selfprof.h).
+    obs::SelfTimer self(obs::SelfCat::EngineStep);
     std::sort(trace.begin(), trace.end(),
               [](const Request &a, const Request &b) {
                   return a.arrival < b.arrival;

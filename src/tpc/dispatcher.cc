@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/attrib.h"
+#include "obs/selfprof.h"
 #include "runtime/parallel.h"
 
 namespace vespera::tpc {
@@ -79,13 +80,19 @@ TpcDispatcher::launch(const Kernel &kernel, const IndexSpace &space,
         Program program;
         program.setKernelName(params.kernelName);
         TpcContext ctx(program, range, params.vectorBytes);
-        kernel(ctx);
+        {
+            obs::SelfTimer self(obs::SelfCat::TraceRecord);
+            kernel(ctx);
+        }
         if (program.empty())
             return out;
         if (traceObserver())
             traceObserver()(program, t);
 
-        out.pr = evaluatePipeline(program, params.tpc);
+        {
+            obs::SelfTimer self(obs::SelfCat::KernelEval);
+            out.pr = evaluatePipeline(program, params.tpc);
+        }
         out.usefulBytes = program.streamBytes() + program.randomBytes();
         out.localHighWater = ctx.localHighWater();
         out.active = true;

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/selfprof.h"
 #include "tpc/isa.h"
 
 namespace vespera::tpc {
@@ -23,7 +24,16 @@ class Program
     std::size_t
     append(const Instr &instr)
     {
-        instrs_.push_back(instr);
+        // Trace-vector growth is the simulator's dominant allocation
+        // source; report reallocations to the self-profile (one branch
+        // on a relaxed atomic when --selfprof is off).
+        if (obs::SelfProf::instance().enabled()) {
+            const std::size_t cap = instrs_.capacity();
+            instrs_.push_back(instr);
+            obs::selfRecordGrowth(instrs_, cap);
+        } else {
+            instrs_.push_back(instr);
+        }
         return instrs_.size() - 1;
     }
 

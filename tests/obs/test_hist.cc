@@ -210,6 +210,66 @@ TEST(Histogram, ResetClears)
     EXPECT_EQ(h.name(), "r");
 }
 
+TEST(Histogram, CustomLayoutGeometry)
+{
+    // A coarser, narrower-range layout: every sample still lands in a
+    // bracketing bucket of the *custom* geometry.
+    const Histogram::Layout coarse{1e-6, 4, 32};
+    Histogram h("coarse", coarse);
+    EXPECT_EQ(h.layout(), coarse);
+    EXPECT_EQ(coarse.buckets(), 32 * 4 + 2);
+    for (double v : {2e-6, 1e-3, 0.5, 100.0}) {
+        const int idx = Histogram::bucketIndex(coarse, v);
+        ASSERT_GT(idx, 0) << v;
+        ASSERT_LT(idx, coarse.buckets()) << v;
+        EXPECT_LT(Histogram::bucketLo(coarse, idx), v) << v;
+        EXPECT_GE(Histogram::bucketHi(coarse, idx), v) << v;
+    }
+    // Below the floor / beyond the top octave of the custom range.
+    EXPECT_EQ(Histogram::bucketIndex(coarse, 1e-9), 0);
+    EXPECT_EQ(Histogram::bucketIndex(coarse, 1e12),
+              coarse.buckets() - 1);
+
+    h.add(1e-3);
+    h.add(2e-3);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GE(h.percentile(99), 2e-3);
+}
+
+TEST(Histogram, MergeSameCustomLayoutOk)
+{
+    const Histogram::Layout coarse{1e-6, 4, 32};
+    Histogram a("a", coarse), b("b", coarse);
+    for (int i = 1; i <= 50; i++)
+        a.add(i * 1e-4);
+    for (int i = 1; i <= 50; i++)
+        b.add(i * 1e-3);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_EQ(a.max(), 50e-3);
+}
+
+TEST(HistogramDeathTest, MergeMismatchedLayoutsFails)
+{
+    // The satellite guard: folding different geometries would silently
+    // misplace every sample, so merge must fail loudly instead.
+    Histogram def("default.layout");
+    Histogram coarse("coarse.layout", Histogram::Layout{1e-6, 4, 32});
+    def.add(1e-3);
+    coarse.add(1e-3);
+    EXPECT_DEATH(def.merge(coarse), "mismatched bucket layouts");
+    EXPECT_DEATH(coarse.merge(def), "mismatched bucket layouts");
+}
+
+TEST(HistogramDeathTest, OversizedLayoutFails)
+{
+    // Storage is fixed at kBuckets; a layout that needs more must be
+    // rejected at construction, not corrupt memory at add().
+    EXPECT_DEATH(Histogram("too.big",
+                           Histogram::Layout{1e-12, 32, 128}),
+                 "histogram layout needs");
+}
+
 TEST(Histogram, RegistryGetOrCreate)
 {
     auto &reg = CounterRegistry::instance();

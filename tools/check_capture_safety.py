@@ -10,7 +10,11 @@ in the telemetry surface is NOT deferred:
   - obs::Histogram mutation (add / merge / reset), including access
     through CounterRegistry::histogram(...) — documented single-thread;
   - common::Samples accumulation (push-back into a plain vector);
-  - Samples/record-style raw recording added by future telemetry.
+  - Samples/record-style raw recording added by future telemetry;
+  - obs::SelfProf window operations (settle / reset / setEnabled) and
+    raw obs::SelfLedger mutation (merge / settle / reset) — the
+    *charge/alloc hooks* are capture-deferred, but the window control
+    and bare-ledger paths are serial-only by contract.
 
 Calling any of those from inside a parallel region (a lambda handed to
 runtime::parallel_for / parallel_map / Pool::run) races the container
@@ -45,10 +49,15 @@ ALWAYS_UNSAFE = [
      "capture-deferred"),
     (re.compile(r"(?:\.|->)record\s*\("),
      "raw record() — not capture-deferred"),
+    (re.compile(r"\bSelfProf::instance\(\)\s*\.\s*"
+                r"(?:settle|reset|setEnabled)\s*\("),
+     "SelfProf window control — serial-path only (charges defer, "
+     "settle/reset/setEnabled do not)"),
 ]
 
 DECL_SAMPLES = re.compile(r"\b(?:common::)?Samples\s+(\w+)")
 DECL_HIST = re.compile(r"\b(?:obs::)?Histogram\s+(\w+)")
+DECL_SELF = re.compile(r"\b(?:obs::)?SelfLedger\s+(\w+)")
 WAIVER = "capture-ok"
 
 
@@ -105,12 +114,13 @@ def check_file(path):
 
     unsafe = list(ALWAYS_UNSAFE)
     for decl, what in ((DECL_SAMPLES, "common::Samples"),
-                       (DECL_HIST, "obs::Histogram")):
+                       (DECL_HIST, "obs::Histogram"),
+                       (DECL_SELF, "obs::SelfLedger")):
         for m in decl.finditer(text):
             name = m.group(1)
             unsafe.append((
-                re.compile(r"\b%s\s*\.\s*(?:add|merge|reset)\s*\("
-                           % re.escape(name)),
+                re.compile(r"\b%s\s*\.\s*(?:add|merge|settle|reset)"
+                           r"\s*\(" % re.escape(name)),
                 "%s '%s' mutated — not capture-deferred" % (what, name)))
 
     findings = []
@@ -144,10 +154,13 @@ SELF_TEST_BAD = """
 void f() {
     common::Samples lat;
     obs::Histogram h("x");
+    obs::SelfLedger ledger;
     runtime::parallel_for(8, [&](std::size_t i) {
         lat.add(1.0);                       // racy push_back
         h.merge(other);                     // racy merge
         reg.histogram("ttft").add(0.5);     // registry histogram
+        obs::SelfProf::instance().settle(); // racy window close
+        ledger.merge(worker);               // racy bare-ledger fold
     });
     pool.run(4, [&](std::size_t i) { sink.record(i); });
 }
@@ -158,10 +171,16 @@ SELF_TEST_GOOD = """
 void f() {
     common::Samples lat;
     obs::Histogram h("x");
-    lat.add(1.0);   // serial path: fine
-    h.add(2.0);     // serial path: fine
+    obs::SelfLedger ledger;
+    lat.add(1.0);      // serial path: fine
+    h.add(2.0);        // serial path: fine
+    ledger.settle(10); // serial path: fine
+    obs::SelfProf::instance().reset(); // serial path: fine
     runtime::parallel_for(8, [&](std::size_t i) {
         reg.counter("ok.total").add(1.0); // capture-aware: deferred
+        obs::SelfProf::instance().charge( // capture-aware: deferred
+            obs::SelfCat::KernelEval, 5);
+        obs::SelfProf::instance().recordAlloc(64); // deferred too
         lat.add(3.0); // capture-ok: task-indexed slot, joined after
     });
     // parallel_for mentioned in a comment: reg.histogram("x").add(1);
@@ -180,8 +199,8 @@ def self_test():
         bad_findings = check_file(bad)
         good_findings = check_file(good)
     ok = True
-    if len(bad_findings) != 4:
-        print("self-test: expected 4 findings in bad.cc, got %d:"
+    if len(bad_findings) != 6:
+        print("self-test: expected 6 findings in bad.cc, got %d:"
               % len(bad_findings))
         print("\n".join(bad_findings))
         ok = False

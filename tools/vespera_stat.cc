@@ -14,6 +14,10 @@
  *                                  matching prefix wins; repeatable)
  *     --ignore=<prefix>            exclude matching metrics entirely
  *                                  (repeatable)
+ *     --compare-benchmarks         also gate the wall-clock sections
+ *                                  ("benchmarks" + "host"); pair with
+ *                                  loose --threshold=benchmarks= etc.
+ *                                  override — wall time is noisy
  *     --json                       machine-readable vespera-stat/v1
  *                                  report on stdout instead of text
  *
@@ -24,9 +28,18 @@
  *                                 docs' attrib.* counters normalize to
  *                                 the same keys, so v1 vs v2 works)
  *   histograms.<name>.<stat>      count/mean/p50/p90/p99/p999
- * The "benchmarks" section (host wall time) is deliberately not
- * compared: it varies with the machine, and the simulated counters
- * are the deterministic signal.
+ *   host.total_ns                 v2.1 self-profile (--selfprof runs):
+ *   host.time.<cat>               self ns per category,
+ *   host.calls.<cat>              scope entries per category,
+ *   host.alloc.<cat>.{bytes,count} allocation telemetry,
+ *   host.cache.kernel_eval.{hits,misses,key_count}
+ *   benchmarks.<name>             google-benchmark median real ns
+ * The "benchmarks" and "host" sections are wall-clock data and are
+ * not compared by default: they vary with the machine, and the
+ * simulated counters are the deterministic signal. The selfperf
+ * trajectory job opts both in with --compare-benchmarks, gating the
+ * machine-independent host *counts* tightly and the nanosecond
+ * values with wide per-prefix thresholds.
  *
  * Any relative change beyond the threshold — in either direction — is
  * a regression: a counter that *dropped* 20% usually means lost
@@ -69,6 +82,7 @@ struct Config
     double threshold = 0.10;
     std::vector<PrefixThreshold> overrides;
     std::vector<std::string> ignores;
+    bool compareBenchmarks = false;
     bool jsonOut = false;
     std::string baselinePath;
     std::string candidatePath;
@@ -109,7 +123,7 @@ ignored(const Config &cfg, const std::string &name)
 /** Flatten one metrics document into comparable dotted-name scalars. */
 bool
 flatten(const Value &doc, const std::string &path,
-        std::map<std::string, double> &out)
+        bool compare_benchmarks, std::map<std::string, double> &out)
 {
     const Value *schema = doc.find("schema");
     if (!schema || !schema->isString() ||
@@ -169,11 +183,63 @@ flatten(const Value &doc, const std::string &path,
             }
         }
     }
+    // The host self-profile is wall-clock data, same boat as the
+    // benchmarks section: only trajectory jobs that opted in via
+    // --compare-benchmarks should see (and gate) it.
+    if (const Value *host = doc.find("host");
+        compare_benchmarks && host && host->isObject()) {
+        if (const Value *v = host->find("total_ns");
+            v && v->isNumber())
+            out["host.total_ns"] = v->number();
+        for (const char *section : {"time", "calls"}) {
+            if (const Value *s = host->find(section);
+                s && s->isObject()) {
+                for (const auto &[cat, v] : s->object()) {
+                    if (v.isNumber())
+                        out[std::string("host.") + section + "." +
+                            cat] = v.number();
+                }
+            }
+        }
+        if (const Value *alloc = host->find("alloc");
+            alloc && alloc->isObject()) {
+            for (const auto &[cat, entry] : alloc->object()) {
+                for (const char *field : {"bytes", "count"}) {
+                    if (const Value *v = entry.find(field);
+                        v && v->isNumber())
+                        out["host.alloc." + cat + "." + field] =
+                            v->number();
+                }
+            }
+        }
+        if (const Value *cache = host->find("cache");
+            cache && cache->isObject()) {
+            for (const auto &[name, entry] : cache->object()) {
+                for (const char *field :
+                     {"hits", "misses", "key_count"}) {
+                    if (const Value *v = entry.find(field);
+                        v && v->isNumber())
+                        out["host.cache." + name + "." + field] =
+                            v->number();
+                }
+            }
+        }
+    }
+    if (compare_benchmarks) {
+        if (const Value *bm = doc.find("benchmarks");
+            bm && bm->isObject()) {
+            for (const auto &[name, v] : bm->object()) {
+                if (v.isNumber())
+                    out["benchmarks." + name] = v.number();
+            }
+        }
+    }
     return true;
 }
 
 bool
-loadDoc(const std::string &path, std::map<std::string, double> &out)
+loadDoc(const std::string &path, bool compare_benchmarks,
+        std::map<std::string, double> &out)
 {
     std::string text;
     if (!vespera::readFile(path, text)) {
@@ -188,7 +254,7 @@ loadDoc(const std::string &path, std::map<std::string, double> &out)
                      err.c_str());
         return false;
     }
-    return flatten(doc, path, out);
+    return flatten(doc, path, compare_benchmarks, out);
 }
 
 int
@@ -204,6 +270,8 @@ usage()
         "(repeatable)\n"
         "  --ignore=<prefix>            skip matching metrics "
         "(repeatable)\n"
+        "  --compare-benchmarks         also gate wall-clock data "
+        "(benchmarks + host)\n"
         "  --json                       vespera-stat/v1 JSON report\n");
     return 2;
 }
@@ -245,6 +313,8 @@ main(int argc, char **argv)
             }
         } else if (std::strncmp(arg, "--ignore=", 9) == 0) {
             cfg.ignores.emplace_back(arg + 9);
+        } else if (std::strcmp(arg, "--compare-benchmarks") == 0) {
+            cfg.compareBenchmarks = true;
         } else if (std::strcmp(arg, "--json") == 0) {
             cfg.jsonOut = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
@@ -265,8 +335,8 @@ main(int argc, char **argv)
     cfg.candidatePath = positional[1];
 
     std::map<std::string, double> base, cand;
-    if (!loadDoc(cfg.baselinePath, base) ||
-        !loadDoc(cfg.candidatePath, cand))
+    if (!loadDoc(cfg.baselinePath, cfg.compareBenchmarks, base) ||
+        !loadDoc(cfg.candidatePath, cfg.compareBenchmarks, cand))
         return 2;
 
     std::vector<Finding> regressions;
