@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Offline proxy calibration: traces every TPC tunable kernel across
+ * its calibration sizes and one variation per knob axis, fits the
+ * per-family ridge regression (proxy.h) against the exact static
+ * scheduler, and reports calibration plus held-out error so the ±15%
+ * accuracy contract is visible at fit time, not just in CI.
+ *
+ * `vespera-lint tune --calibrate=PATH` drives this and writes the
+ * versioned coefficient artifact; the committed copies
+ * (tools/predict_coeffs.json and the builtin in coeffs_builtin.inc)
+ * are its output.
+ */
+
+#ifndef VESPERA_ANALYSIS_PREDICT_CALIBRATE_H
+#define VESPERA_ANALYSIS_PREDICT_CALIBRATE_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/predict/proxy.h"
+#include "analysis/predict/tunable.h"
+#include "tpc/pipeline.h"
+
+namespace vespera::analysis {
+
+/** Per-family fit quality. Error fractions are max |proxy - exact| /
+ *  exact over the named sample set. */
+struct CalibrationFamily
+{
+    std::string name;
+    std::size_t samples = 0;
+    double maxCalibrationErr = 0;
+    double maxHeldOutErr = 0;
+};
+
+/** A fitted model plus its fit-quality report. */
+struct CalibrationReport
+{
+    ProxyModel model;
+    std::vector<CalibrationFamily> families;
+
+    double maxHeldOutErr() const
+    {
+        double worst = 0;
+        for (const CalibrationFamily &f : families)
+            worst = worst > f.maxHeldOutErr ? worst : f.maxHeldOutErr;
+        return worst;
+    }
+};
+
+/**
+ * Calibrate against every registered TPC tunable whose name contains
+ * `filter` ("" = all). Deterministic: fixed seeds, fixed sample order.
+ */
+CalibrationReport
+calibrateProxy(const std::string &filter = "",
+               const tpc::TpcParams &params = tpc::TpcParams::forGaudi2(),
+               double ridgeLambda = 1e-3);
+
+} // namespace vespera::analysis
+
+#endif // VESPERA_ANALYSIS_PREDICT_CALIBRATE_H

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * The compiled-in copy of tools/predict_coeffs.json.
+ *
+ * Regenerate with:
+ *   vespera-lint tune --calibrate=tools/predict_coeffs.json
+ * then paste the file's contents between the raw-string markers below
+ * (tests/analysis/test_predict_proxy.cc pins the two copies to be
+ * numerically identical, so a stale paste fails CI, not production).
+ */
+
+namespace vespera::analysis {
+
+extern const char *kBuiltinProxyCoeffsJson;
+
+const char *kBuiltinProxyCoeffsJson =
+#include "analysis/predict/coeffs_builtin.inc"
+    ;
+
+} // namespace vespera::analysis

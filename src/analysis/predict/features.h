@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Feature extraction over the lifted SSA IR (analysis/static/ir.h):
+ * the front half of the fast-path cost predictor.
+ *
+ * The static cost model (cost_model.h) predicts cycles by scheduling
+ * every IR instruction under the TPC's issue rules — exact, but linear
+ * in trace length and requiring a recorded trace per candidate. The
+ * predictor instead summarizes a kernel x shape into a fixed-length
+ * numeric feature vector — slot mix, access-granularity histogram,
+ * stride classes, loop trip counts, initiation-interval gaps, register
+ * pressure peaks — and prices it with per-feature linear coefficients
+ * (proxy.h). The NeuroScalar-style division of labor: features + dot
+ * product screen thousands of configurations per second, and the exact
+ * static scheduler verifies only the survivors (tuner.h).
+ *
+ * Extraction never runs the scheduler: every feature is a single pass
+ * over the instruction stream and the recovered loop structure.
+ */
+
+#ifndef VESPERA_ANALYSIS_PREDICT_FEATURES_H
+#define VESPERA_ANALYSIS_PREDICT_FEATURES_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/static/ir.h"
+#include "common/json.h"
+#include "tpc/isa.h"
+#include "tpc/pipeline.h"
+
+namespace vespera::analysis {
+
+/// Serialized feature-vector schema tag.
+inline constexpr const char *kFeatureSchema =
+    "vespera-predict-features/v1";
+
+/// Access-size histogram buckets: payload <= 32, 64, 128, 256, 512,
+/// 1024, 2048 B, and everything larger.
+inline constexpr int kGranularityBuckets = 8;
+
+/**
+ * The feature vector of one kernel x shape. All fields are counts or
+ * cycle-dimensioned aggregates over the *full unrolled* trace, so they
+ * scale with problem size the way issue cycles do.
+ */
+struct FeatureVector
+{
+    std::string kernel; ///< Program::kernelName (may be "").
+    std::string shape;  ///< Caller-supplied shape tag (may be "").
+
+    /// @name Instruction mix.
+    /// @{
+    double instructions = 0;
+    double slotCounts[tpc::numSlots] = {0, 0, 0, 0};
+    /// Busiest single slot — the VLIW resource bound in cycles.
+    double busiestSlotCount = 0;
+    /// @}
+
+    /// @name Global-memory interface.
+    /// @{
+    double globalAccesses = 0;
+    double globalPayloadBytes = 0;
+    /// Granule transactions (payload rounded up per access).
+    double granuleTxns = 0;
+    /// granuleTxns x memIssueIntervalCycles — the memory roofline.
+    double memBoundCycles = 0;
+    /// Interface cycles spent moving padding, not payload: the
+    /// piecewise "granularity knee" — zero at/above the 256 B granule,
+    /// growing linearly as accesses narrow below it.
+    double granuleWasteCycles = 0;
+    /// Second knee at granule/2: accesses so narrow that even pairwise
+    /// coalescing could not fill a granule.
+    double hingeHalfGranule = 0;
+    double granularityHist[kGranularityBuckets] = {0};
+    /// Accesses with payload < granule.
+    double subGranuleAccesses = 0;
+    /// @}
+
+    /// @name Stride classes (innermost-loop accesses, trip-weighted).
+    /// @{
+    double contiguousAccesses = 0; ///< Affine, |stride| == payload.
+    double stridedAccesses = 0;    ///< Affine, any other stride.
+    double irregularAccesses = 0;  ///< Non-affine or Access::Random.
+    /// @}
+
+    /// @name Dependence structure.
+    /// @{
+    /// Longest def-use chain through the whole trace, in cycles.
+    double depHeightCycles = 0;
+    /// Sum over loops of trips x worst recurrence latency.
+    double loopDepCycles = 0;
+    /// Sum over loops of trips x busiest body slot count.
+    double loopSlotCycles = 0;
+    /// Sum over loops of trips x body granule txns x issue interval.
+    double loopMemCycles = 0;
+    /// Sum over loops of trips x max(recurrence, slot, memory) — the
+    /// per-loop initiation-interval roofline.
+    double loopRooflineCycles = 0;
+    /// Sum over loops of trips x (body dependence height - II bound)
+    /// when positive: the statically visible software-pipelining gap.
+    double iiGapCycles = 0;
+    /// Instructions outside every recovered loop.
+    double straightInstrs = 0;
+    /// @}
+
+    /// @name Loop shape.
+    /// @{
+    double loopCount = 0;
+    double maxTripCount = 0;
+    double maxLoopDepth = 0;
+    /// @}
+
+    /// @name Register pressure (live-range sweep).
+    /// @{
+    double peakLiveValues = 0;
+    double peakLiveBytes = 0;
+    /// @}
+
+    /**
+     * The ordered numeric basis the proxy model prices: a constant
+     * bias term followed by the cycle-scale aggregates. Must stay in
+     * lockstep with basisNames(); the committed coefficient artifact
+     * is versioned against it.
+     */
+    std::vector<double> basis() const;
+
+    /** Names of basis() entries, same order. */
+    static const std::vector<std::string> &basisNames();
+
+    /** Stable serialization (schema kFeatureSchema). Field order and
+     *  number formatting are deterministic, so two extractions of the
+     *  same trace are byte-identical. */
+    json::Value toJson() const;
+};
+
+/**
+ * Extract features from valid lifted IR. Panics (vassert) on IR with
+ * SSA violations or degenerate loops (tripCount < 2, empty body, span
+ * past the end of the trace) — liftProgram sanitizes its own output,
+ * so tripping this means a hand-built IR skipped the lifting guards.
+ */
+FeatureVector
+extractFeatures(const StaticIr &ir,
+                const tpc::TpcParams &params = tpc::TpcParams::forGaudi2());
+
+} // namespace vespera::analysis
+
+#endif // VESPERA_ANALYSIS_PREDICT_FEATURES_H

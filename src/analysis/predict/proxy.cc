@@ -1,0 +1,255 @@
+#include "analysis/predict/proxy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vespera::analysis {
+
+/// The embedded copy of tools/predict_coeffs.json (coeffs_builtin.cc).
+extern const char *kBuiltinProxyCoeffsJson;
+
+double
+ProxyModel::predictBasis(const std::string &family,
+                         const std::vector<double> &basis) const
+{
+    auto it = families_.find(family);
+    if (it == families_.end())
+        it = families_.find("default");
+    vassert(it != families_.end(),
+            "ProxyModel has no family '%s' and no default",
+            family.c_str());
+    const std::vector<double> &w = it->second;
+    vassert(w.size() == basis.size(),
+            "ProxyModel family '%s': %zu weights vs %zu basis terms "
+            "(stale coefficient artifact?)",
+            it->first.c_str(), w.size(), basis.size());
+    double cycles = 0;
+    for (std::size_t i = 0; i < w.size(); i++)
+        cycles += w[i] * basis[i];
+    return std::max(1.0, cycles);
+}
+
+double
+ProxyModel::predict(const FeatureVector &f) const
+{
+    return predictBasis(f.kernel, f.basis());
+}
+
+void
+ProxyModel::setFamily(const std::string &family,
+                      std::vector<double> weights)
+{
+    vassert(weights.size() == FeatureVector::basisNames().size(),
+            "weight vector does not match the feature basis");
+    families_[family] = std::move(weights);
+}
+
+json::Value
+ProxyModel::toJson() const
+{
+    std::map<std::string, json::Value> fams;
+    for (const auto &[name, weights] : families_) {
+        std::vector<json::Value> w;
+        w.reserve(weights.size());
+        for (double v : weights)
+            w.push_back(json::Value::makeNumber(v));
+        fams[name] = json::Value::makeArray(std::move(w));
+    }
+    std::vector<json::Value> basis;
+    for (const std::string &n : FeatureVector::basisNames())
+        basis.push_back(json::Value::makeString(n));
+    std::map<std::string, json::Value> doc;
+    doc["schema"] = json::Value::makeString(kProxyCoeffsSchema);
+    doc["basis"] = json::Value::makeArray(std::move(basis));
+    doc["families"] = json::Value::makeObject(std::move(fams));
+    return json::Value::makeObject(std::move(doc));
+}
+
+bool
+ProxyModel::fromJson(const json::Value &doc, ProxyModel &out,
+                     std::string *error)
+{
+    auto fail = [error](const char *msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    const json::Value *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->str() != kProxyCoeffsSchema) {
+        return fail("not a vespera-predict-coeffs/v1 document");
+    }
+    const json::Value *basis = doc.find("basis");
+    const std::vector<std::string> &names = FeatureVector::basisNames();
+    if (basis == nullptr || !basis->isArray() ||
+        basis->array().size() != names.size()) {
+        return fail("basis list does not match this build's feature "
+                    "basis");
+    }
+    for (std::size_t i = 0; i < names.size(); i++) {
+        if (!basis->array()[i].isString() ||
+            basis->array()[i].str() != names[i]) {
+            return fail("basis name mismatch (artifact fitted against "
+                        "a different feature schema)");
+        }
+    }
+    const json::Value *fams = doc.find("families");
+    if (fams == nullptr || !fams->isObject() || fams->object().empty())
+        return fail("missing families");
+    out.families_.clear();
+    for (const auto &[name, arr] : fams->object()) {
+        if (!arr.isArray() || arr.array().size() != names.size())
+            return fail("family weight vector has wrong length");
+        std::vector<double> w;
+        w.reserve(names.size());
+        for (const json::Value &v : arr.array()) {
+            if (!v.isNumber())
+                return fail("non-numeric weight");
+            w.push_back(v.number());
+        }
+        out.families_[name] = std::move(w);
+    }
+    if (out.families_.count("default") == 0)
+        return fail("missing 'default' family");
+    return true;
+}
+
+const ProxyModel &
+ProxyModel::builtin()
+{
+    static const ProxyModel model = [] {
+        json::Value doc;
+        std::string error;
+        vassert(json::parse(kBuiltinProxyCoeffsJson, doc, &error),
+                "builtin proxy coefficients do not parse: %s",
+                error.c_str());
+        ProxyModel m;
+        vassert(ProxyModel::fromJson(doc, m, &error),
+                "builtin proxy coefficients rejected: %s",
+                error.c_str());
+        return m;
+    }();
+    return model;
+}
+
+namespace {
+
+/**
+ * Solve A x = b (n x n, symmetric positive-definite after the ridge
+ * term) by Gaussian elimination with partial pivoting. Deterministic;
+ * panics on a numerically singular system (the ridge term prevents
+ * that for any real calibration set).
+ */
+std::vector<double>
+solveLinear(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; col++) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; r++) {
+            if (std::fabs(a[r][col]) > std::fabs(a[pivot][col]))
+                pivot = r;
+        }
+        vassert(std::fabs(a[pivot][col]) > 1e-12,
+                "singular normal equations despite ridge term");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (std::size_t r = col + 1; r < n; r++) {
+            const double factor = a[r][col] / a[col][col];
+            if (factor == 0)
+                continue;
+            for (std::size_t c = col; c < n; c++)
+                a[r][c] -= factor * a[col][c];
+            b[r] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n, 0);
+    for (std::size_t i = n; i-- > 0;) {
+        double v = b[i];
+        for (std::size_t c = i + 1; c < n; c++)
+            v -= a[i][c] * x[c];
+        x[i] = v / a[i][i];
+    }
+    return x;
+}
+
+/** Ridge fit of one family's samples in column-scaled space. */
+std::vector<double>
+fitFamily(const std::vector<const CalibrationSample *> &samples,
+          double ridgeLambda)
+{
+    const std::size_t dims = FeatureVector::basisNames().size();
+    // Each row is weighted by 1 / exactCycles so the solver minimizes
+    // *relative* residuals — the accuracy contract is ±15% relative,
+    // and unweighted least squares would chase the largest shapes
+    // while letting small-cycle samples miss by 2x. Column scales are
+    // taken over the *weighted* rows: features span counts (~1e0) to
+    // cycle totals (~1e6), and scaling after weighting keeps the Gram
+    // diagonal near the sample count so the relative ridge term stays
+    // meaningful.
+    std::vector<double> scale(dims, 0);
+    for (const CalibrationSample *s : samples) {
+        vassert(s->basis.size() == dims,
+                "calibration sample basis length mismatch");
+        const double rw =
+            std::sqrt(s->weight) / std::max(1.0, s->exactCycles);
+        for (std::size_t j = 0; j < dims; j++)
+            scale[j] = std::max(scale[j], std::fabs(rw * s->basis[j]));
+    }
+    for (double &v : scale) {
+        if (v == 0)
+            v = 1; // Dead column; weight stays 0 via the ridge.
+    }
+    // Normal equations in scaled space: (X'X + lambda I) w = X'y.
+    std::vector<std::vector<double>> gram(
+        dims, std::vector<double>(dims, 0));
+    std::vector<double> rhs(dims, 0);
+    for (const CalibrationSample *s : samples) {
+        const double rw =
+            std::sqrt(s->weight) / std::max(1.0, s->exactCycles);
+        for (std::size_t j = 0; j < dims; j++) {
+            const double xj = rw * s->basis[j] / scale[j];
+            rhs[j] += xj * rw * s->exactCycles;
+            for (std::size_t k = 0; k < dims; k++)
+                gram[j][k] += xj * rw * s->basis[k] / scale[k];
+        }
+    }
+    // Relative ridge: lambda scales with the mean Gram diagonal so the
+    // regularization strength is invariant to sample count.
+    double diag = 0;
+    for (std::size_t j = 0; j < dims; j++)
+        diag += gram[j][j];
+    const double lambda =
+        ridgeLambda * std::max(1.0, diag / static_cast<double>(dims));
+    for (std::size_t j = 0; j < dims; j++)
+        gram[j][j] += lambda;
+    std::vector<double> w = solveLinear(std::move(gram), std::move(rhs));
+    // Fold the column scaling back into the weights.
+    for (std::size_t j = 0; j < dims; j++)
+        w[j] /= scale[j];
+    return w;
+}
+
+} // namespace
+
+ProxyModel
+fitProxyModel(const std::vector<CalibrationSample> &samples,
+              double ridgeLambda)
+{
+    vassert(!samples.empty(), "no calibration samples");
+    std::map<std::string, std::vector<const CalibrationSample *>> byFam;
+    std::vector<const CalibrationSample *> all;
+    for (const CalibrationSample &s : samples) {
+        byFam[s.family].push_back(&s);
+        all.push_back(&s);
+    }
+    ProxyModel model;
+    for (const auto &[family, fam] : byFam)
+        model.setFamily(family, fitFamily(fam, ridgeLambda));
+    model.setFamily("default", fitFamily(all, ridgeLambda));
+    return model;
+}
+
+} // namespace vespera::analysis

@@ -1,0 +1,315 @@
+#include "analysis/predict/tunable.h"
+
+#include <algorithm>
+
+#include "analysis/kernel_registry.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "hw/mme.h"
+#include "kern/embedding.h"
+#include "kern/gather_scatter.h"
+#include "kern/layernorm.h"
+#include "kern/softmax.h"
+#include "kern/stream.h"
+
+namespace vespera::analysis {
+
+std::string
+TuneConfig::label() const
+{
+    std::string s = strfmt("size=%lld", static_cast<long long>(size));
+    if (unroll > 0)
+        s += strfmt(" unroll=%d", unroll);
+    if (numTpcs > 0)
+        s += strfmt(" tpcs=%d", numTpcs);
+    if (accessBytes > 0)
+        s += strfmt(" access=%lluB",
+                    static_cast<unsigned long long>(accessBytes));
+    if (accumulators > 0)
+        s += strfmt(" acc=%d", accumulators);
+    if (interleave > 0)
+        s += strfmt(" il=%d", interleave);
+    if (geometry >= 0) {
+        const auto &geoms = hw::MmeModel::candidateGeometries();
+        vassert(static_cast<std::size_t>(geometry) < geoms.size(),
+                "geometry index out of range");
+        s += " geom=" +
+             geoms[static_cast<std::size_t>(geometry)].label();
+    }
+    return s;
+}
+
+std::size_t
+TunableKernel::configCount() const
+{
+    auto axis = [](std::size_t n) { return n == 0 ? 1 : n; };
+    return axis(unrolls.size()) * axis(tpcCounts.size()) *
+           axis(accessBytes.size()) * axis(accumulators.size()) *
+           axis(interleaves.size()) * axis(geometries.size());
+}
+
+TunableRegistry &
+TunableRegistry::instance()
+{
+    static TunableRegistry registry;
+    return registry;
+}
+
+void
+TunableRegistry::add(TunableKernel kernel)
+{
+    for (const TunableKernel &e : entries_) {
+        vassert(e.name != kernel.name,
+                "duplicate tunable kernel '%s'", kernel.name.c_str());
+    }
+    if (kernel.kind == TuneKind::Tpc) {
+        vassert(kernel.produce != nullptr,
+                "TPC tunable '%s' without a produce hook",
+                kernel.name.c_str());
+        vassert(std::find(kernel.sizes.begin(), kernel.sizes.end(),
+                          kernel.base.size) != kernel.sizes.end(),
+                "tunable '%s': base size must be a calibration size",
+                kernel.name.c_str());
+    }
+    entries_.push_back(std::move(kernel));
+}
+
+std::vector<std::string>
+TunableRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const TunableKernel &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+const TunableKernel &
+TunableRegistry::get(const std::string &name) const
+{
+    for (const TunableKernel &e : entries_) {
+        if (e.name == name)
+            return e;
+    }
+    vpanic("unknown tunable kernel '%s'", name.c_str());
+}
+
+TunableKernel
+reduceAxes(const TunableKernel &k)
+{
+    TunableKernel r = k;
+    auto slice = [](auto &axis) {
+        if (axis.size() > 2)
+            axis = {axis.front(), axis.back()};
+    };
+    slice(r.unrolls);
+    slice(r.tpcCounts);
+    slice(r.accessBytes);
+    slice(r.accumulators);
+    slice(r.interleaves);
+    slice(r.geometries);
+    return r;
+}
+
+namespace {
+
+tpc::Program
+produceStream(kern::StreamOp op, const TuneConfig &c)
+{
+    kern::StreamConfig config;
+    config.op = op;
+    config.numElements = static_cast<std::uint64_t>(c.size);
+    config.accessBytes = c.accessBytes;
+    config.unroll = c.unroll;
+    config.numTpcs = c.numTpcs;
+    return captureTrace([config] { kern::runStreamGaudi(config); });
+}
+
+TunableKernel
+streamTunable(const char *name, kern::StreamOp op, int baseUnroll,
+              Bytes baseAccess)
+{
+    TunableKernel k;
+    k.name = name;
+    k.base.size = 1 << 14;
+    k.base.unroll = baseUnroll;
+    k.base.accessBytes = baseAccess;
+    k.base.numTpcs = 24;
+    k.sizes = {1 << 12, 1 << 13, 1 << 14};
+    k.heldOutSizes = {3 << 12, 1 << 15};
+    k.unrolls = {1, 2, 4, 8};
+    k.accessBytes = {64, 128, 256, 512};
+    k.tpcCounts = {8, 16, 24};
+    k.produce = [op](const TuneConfig &c) {
+        return produceStream(op, c);
+    };
+    return k;
+}
+
+TunableKernel
+rowKernelTunable(const char *name,
+                 std::function<tpc::Program(const TuneConfig &)> produce)
+{
+    TunableKernel k;
+    k.name = name;
+    k.base.size = 512;
+    k.base.numTpcs = 24;
+    k.sizes = {128, 256, 512};
+    k.heldOutSizes = {192, 768};
+    k.tpcCounts = {4, 8, 24};
+    k.produce = std::move(produce);
+    return k;
+}
+
+constexpr std::int64_t tuneRows = 8;
+
+TunableKernel
+gatherScatterTunable(const char *name, bool scatter,
+                     std::uint64_t seed)
+{
+    TunableKernel k;
+    k.name = name;
+    k.base.size = 1 << 12;
+    k.base.unroll = 16;
+    k.base.accumulators = 4;
+    k.base.numTpcs = 24;
+    k.sizes = {1 << 10, 1 << 11, 1 << 12};
+    k.heldOutSizes = {3 << 10};
+    k.unrolls = {4, 8, 16, 32};
+    k.accumulators = {1, 2, 4, 8};
+    k.tpcCounts = {8, 24};
+    k.produce = [scatter, seed](const TuneConfig &c) {
+        kern::GatherScatterConfig config;
+        config.numVectors = static_cast<std::uint64_t>(c.size);
+        config.vectorBytes = 256;
+        config.accessFraction = 0.25;
+        config.scatter = scatter;
+        config.unroll = c.unroll;
+        config.accumulators = c.accumulators;
+        config.numTpcs = c.numTpcs;
+        Rng rng(seed);
+        return captureTrace(
+            [&] { kern::runGatherScatterGaudi(config, rng); });
+    };
+    return k;
+}
+
+TunableKernel
+embeddingTunable(const char *name, kern::EmbeddingVariant variant,
+                 int baseUnroll, int baseInterleave)
+{
+    TunableKernel k;
+    k.name = name;
+    k.base.size = 32;
+    k.base.unroll = baseUnroll;
+    k.base.interleave = baseInterleave;
+    k.sizes = {8, 16, 32};
+    k.heldOutSizes = {24, 48};
+    k.unrolls = {1, 2, 4, 8};
+    k.interleaves = {1, 2, 3, 4};
+    k.produce = [variant](const TuneConfig &c) {
+        kern::EmbeddingConfig config;
+        config.numTables = 2;
+        config.rowsPerTable = 256;
+        config.vectorBytes = 256;
+        config.batch = static_cast<int>(c.size);
+        config.pooling = 8;
+        kern::EmbeddingLayerGaudi layer(config);
+        Rng rng(42);
+        return captureTrace([&] {
+            layer.run(variant, rng, c.unroll, c.interleave);
+        });
+    };
+    return k;
+}
+
+TunableKernel
+gemmTunable(const char *name, hw::GemmShape shape, DataType dt)
+{
+    TunableKernel k;
+    k.name = name;
+    k.kind = TuneKind::Mme;
+    k.gemmShape = shape;
+    k.gemmDt = dt;
+    k.base.size = shape.m;
+    const auto &geoms = hw::MmeModel::candidateGeometries();
+    for (std::size_t i = 0; i < geoms.size(); i++) {
+        k.geometries.push_back(static_cast<int>(i));
+        const hw::MmeGeometry fixed = hw::MmeModel::fixedGeometry();
+        if (geoms[i].height == fixed.height &&
+            geoms[i].width == fixed.width &&
+            geoms[i].count == fixed.count) {
+            k.base.geometry = static_cast<int>(i);
+        }
+    }
+    vassert(k.base.geometry >= 0,
+            "fixed MME geometry missing from the candidate set");
+    return k;
+}
+
+} // namespace
+
+void
+registerTunableKernels()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+    TunableRegistry &reg = TunableRegistry::instance();
+
+    reg.add(rowKernelTunable("softmax", [](const TuneConfig &c) {
+        kern::SoftmaxConfig config;
+        config.rows = tuneRows;
+        config.cols = c.size;
+        config.numTpcs = c.numTpcs;
+        return captureTrace([config] { kern::runSoftmaxGaudi(config); });
+    }));
+    reg.add(rowKernelTunable("layernorm", [](const TuneConfig &c) {
+        kern::NormConfig config;
+        config.kind = kern::NormKind::LayerNorm;
+        config.rows = tuneRows;
+        config.cols = c.size;
+        config.numTpcs = c.numTpcs;
+        return captureTrace([config] { kern::runNormGaudi(config); });
+    }));
+    reg.add(rowKernelTunable("rmsnorm", [](const TuneConfig &c) {
+        kern::NormConfig config;
+        config.kind = kern::NormKind::RmsNorm;
+        config.rows = tuneRows;
+        config.cols = c.size;
+        config.numTpcs = c.numTpcs;
+        return captureTrace([config] { kern::runNormGaudi(config); });
+    }));
+
+    reg.add(streamTunable("stream_triad_tuned", kern::StreamOp::Triad,
+                          4, 256));
+    reg.add(streamTunable("stream_triad_naive", kern::StreamOp::Triad,
+                          1, 64));
+    reg.add(streamTunable("stream_add_tuned", kern::StreamOp::Add,
+                          4, 256));
+
+    reg.add(gatherScatterTunable("gather", false, 0x9a7e4));
+    reg.add(gatherScatterTunable("scatter", true, 1234));
+
+    reg.add(embeddingTunable("embedding_sdk",
+                             kern::EmbeddingVariant::SdkSingleTable, 2,
+                             3));
+    reg.add(embeddingTunable("embedding_single",
+                             kern::EmbeddingVariant::SingleTable, 4,
+                             4));
+    reg.add(embeddingTunable("embedding_batched",
+                             kern::EmbeddingVariant::BatchedTable, 4,
+                             4));
+
+    // MME-geometry axis: a skinny decode-style projection (geometry
+    // selection matters: few output rows) and a fat prefill MLP.
+    reg.add(gemmTunable("gemm_decode_qkv",
+                        hw::GemmShape{32, 4096, 4096, 1},
+                        DataType::BF16));
+    reg.add(gemmTunable("gemm_prefill_mlp",
+                        hw::GemmShape{512, 2048, 8192, 1},
+                        DataType::BF16));
+}
+
+} // namespace vespera::analysis

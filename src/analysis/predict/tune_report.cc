@@ -1,0 +1,202 @@
+#include "analysis/predict/tune_report.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace vespera::analysis {
+
+namespace {
+
+json::Value
+num(double v)
+{
+    return json::Value::makeNumber(v);
+}
+
+json::Value
+str(std::string s)
+{
+    return json::Value::makeString(std::move(s));
+}
+
+json::Value
+configJson(const TuneConfig &c)
+{
+    std::map<std::string, json::Value> m;
+    m["label"] = str(c.label());
+    m["size"] = num(static_cast<double>(c.size));
+    m["unroll"] = num(c.unroll);
+    m["num_tpcs"] = num(c.numTpcs);
+    m["access_bytes"] = num(static_cast<double>(c.accessBytes));
+    m["accumulators"] = num(c.accumulators);
+    m["interleave"] = num(c.interleave);
+    m["geometry"] = num(c.geometry);
+    return json::Value::makeObject(std::move(m));
+}
+
+json::Value
+candidateJson(const TuneCandidate &c)
+{
+    std::map<std::string, json::Value> m;
+    m["config"] = configJson(c.config);
+    m["proxy_cycles"] = num(c.proxyCycles);
+    m["exact_cycles"] = num(c.exactCycles);
+    return json::Value::makeObject(std::move(m));
+}
+
+} // namespace
+
+json::Value
+tuneReportJson(const std::vector<TuneResult> &results)
+{
+    std::map<std::string, json::Value> root;
+    root["schema"] = str("vespera-lint-tune/v1");
+    std::vector<json::Value> kernels;
+    kernels.reserve(results.size());
+    std::uint64_t screened = 0;
+    std::uint64_t verifications = 0;
+    int opportunities = 0;
+    for (const TuneResult &r : results) {
+        std::map<std::string, json::Value> m;
+        m["kernel"] = str(r.kernel);
+        m["shape"] = str(r.shape);
+        m["base"] = candidateJson(r.base);
+        m["best"] = candidateJson(r.best);
+        {
+            std::vector<json::Value> verified;
+            verified.reserve(r.verified.size());
+            for (const TuneCandidate &c : r.verified)
+                verified.push_back(candidateJson(c));
+            m["verified"] = json::Value::makeArray(std::move(verified));
+        }
+        m["configs_screened"] =
+            num(static_cast<double>(r.configsScreened));
+        m["exact_verifications"] =
+            num(static_cast<double>(r.exactVerifications));
+        m["proxy_error_ppm"] = num(r.proxyErrorPpm);
+        m["improvement_frac"] = num(r.improvementFrac);
+        kernels.push_back(json::Value::makeObject(std::move(m)));
+        screened += r.configsScreened;
+        verifications += r.exactVerifications;
+        if (r.improvementFrac > kTuneInfoImprovement)
+            opportunities++;
+    }
+    root["kernels"] = json::Value::makeArray(std::move(kernels));
+    {
+        std::map<std::string, json::Value> totals;
+        totals["kernels"] = num(static_cast<double>(results.size()));
+        totals["configs_screened"] =
+            num(static_cast<double>(screened));
+        totals["exact_verifications"] =
+            num(static_cast<double>(verifications));
+        totals["opportunities"] = num(opportunities);
+        root["totals"] = json::Value::makeObject(std::move(totals));
+    }
+    return json::Value::makeObject(std::move(root));
+}
+
+std::string
+tuneReportText(const std::vector<TuneResult> &results, bool verbose)
+{
+    std::ostringstream os;
+    std::uint64_t screened = 0;
+    int opportunities = 0;
+    for (const TuneResult &r : results) {
+        screened += r.configsScreened;
+        const bool tuned = r.improvementFrac > kTuneInfoImprovement;
+        if (tuned)
+            opportunities++;
+        if (!tuned && !verbose) {
+            char line[256];
+            std::snprintf(line, sizeof(line),
+                          "  OK  %s [%s] %.0f cycles (screened %llu)\n",
+                          r.kernel.c_str(), r.shape.c_str(),
+                          r.base.exactCycles,
+                          static_cast<unsigned long long>(
+                              r.configsScreened));
+            os << line;
+            continue;
+        }
+        os << "==== " << r.kernel << " [" << r.shape << "] ====\n";
+        char line[256];
+        std::snprintf(
+            line, sizeof(line),
+            "  screened %llu configs, verified %llu; mean proxy "
+            "error %.0f ppm\n",
+            static_cast<unsigned long long>(r.configsScreened),
+            static_cast<unsigned long long>(r.exactVerifications),
+            r.proxyErrorPpm);
+        os << line;
+        std::snprintf(line, sizeof(line),
+                      "  base: %s -> %.0f cycles\n",
+                      r.base.config.label().c_str(),
+                      r.base.exactCycles);
+        os << line;
+        std::snprintf(line, sizeof(line),
+                      "  best: %s -> %.0f cycles (%.1f%% faster)\n",
+                      r.best.config.label().c_str(),
+                      r.best.exactCycles, r.improvementFrac * 100.0);
+        os << line;
+        if (verbose) {
+            for (const TuneCandidate &c : r.verified) {
+                std::snprintf(line, sizeof(line),
+                              "    %s: exact %.0f, proxy %.0f\n",
+                              c.config.label().c_str(), c.exactCycles,
+                              c.proxyCycles);
+                os << line;
+            }
+        }
+    }
+    char totals[128];
+    std::snprintf(totals, sizeof(totals),
+                  "%zu kernels tuned, %llu configs screened, %d "
+                  "opportunit%s\n",
+                  results.size(),
+                  static_cast<unsigned long long>(screened),
+                  opportunities, opportunities == 1 ? "y" : "ies");
+    os << totals;
+    return os.str();
+}
+
+std::vector<LintEntry>
+tuneToLintEntries(const std::vector<TuneResult> &results)
+{
+    std::vector<LintEntry> out;
+    out.reserve(results.size());
+    for (const TuneResult &r : results) {
+        LintEntry e;
+        e.kernel = r.kernel;
+        e.shape = r.shape;
+        e.report.kernel = r.kernel;
+        e.report.cycles = r.base.exactCycles;
+        if (r.improvementFrac > kTuneInfoImprovement) {
+            Diagnostic d;
+            d.rule = rules::tuneOpportunity;
+            d.severity = r.improvementFrac > kTuneWarnImprovement
+                             ? Severity::Warning
+                             : Severity::Info;
+            d.kernel = r.kernel;
+            d.message = strfmt(
+                "shipped config %s loses %.1f%% to a tuning-space "
+                "neighbor",
+                r.base.config.label().c_str(),
+                r.improvementFrac * 100.0);
+            d.fixHint =
+                strfmt("retune to %s (%.0f -> %.0f cycles)",
+                       r.best.config.label().c_str(),
+                       r.base.exactCycles, r.best.exactCycles);
+            d.costCycles = r.base.exactCycles - r.best.exactCycles;
+            RuleSummary &summary = e.report.rules[d.rule];
+            summary.count++;
+            summary.costCycles += d.costCycles;
+            e.report.diagnostics.push_back(std::move(d));
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+} // namespace vespera::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "tpc/pipeline.h"
 
 namespace vespera::analysis {
@@ -181,6 +182,35 @@ detectLoopsOneLevel(std::vector<Item> &items, std::vector<Loop> &loops,
     return found_any;
 }
 
+/**
+ * Drop degenerate loop records before nesting resolution: zero-trip or
+ * single-iteration loops, empty bodies, and spans overrunning the
+ * trace. The periodicity detector never emits them (minTrips >= 2 and
+ * period >= 1 by construction), but every downstream consumer —
+ * analyzeLoopDataflow here, the predictor's feature extractor — reads
+ * instrs[first + trip * bodyLength + k] and would index out of range,
+ * so the lifter enforces the invariant structurally instead of
+ * trusting the detector. Runs before resolveNesting, while parent
+ * links are still unset, so compaction needs no id remapping.
+ */
+void
+sanitizeLoops(StaticIr &ir)
+{
+    const std::size_t n = ir.size();
+    std::vector<Loop> kept;
+    kept.reserve(ir.loops.size());
+    for (const Loop &l : ir.loops) {
+        if (l.tripCount < 2 || l.bodyLength == 0)
+            continue;
+        if (l.first >= n || l.span() > n - l.first)
+            continue;
+        Loop copy = l;
+        copy.id = static_cast<std::int32_t>(kept.size());
+        kept.push_back(copy);
+    }
+    ir.loops = std::move(kept);
+}
+
 /** True when loop `inner`'s full span lies inside `outer`'s span. */
 bool
 spanContains(const Loop &outer, const Loop &inner)
@@ -306,6 +336,14 @@ analyzeLoopDataflow(StaticIr &ir)
             has_child[static_cast<std::size_t>(l.parent)] = 1;
     }
     for (Loop &l : ir.loops) {
+        // sanitizeLoops upholds this; everything below indexes
+        // instrs[first + trip * bodyLength + k] on its strength.
+        vassert(l.tripCount >= 2 && l.bodyLength > 0 &&
+                    l.first + l.span() <= instrs.size(),
+                "degenerate loop in dataflow analysis: first=%zu "
+                "body=%zu trips=%lld (trace %zu instrs)",
+                l.first, l.bodyLength,
+                static_cast<long long>(l.tripCount), instrs.size());
         // Loop-carried dependences: sources of second-iteration
         // instructions defined inside the first iteration.
         for (std::size_t k = 0; k < l.bodyLength; k++) {
@@ -452,6 +490,7 @@ liftProgram(const tpc::Program &program, const LiftOptions &options)
             break;
     }
 
+    sanitizeLoops(ir);
     resolveNesting(ir);
     buildBlocks(ir);
     analyzeLoopDataflow(ir);

@@ -156,6 +156,13 @@ EmbeddingLayerGaudi::EmbeddingLayerGaudi(const EmbeddingConfig &config)
 EmbeddingResult
 EmbeddingLayerGaudi::run(EmbeddingVariant variant, Rng &rng) const
 {
+    return run(variant, rng, 0, 0);
+}
+
+EmbeddingResult
+EmbeddingLayerGaudi::run(EmbeddingVariant variant, Rng &rng, int unroll,
+                         int interleave) const
+{
     // idx[(sample * T + table) * P + p] = row within the table.
     const std::size_t count = static_cast<std::size_t>(config_.batch) *
                               config_.numTables * config_.pooling;
@@ -164,13 +171,18 @@ EmbeddingLayerGaudi::run(EmbeddingVariant variant, Rng &rng) const
         v = static_cast<std::int64_t>(rng.below(
             static_cast<std::uint64_t>(config_.rowsPerTable)));
 
+    const bool sdk = variant == EmbeddingVariant::SdkSingleTable;
+    const int u = unroll > 0 ? unroll
+                             : (sdk ? sdkUnroll : optimizedUnroll);
+    const int il = interleave > 0
+                       ? interleave
+                       : (sdk ? sdkInterleave : optimizedInterleave);
     switch (variant) {
       case EmbeddingVariant::BatchedTable:
-        return runBatched(idx, optimizedUnroll, optimizedInterleave);
+        return runBatched(idx, u, il);
       case EmbeddingVariant::SingleTable:
-        return runPerTable(idx, optimizedUnroll, optimizedInterleave);
       case EmbeddingVariant::SdkSingleTable:
-        return runPerTable(idx, sdkUnroll, sdkInterleave);
+        return runPerTable(idx, u, il);
     }
     vpanic("unknown embedding variant");
 }

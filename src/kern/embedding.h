@@ -79,6 +79,15 @@ class EmbeddingLayerGaudi
 
     EmbeddingResult run(EmbeddingVariant variant, Rng &rng) const;
 
+    /**
+     * run() with the variant's tuning knobs overridden: `unroll` is
+     * the lookup-loop unroll factor, `interleave` the samples
+     * pipelined per TPC; 0 keeps the variant's shipped value. The
+     * static autotuner (analysis/predict) sweeps these axes.
+     */
+    EmbeddingResult run(EmbeddingVariant variant, Rng &rng, int unroll,
+                        int interleave) const;
+
     const EmbeddingConfig &config() const { return config_; }
 
   private:

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests of the predictor's feature extractor: golden feature vectors
+ * for every registry kernel (byte-exact against a committed snapshot),
+ * unit behavior on hand-built traces (granularity histogram, knees,
+ * stride classes, loop aggregates, register pressure), and the
+ * degenerate-loop guards the lifter and extractor enforce.
+ *
+ * Regenerate the golden snapshot after an intentional feature-schema
+ * change with:
+ *   VESPERA_UPDATE_GOLDEN=1 ./test_analysis \
+ *       --gtest_filter=PredictFeatures.GoldenRegistryVectors
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/kernel_registry.h"
+#include "analysis/predict/features.h"
+#include "analysis/static/ir.h"
+#include "tpc/context.h"
+
+namespace vespera::analysis {
+namespace {
+
+using tpc::Access;
+using tpc::MemberRange;
+using tpc::Program;
+using tpc::Tensor;
+using tpc::TpcContext;
+using tpc::Vec;
+
+MemberRange
+oneTpc()
+{
+    return {{0, 0, 0, 0, 0}, {1, 1, 1, 1, 1}};
+}
+
+const char *kGoldenPath =
+    VESPERA_SOURCE_DIR "/tests/analysis/data/predict_features_golden.json";
+
+TEST(PredictFeatures, GoldenRegistryVectors)
+{
+    registerBuiltinKernels();
+    KernelRegistry &reg = KernelRegistry::instance();
+    std::vector<json::Value> kernels;
+    for (TracedKernel &t : reg.traceAll("")) {
+        const StaticIr ir = liftProgram(t.program);
+        ASSERT_TRUE(ir.valid()) << t.name;
+        FeatureVector f = extractFeatures(ir);
+        f.kernel = t.name;
+        f.shape = t.shape;
+        kernels.push_back(f.toJson());
+    }
+    EXPECT_EQ(kernels.size(), 11u);
+    std::map<std::string, json::Value> doc;
+    doc["schema"] = json::Value::makeString(kFeatureSchema);
+    doc["kernels"] = json::Value::makeArray(std::move(kernels));
+    const std::string got =
+        json::serialize(json::Value::makeObject(std::move(doc)));
+
+    if (std::getenv("VESPERA_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(kGoldenPath);
+        ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+        out << got << "\n";
+        GTEST_SKIP() << "golden snapshot updated";
+    }
+    std::ifstream in(kGoldenPath);
+    ASSERT_TRUE(in) << "missing golden snapshot " << kGoldenPath;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string want = buf.str();
+    while (!want.empty() && (want.back() == '\n' || want.back() == '\r'))
+        want.pop_back();
+    EXPECT_EQ(got, want)
+        << "feature extraction drifted from the committed snapshot; "
+           "if intentional, rerun with VESPERA_UPDATE_GOLDEN=1";
+}
+
+TEST(PredictFeatures, ReextractionIsByteIdentical)
+{
+    registerBuiltinKernels();
+    KernelRegistry &reg = KernelRegistry::instance();
+    std::vector<TracedKernel> first = reg.traceAll("softmax");
+    std::vector<TracedKernel> second = reg.traceAll("softmax");
+    ASSERT_FALSE(first.empty());
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); i++) {
+        const StaticIr a = liftProgram(first[i].program);
+        const StaticIr b = liftProgram(second[i].program);
+        EXPECT_EQ(json::serialize(extractFeatures(a).toJson()),
+                  json::serialize(extractFeatures(b).toJson()));
+    }
+}
+
+TEST(PredictFeatures, GranularityHistogramAndKnees)
+{
+    Program p;
+    TpcContext ctx(p, oneTpc());
+    Tensor t({1 << 16}, DataType::FP32);
+    // One access per bucket boundary of interest: 32 B (bucket 0),
+    // 64 B (1), 256 B (3, at-granule), 512 B (4).
+    // Differently-sized loads have different lane counts, so they
+    // cannot be combined; only the 256 B vector feeds the store.
+    (void)ctx.v_ld_tnsr({0, 0, 0, 0, 0}, t, 32);
+    (void)ctx.v_ld_tnsr({64, 0, 0, 0, 0}, t, 64);
+    Vec c = ctx.v_ld_tnsr({128, 0, 0, 0, 0}, t, 256);
+    (void)ctx.v_ld_tnsr({256, 0, 0, 0, 0}, t, 512);
+    ctx.v_st_tnsr({512, 0, 0, 0, 0}, t, ctx.v_add(c, c));
+
+    const StaticIr ir = liftProgram(p);
+    ASSERT_TRUE(ir.valid());
+    const FeatureVector f = extractFeatures(ir);
+    // Store is vector-width (256 B default context width) -> bucket 3.
+    EXPECT_DOUBLE_EQ(f.granularityHist[0], 1);
+    EXPECT_DOUBLE_EQ(f.granularityHist[1], 1);
+    EXPECT_DOUBLE_EQ(f.granularityHist[3], 2);
+    EXPECT_DOUBLE_EQ(f.granularityHist[4], 1);
+    EXPECT_DOUBLE_EQ(f.globalAccesses, 5);
+    // 32 and 64 B are below the 256 B granule.
+    EXPECT_DOUBLE_EQ(f.subGranuleAccesses, 2);
+    EXPECT_GT(f.granuleWasteCycles, 0);
+    // Half-granule knee: only the 32 and 64 B accesses are below
+    // 128 B, contributing (128-32)/128 + (128-64)/128.
+    EXPECT_DOUBLE_EQ(f.hingeHalfGranule, 96.0 / 128.0 + 64.0 / 128.0);
+    // memBound = granule txns x issue interval; txns = 1+1+1+2+1.
+    EXPECT_DOUBLE_EQ(f.granuleTxns, 6);
+}
+
+TEST(PredictFeatures, GranuleSizedAccessesWasteNothing)
+{
+    Program p;
+    TpcContext ctx(p, oneTpc());
+    Tensor t({1 << 16}, DataType::FP32);
+    for (int i = 0; i < 4; i++) {
+        Vec x = ctx.v_ld_tnsr({i * 64, 0, 0, 0, 0}, t, 256);
+        ctx.v_st_tnsr({(16 + i) * 64, 0, 0, 0, 0}, t, x);
+    }
+    const StaticIr ir = liftProgram(p);
+    const FeatureVector f = extractFeatures(ir);
+    EXPECT_DOUBLE_EQ(f.granuleWasteCycles, 0);
+    EXPECT_DOUBLE_EQ(f.hingeHalfGranule, 0);
+    EXPECT_DOUBLE_EQ(f.subGranuleAccesses, 0);
+}
+
+TEST(PredictFeatures, StrideClassesFromLoopAnalysis)
+{
+    Program p;
+    TpcContext ctx(p, oneTpc());
+    Tensor src({1 << 16}, DataType::FP32);
+    Tensor dst({1 << 16}, DataType::FP32);
+    // Contiguous: offset advances by exactly the payload per trip.
+    // Strided: offset advances by twice the payload.
+    for (int i = 0; i < 6; i++) {
+        Vec a = ctx.v_ld_tnsr({i * 64, 0, 0, 0, 0}, src, 256);
+        Vec b = ctx.v_ld_tnsr({i * 128, 0, 0, 0, 0}, src, 256);
+        ctx.v_st_tnsr({i * 64, 0, 0, 0, 0}, dst, ctx.v_add(a, b));
+    }
+    const StaticIr ir = liftProgram(p);
+    ASSERT_EQ(ir.loops.size(), 1u);
+    const FeatureVector f = extractFeatures(ir);
+    // Two contiguous streams (load a, store) and one strided (load b),
+    // each weighted by the 6 trips.
+    EXPECT_DOUBLE_EQ(f.contiguousAccesses, 12);
+    EXPECT_DOUBLE_EQ(f.stridedAccesses, 6);
+    EXPECT_DOUBLE_EQ(f.irregularAccesses, 0);
+}
+
+TEST(PredictFeatures, RandomAccessesAreIrregular)
+{
+    Program p;
+    TpcContext ctx(p, oneTpc());
+    Tensor t({1 << 16}, DataType::FP32);
+    Vec acc = ctx.v_zero(64);
+    for (int i = 0; i < 4; i++) {
+        Vec x = ctx.v_ld_tnsr({i * 64, 0, 0, 0, 0}, t, 256,
+                              Access::Random);
+        acc = ctx.v_add(acc, x);
+    }
+    ctx.v_st_tnsr({0, 0, 0, 0, 0}, t, acc);
+    const StaticIr ir = liftProgram(p);
+    const FeatureVector f = extractFeatures(ir);
+    EXPECT_GE(f.irregularAccesses, 4);
+}
+
+TEST(PredictFeatures, LoopAggregatesScaleWithTrips)
+{
+    auto traceOf = [](int trips) {
+        Program p;
+        TpcContext ctx(p, oneTpc());
+        Tensor t({1 << 16}, DataType::FP32);
+        Vec acc = ctx.v_zero(64);
+        for (int i = 0; i < trips; i++) {
+            Vec x = ctx.v_ld_tnsr({i * 64, 0, 0, 0, 0}, t, 256);
+            acc = ctx.v_add(acc, x);
+        }
+        ctx.v_st_tnsr({0, 0, 0, 0, 0}, t, acc);
+        return p;
+    };
+    const Program small = traceOf(4);
+    const Program big = traceOf(8);
+    const FeatureVector fs = extractFeatures(liftProgram(small));
+    const FeatureVector fb = extractFeatures(liftProgram(big));
+    EXPECT_DOUBLE_EQ(fs.loopCount, 1);
+    EXPECT_DOUBLE_EQ(fb.loopCount, 1);
+    EXPECT_DOUBLE_EQ(fs.maxTripCount, 4);
+    EXPECT_DOUBLE_EQ(fb.maxTripCount, 8);
+    // The serial reduction carries a recurrence; doubling trips
+    // doubles the loop-dependence cycles.
+    EXPECT_GT(fs.loopDepCycles, 0);
+    EXPECT_DOUBLE_EQ(fb.loopDepCycles, 2 * fs.loopDepCycles);
+    EXPECT_DOUBLE_EQ(fb.loopRooflineCycles, 2 * fs.loopRooflineCycles);
+}
+
+TEST(PredictFeatures, BasisMatchesNames)
+{
+    FeatureVector f;
+    EXPECT_EQ(f.basis().size(), FeatureVector::basisNames().size());
+    EXPECT_EQ(FeatureVector::basisNames().front(), "bias");
+    EXPECT_DOUBLE_EQ(f.basis().front(), 1.0);
+}
+
+TEST(PredictFeatures, StraightLineTraceHasNoLoopFeatures)
+{
+    Program p;
+    TpcContext ctx(p, oneTpc());
+    Tensor t({1 << 12}, DataType::FP32);
+    Vec a = ctx.v_ld_tnsr({0, 0, 0, 0, 0}, t, 256);
+    Vec b = ctx.v_mul_s(a, 2.0f);
+    ctx.v_st_tnsr({64, 0, 0, 0, 0}, t, b);
+    const StaticIr ir = liftProgram(p);
+    const FeatureVector f = extractFeatures(ir);
+    EXPECT_DOUBLE_EQ(f.loopCount, 0);
+    EXPECT_DOUBLE_EQ(f.loopRooflineCycles, 0);
+    EXPECT_DOUBLE_EQ(f.iiGapCycles, 0);
+    EXPECT_DOUBLE_EQ(f.straightInstrs, f.instructions);
+    EXPECT_GT(f.depHeightCycles, 0);
+    EXPECT_GT(f.peakLiveBytes, 0);
+}
+
+/// Satellite guard: the lifter must never hand downstream passes a
+/// zero-trip / single-iteration / overrunning loop, and the extractor
+/// panics if a hand-built IR smuggles one in.
+
+Program &
+sharedStraightProgram()
+{
+    static Program *p = [] {
+        auto *program = new Program;
+        TpcContext ctx(*program, oneTpc());
+        Tensor t({1 << 12}, DataType::FP32);
+        Vec a = ctx.v_ld_tnsr({0, 0, 0, 0, 0}, t, 256);
+        ctx.v_st_tnsr({0, 0, 0, 0, 0}, t, a);
+        return program;
+    }();
+    return *p;
+}
+
+StaticIr
+irWithLoop(std::size_t first, std::size_t bodyLength,
+           std::int64_t tripCount)
+{
+    StaticIr ir = liftProgram(sharedStraightProgram());
+    Loop l;
+    l.id = 0;
+    l.first = first;
+    l.bodyLength = bodyLength;
+    l.tripCount = tripCount;
+    ir.loops.push_back(l);
+    return ir;
+}
+
+TEST(PredictFeaturesDeath, SingleTripLoop)
+{
+    const StaticIr ir = irWithLoop(0, 1, 1);
+    EXPECT_DEATH((void)extractFeatures(ir), "tripCount < 2");
+}
+
+TEST(PredictFeaturesDeath, ZeroTripLoop)
+{
+    const StaticIr ir = irWithLoop(0, 1, 0);
+    EXPECT_DEATH((void)extractFeatures(ir), "tripCount < 2");
+}
+
+TEST(PredictFeaturesDeath, EmptyLoopBody)
+{
+    const StaticIr ir = irWithLoop(0, 0, 2);
+    EXPECT_DEATH((void)extractFeatures(ir), "empty body");
+}
+
+TEST(PredictFeaturesDeath, LoopSpanPastEnd)
+{
+    const StaticIr ir = irWithLoop(1, 1, 4);
+    EXPECT_DEATH((void)extractFeatures(ir), "past end");
+}
+
+TEST(PredictFeatures, LifterSanitizesBeforeDataflow)
+{
+    // Traces whose structure *could* tempt a detector into degenerate
+    // loops: empty, single instruction, and a two-identical-instr
+    // prologue (minTrips demands 3 for period 1). All must lift to
+    // loop-free IR and extract cleanly.
+    {
+        Program p;
+        const StaticIr ir = liftProgram(p);
+        EXPECT_TRUE(ir.loops.empty());
+        const FeatureVector f = extractFeatures(ir);
+        EXPECT_DOUBLE_EQ(f.instructions, 0);
+    }
+    {
+        Program p;
+        TpcContext ctx(p, oneTpc());
+        Tensor t({64}, DataType::FP32);
+        (void)ctx.v_ld_tnsr({0, 0, 0, 0, 0}, t, 256);
+        const StaticIr ir = liftProgram(p);
+        EXPECT_TRUE(ir.loops.empty());
+        EXPECT_DOUBLE_EQ(extractFeatures(ir).straightInstrs, 1);
+    }
+    {
+        Program p;
+        TpcContext ctx(p, oneTpc());
+        Tensor t({1 << 12}, DataType::FP32);
+        Vec a = ctx.v_ld_tnsr({0, 0, 0, 0, 0}, t, 256);
+        Vec b = ctx.v_ld_tnsr({64, 0, 0, 0, 0}, t, 256);
+        ctx.v_st_tnsr({0, 0, 0, 0, 0}, t, ctx.v_add(a, b));
+        const StaticIr ir = liftProgram(p);
+        for (const Loop &l : ir.loops) {
+            EXPECT_GE(l.tripCount, 2);
+            EXPECT_GT(l.bodyLength, 0u);
+        }
+        (void)extractFeatures(ir);
+    }
+}
+
+} // namespace
+} // namespace vespera::analysis

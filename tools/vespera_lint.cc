@@ -17,17 +17,28 @@
  *    Reports use schema "vespera-lint-static/v1" (per-finding fix
  *    hints, IR shape, predicted-cycle breakdown).
  *
- * CI runs both with checked-in warnings baselines: any error-severity
- * finding, or any warning count above the baseline, fails the build.
+ *  - tune: runs the static design-space autotuner
+ *    (analysis/predict/) over every registered tunable kernel —
+ *    proxy-screens the knob cross product, exact-verifies the top-k,
+ *    and reports the best configuration found as a fix hint. Reports
+ *    use schema "vespera-lint-tune/v1". `tune --calibrate=PATH`
+ *    refits the proxy coefficients against the exact static scheduler
+ *    and writes the versioned artifact instead of tuning.
+ *
+ * CI runs all modes with checked-in warnings baselines: any
+ * error-severity finding, or any warning count above the baseline,
+ * fails the build.
  *
  * Usage:
- *   vespera-lint [static] [--list] [--kernel=SUBSTR] [--json[=PATH]]
- *                [--baseline=PATH] [--write-baseline=PATH]
- *                [--update-baseline] [--fail-on=error|warning|none]
- *                [--verbose]
+ *   vespera-lint [static|tune] [--list] [--kernel=SUBSTR]
+ *                [--json[=PATH]] [--baseline=PATH]
+ *                [--write-baseline=PATH] [--update-baseline]
+ *                [--fail-on=error|warning|none] [--verbose]
+ *                [--top-k=N] [--coeffs=PATH] [--calibrate=PATH]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -37,6 +48,10 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/kernel_registry.h"
+#include "analysis/predict/calibrate.h"
+#include "analysis/predict/proxy.h"
+#include "analysis/predict/tune_report.h"
+#include "analysis/predict/tuner.h"
 #include "analysis/report.h"
 #include "analysis/static/static_analyzer.h"
 #include "analysis/static/static_report.h"
@@ -55,6 +70,11 @@ using vespera::analysis::StaticLintEntry;
 struct Options
 {
     bool staticMode = false; ///< "static" subcommand.
+    bool tuneMode = false;   ///< "tune" subcommand.
+    int topK = 5;            ///< Exact verifications per kernel (tune).
+    std::string coeffsPath;  ///< Proxy coefficients ("" = builtin).
+    /// Refit the proxy and write coefficients here instead of tuning.
+    std::string calibratePath;
     bool list = false;
     bool verbose = false;
     bool json = false;
@@ -74,10 +94,19 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [static] [options]\n"
+        "usage: %s [static|tune] [options]\n"
         "  static                 pre-execution analyzer (SSA IR +\n"
         "                         static cost model) instead of the\n"
         "                         trace/simulator pipeline\n"
+        "  tune                   static design-space autotuner:\n"
+        "                         proxy-screen knob cross products,\n"
+        "                         exact-verify the top-k\n"
+        "  --top-k=N              tune: exact verifications per kernel\n"
+        "  --coeffs=PATH          tune: proxy coefficients JSON\n"
+        "                         (default: built-in artifact)\n"
+        "  --calibrate=PATH       tune: refit the proxy against the\n"
+        "                         static scheduler, write coefficients\n"
+        "                         to PATH, and exit\n"
         "  --list                 list registered kernels and exit\n"
         "  --kernel=SUBSTR        only kernels whose name contains "
         "SUBSTR\n"
@@ -107,6 +136,16 @@ parseArgs(int argc, char **argv, Options &opt)
         };
         if (arg == "static") {
             opt.staticMode = true;
+        } else if (arg == "tune") {
+            opt.tuneMode = true;
+        } else if (const char *v = value("--top-k")) {
+            opt.topK = std::atoi(v);
+            if (opt.topK < 1)
+                return false;
+        } else if (const char *v = value("--coeffs")) {
+            opt.coeffsPath = v;
+        } else if (const char *v = value("--calibrate")) {
+            opt.calibratePath = v;
         } else if (arg == "--list") {
             opt.list = true;
         } else if (arg == "--verbose") {
@@ -140,6 +179,12 @@ parseArgs(int argc, char **argv, Options &opt)
     }
     // --update-baseline without a --baseline has nothing to rewrite.
     if (opt.updateBaseline && opt.baselinePath.empty())
+        return false;
+    // The subcommands are mutually exclusive; calibration is a tune
+    // operation.
+    if (opt.staticMode && opt.tuneMode)
+        return false;
+    if (!opt.calibratePath.empty() && !opt.tuneMode)
         return false;
     return true;
 }
@@ -318,6 +363,88 @@ runStatic(const Options &opt)
                      vespera::analysis::toLintEntries(entries));
 }
 
+/** tune --calibrate=PATH: refit, report per-family error, write the
+ *  coefficient artifact. */
+int
+runCalibrate(const Options &opt)
+{
+    const vespera::analysis::CalibrationReport report =
+        vespera::analysis::calibrateProxy(opt.kernelFilter);
+    for (const vespera::analysis::CalibrationFamily &f :
+         report.families) {
+        std::printf("%-24s %3zu samples: calibration %5.1f%%, "
+                    "held-out %5.1f%%\n",
+                    f.name.c_str(), f.samples,
+                    f.maxCalibrationErr * 100.0,
+                    f.maxHeldOutErr * 100.0);
+    }
+    std::printf("worst held-out error: %.1f%%\n",
+                report.maxHeldOutErr() * 100.0);
+    const std::string doc =
+        vespera::json::serialize(report.model.toJson());
+    if (!writeFile(opt.calibratePath, doc))
+        return 2;
+    std::fprintf(stderr, "coefficients written to %s\n",
+                 opt.calibratePath.c_str());
+    // The ±15% contract is a test-time gate too, but failing it at
+    // fit time makes a bad refit impossible to commit silently.
+    return report.maxHeldOutErr() <= 0.15 ? 0 : 1;
+}
+
+int
+runTune(const Options &opt)
+{
+    if (!opt.calibratePath.empty())
+        return runCalibrate(opt);
+
+    vespera::analysis::ProxyModel loaded;
+    vespera::analysis::TunerOptions topts;
+    topts.topK = opt.topK;
+    if (!opt.coeffsPath.empty()) {
+        std::ifstream in(opt.coeffsPath);
+        if (!in) {
+            std::fprintf(stderr, "cannot read coeffs %s\n",
+                         opt.coeffsPath.c_str());
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        vespera::json::Value doc;
+        std::string error;
+        if (!vespera::json::parse(buf.str(), doc, &error) ||
+            !vespera::analysis::ProxyModel::fromJson(doc, loaded,
+                                                     &error)) {
+            std::fprintf(stderr, "coeffs %s: %s\n",
+                         opt.coeffsPath.c_str(), error.c_str());
+            return 2;
+        }
+        topts.model = &loaded;
+    }
+
+    const std::vector<vespera::analysis::TuneResult> results =
+        vespera::analysis::autotuneAll(opt.kernelFilter, topts);
+    if (results.empty()) {
+        std::fprintf(stderr, "no tunables match filter '%s'\n",
+                     opt.kernelFilter.c_str());
+        return 2;
+    }
+
+    if (!opt.json || !opt.jsonPath.empty()) {
+        std::fputs(
+            vespera::analysis::tuneReportText(results, opt.verbose)
+                .c_str(),
+            stdout);
+    }
+    if (opt.json) {
+        const int rc = emitJson(
+            opt, vespera::analysis::tuneReportJson(results));
+        if (rc != 0)
+            return rc;
+    }
+    return finishRun(opt,
+                     vespera::analysis::tuneToLintEntries(results));
+}
+
 } // namespace
 
 int
@@ -328,14 +455,27 @@ main(int argc, char **argv)
         return usage(argv[0]);
 
     vespera::analysis::registerBuiltinKernels();
+    vespera::analysis::registerTunableKernels();
     vespera::analysis::KernelRegistry &reg =
         vespera::analysis::KernelRegistry::instance();
 
     if (opt.list) {
+        if (opt.tuneMode) {
+            const vespera::analysis::TunableRegistry &tunables =
+                vespera::analysis::TunableRegistry::instance();
+            for (const std::string &name : tunables.names()) {
+                std::printf(
+                    "%s (%zu configs)\n", name.c_str(),
+                    tunables.get(name).configCount());
+            }
+            return 0;
+        }
         for (const std::string &name : reg.names())
             std::printf("%s\n", name.c_str());
         return 0;
     }
+    if (opt.tuneMode)
+        return runTune(opt);
     if (opt.staticMode)
         return runStatic(opt);
 

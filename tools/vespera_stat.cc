@@ -21,6 +21,17 @@
  *     --json                       machine-readable vespera-stat/v1
  *                                  report on stdout instead of text
  *
+ * Also accepts `vespera-lint-tune/v1` documents (vespera-lint tune
+ * --json) on both sides, flattened to:
+ *   tune.<kernel>.base_cycles     shipped-config exact cycles
+ *   tune.<kernel>.best_cycles     best-found exact cycles
+ *   tune.<kernel>.improvement     1 - best/base
+ *   tune.<kernel>.configs_screened
+ *   tune.totals.<field>           kernels/configs_screened/
+ *                                 exact_verifications/opportunities
+ * so the bench trajectory can gate "the tuner stopped finding the
+ * known-better config" the same way it gates counter drift.
+ *
  * Compared metrics, flattened to dotted names:
  *   counters.<name>               counter value
  *   rates.<name>                  rate meter mean rate
@@ -120,17 +131,61 @@ ignored(const Config &cfg, const std::string &name)
     return false;
 }
 
+/** Flatten a `vespera-lint-tune/v1` document (autotuner results)
+ *  into comparable dotted-name scalars. */
+void
+flattenTune(const Value &doc, std::map<std::string, double> &out)
+{
+    if (const Value *kernels = doc.find("kernels");
+        kernels && kernels->isArray()) {
+        for (const Value &k : kernels->array()) {
+            const Value *name = k.find("kernel");
+            if (!name || !name->isString())
+                continue;
+            const std::string prefix = "tune." + name->str() + ".";
+            if (const Value *base = k.find("base")) {
+                if (const Value *v = base->find("exact_cycles");
+                    v && v->isNumber())
+                    out[prefix + "base_cycles"] = v->number();
+            }
+            if (const Value *best = k.find("best")) {
+                if (const Value *v = best->find("exact_cycles");
+                    v && v->isNumber())
+                    out[prefix + "best_cycles"] = v->number();
+            }
+            if (const Value *v = k.find("improvement_frac");
+                v && v->isNumber())
+                out[prefix + "improvement"] = v->number();
+            if (const Value *v = k.find("configs_screened");
+                v && v->isNumber())
+                out[prefix + "configs_screened"] = v->number();
+        }
+    }
+    if (const Value *totals = doc.find("totals");
+        totals && totals->isObject()) {
+        for (const auto &[name, v] : totals->object()) {
+            if (v.isNumber())
+                out["tune.totals." + name] = v.number();
+        }
+    }
+}
+
 /** Flatten one metrics document into comparable dotted-name scalars. */
 bool
 flatten(const Value &doc, const std::string &path,
         bool compare_benchmarks, std::map<std::string, double> &out)
 {
     const Value *schema = doc.find("schema");
+    if (schema && schema->isString() &&
+        schema->str() == "vespera-lint-tune/v1") {
+        flattenTune(doc, out);
+        return true;
+    }
     if (!schema || !schema->isString() ||
         schema->str().rfind("vespera-metrics/", 0) != 0) {
         std::fprintf(stderr,
-                     "vespera-stat: %s is not a vespera-metrics "
-                     "document\n",
+                     "vespera-stat: %s is not a vespera-metrics or "
+                     "vespera-lint-tune document\n",
                      path.c_str());
         return false;
     }
