@@ -25,6 +25,7 @@
 #include "analysis/kernel_registry.h"
 #include "analysis/static/static_analyzer.h"
 #include "coll/collective.h"
+#include "graph/replay_cache.h"
 #include "kern/gemm.h"
 #include "kern/stream.h"
 #include "models/llama.h"
@@ -121,6 +122,29 @@ BM_EngineDecodeRun(benchmark::State &state)
 }
 BENCHMARK(BM_EngineDecodeRun);
 
+/**
+ * The same decode run on the legacy per-iteration stepper
+ * (serve::EngineCore::Legacy). BM_EngineDecodeRun above uses the
+ * default event-driven core, so this pair keeps the cores' relative
+ * cost on the selfperf record (the event core must never be slower)
+ * next to the differential suite that proves them byte-identical
+ * (tests/serve/test_engine_equiv.cc).
+ */
+void
+BM_EngineDecodeRunLegacy(benchmark::State &state)
+{
+    models::LlamaModel model(models::LlamaConfig::llama31_8b());
+    for (auto _ : state) {
+        serve::EngineConfig ec;
+        ec.maxDecodeBatch = 8;
+        ec.core = serve::EngineCore::Legacy;
+        serve::Engine engine(model, ec);
+        auto m = engine.run(serve::makeFixedTrace(8, 128, 32));
+        benchmark::DoNotOptimize(m.makespan);
+    }
+}
+BENCHMARK(BM_EngineDecodeRunLegacy);
+
 /** One Figure-12 sweep point: monolithic prefill + integrated decode. */
 void
 BM_Fig12SweepPoint(benchmark::State &state)
@@ -133,6 +157,27 @@ BM_Fig12SweepPoint(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Fig12SweepPoint);
+
+/**
+ * The same sweep point with both replay caches bypassed: every decode
+ * step rebuilds, recompiles and re-costs its graph — the pre-cache
+ * cost of the workflow. CI's selfperf job gates the *same-run* ratio
+ * of this benchmark to BM_Fig12SweepPoint at >= 3x (both halves run
+ * in one process on one runner, so the ratio cancels machine speed).
+ */
+void
+BM_Fig12SweepPointUncached(benchmark::State &state)
+{
+    models::LlamaModel model(models::LlamaConfig::llama31_8b());
+    models::LlamaServingConfig cfg;
+    graph::ReplayCacheDisable off_nodes(graph::nodeReplayCache());
+    graph::ReplayCacheDisable off_steps(graph::stepReplayCache());
+    for (auto _ : state) {
+        auto r = model.serve(DeviceKind::Gaudi2, cfg);
+        benchmark::DoNotOptimize(r.tokensPerSec);
+    }
+}
+BENCHMARK(BM_Fig12SweepPointUncached);
 
 /** Trace-analyzer pass over a captured kernel trace. */
 void
@@ -180,6 +225,14 @@ BENCHMARK(BM_StaticAnalyzer);
 void
 runFixedScenario()
 {
+    // The timing loops above left both replay caches warm after an
+    // adaptive, machine-dependent iteration count. Start from cold
+    // caches so the scenario's replay.* hit/miss/insert counts are a
+    // function of the code alone. (The counters themselves were just
+    // reset; clear() drops only entries.)
+    graph::nodeReplayCache().clear();
+    graph::stepReplayCache().clear();
+
     models::LlamaModel model(models::LlamaConfig::llama31_8b());
 
     serve::EngineConfig ec;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "graph/replay_cache.h"
 #include "kern/gemm.h"
 #include "kern/vector_op.h"
 #include "obs/counters.h"
@@ -150,10 +151,23 @@ Executor::run(const Graph &graph) const
     obs::Profiler &profiler = obs::Profiler::instance();
     const bool sampling = profiler.enabled();
 
+    // Kernel-granularity replay cache: a node's cost is a pure
+    // (observed) function of its payload + device, so identical nodes
+    // across steps are costed once and their counter/attribution side
+    // effects replayed (replay_cache.h). Tracing disables it (spans
+    // are not replayable); un-keyable nodes evaluate fresh.
+    ReplayCache<OpCost> &cache = nodeReplayCache();
+    const bool memoize = cache.enabled() && !sampling;
+
     for (const Node &node : graph.nodes()) {
         if (node.fusedAway)
             continue;
-        OpCost c = costNode(node);
+        OpCost c;
+        std::string key;
+        if (memoize && !(key = nodeReplayKey(node, device_)).empty())
+            c = cache.runMemoized(key, [&] { return costNode(node); });
+        else
+            c = costNode(node);
         report.perNode[static_cast<std::size_t>(node.id)] = c;
 
         // Per-OpKind execution-time breakdown (the per-op view the

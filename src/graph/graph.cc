@@ -144,7 +144,8 @@ Graph::allReduce(int in, int devices, std::string name)
 
 int
 Graph::custom(std::vector<int> ins, TensorDesc out,
-              std::function<OpCost(DeviceKind)> cost, std::string name)
+              std::function<OpCost(DeviceKind)> cost, std::string name,
+              std::string cost_signature)
 {
     vassert(cost, "custom node needs a cost callback");
     Node n;
@@ -153,6 +154,7 @@ Graph::custom(std::vector<int> ins, TensorDesc out,
     n.inputs = std::move(ins);
     n.output = std::move(out);
     n.customCost = std::move(cost);
+    n.costSignature = std::move(cost_signature);
     return push(std::move(n));
 }
 

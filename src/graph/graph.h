@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hw/gemm_cost.h"
+#include "mem/arena.h"
 
 namespace vespera::graph {
 
@@ -84,6 +85,11 @@ struct Node
 
     /// Custom payload.
     std::function<OpCost(DeviceKind)> customCost;
+    /// Replay-cache identity for the custom cost: everything the
+    /// callback's result depends on, rendered to a stable string by
+    /// the builder. Empty (the default) means "not memoizable" — the
+    /// executor then always evaluates the callback fresh.
+    std::string costSignature;
 
     /// Compiler annotations.
     bool fusedAway = false;
@@ -134,13 +140,22 @@ class Graph
     /** Tensor-parallel all-reduce of the input across `devices`. */
     int allReduce(int in, int devices, std::string name = "allreduce");
 
-    /** Custom node with an external cost callback. */
+    /**
+     * Custom node with an external cost callback. `cost_signature`
+     * (optional) names everything the callback depends on so the
+     * executor's replay cache may memoize it; leave empty to opt out.
+     */
     int custom(std::vector<int> ins, TensorDesc out,
                std::function<OpCost(DeviceKind)> cost,
-               std::string name = "custom");
+               std::string name = "custom",
+               std::string cost_signature = "");
 
-    const std::vector<Node> &nodes() const { return nodes_; }
-    std::vector<Node> &nodes() { return nodes_; }
+    /// Node storage: arena-backed when the graph is built inside a
+    /// mem::ScopedArena (the per-step hot path), heap otherwise.
+    using NodeVec = std::vector<Node, mem::ArenaAllocator<Node>>;
+
+    const NodeVec &nodes() const { return nodes_; }
+    NodeVec &nodes() { return nodes_; }
     const Node &node(int id) const;
     std::size_t size() const { return nodes_.size(); }
 
@@ -161,7 +176,7 @@ class Graph
   private:
     int push(Node n);
 
-    std::vector<Node> nodes_;
+    NodeVec nodes_;
 };
 
 } // namespace vespera::graph

@@ -1,0 +1,165 @@
+#include "mem/arena.h"
+
+#include <cstdlib>
+
+#include "obs/selfprof.h"
+
+#ifdef VESPERA_ASAN
+#include <sanitizer/asan_interface.h>
+#define VESPERA_POISON(p, n) ASAN_POISON_MEMORY_REGION(p, n)
+#define VESPERA_UNPOISON(p, n) ASAN_UNPOISON_MEMORY_REGION(p, n)
+#else
+#define VESPERA_POISON(p, n) ((void)0)
+#define VESPERA_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace vespera::mem {
+
+namespace {
+
+std::size_t
+alignUp(std::size_t v, std::size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+thread_local Arena *tlCurrent = nullptr;
+
+} // namespace
+
+Arena::Arena(std::size_t chunkBytes, bool reportAllocs)
+    : chunkBytes_(chunkBytes), reportAllocs_(reportAllocs)
+{
+    vassert(chunkBytes_ > 0, "arena chunk size must be positive");
+}
+
+Arena::~Arena()
+{
+    for (Chunk &c : chunks_) {
+        VESPERA_UNPOISON(c.base, c.size);
+        std::free(c.base);
+    }
+}
+
+Arena::Chunk &
+Arena::ensureChunk(std::size_t atLeast)
+{
+    // Advance into an already-reserved chunk that fits, else malloc a
+    // new one (oversized requests get a dedicated chunk).
+    while (cursorChunk_ < chunks_.size()) {
+        if (cursorOffset_ == 0 && chunks_[cursorChunk_].size >= atLeast)
+            return chunks_[cursorChunk_];
+        cursorChunk_++;
+        cursorOffset_ = 0;
+    }
+    const std::size_t size = atLeast > chunkBytes_ ? atLeast : chunkBytes_;
+    Chunk c;
+    c.base = static_cast<unsigned char *>(std::malloc(size));
+    vassert(c.base != nullptr, "arena chunk allocation of %zu bytes failed",
+            size);
+    c.size = size;
+    VESPERA_POISON(c.base, c.size);
+    chunks_.push_back(c);
+    cursorChunk_ = chunks_.size() - 1;
+    cursorOffset_ = 0;
+    reserved_ += size;
+    chunkAllocs_++;
+    // The only heap traffic the arena ever does — report it through
+    // the same hook that exposed the per-step churn it replaces.
+    if (reportAllocs_ && obs::SelfProf::instance().enabled())
+        obs::SelfProf::instance().recordAlloc(size);
+    return chunks_.back();
+}
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    vassert(align != 0 && (align & (align - 1)) == 0,
+            "arena alignment %zu is not a power of two", align);
+    if (bytes == 0)
+        bytes = 1;
+    allocCalls_++;
+    if (cursorChunk_ < chunks_.size()) {
+        Chunk &c = chunks_[cursorChunk_];
+        const auto base = reinterpret_cast<std::uintptr_t>(c.base);
+        const std::size_t at = alignUp(base + cursorOffset_, align) - base;
+        if (at + bytes <= c.size) {
+            cursorOffset_ = at + bytes;
+            void *p = c.base + at;
+            VESPERA_UNPOISON(p, bytes);
+            inUse_ = cursorTotal();
+            if (inUse_ > highWater_)
+                highWater_ = inUse_;
+            return p;
+        }
+        // Doesn't fit: move past this chunk.
+        cursorChunk_++;
+        cursorOffset_ = 0;
+    }
+    Chunk &c = ensureChunk(bytes + align);
+    const auto base = reinterpret_cast<std::uintptr_t>(c.base);
+    const std::size_t at = alignUp(base + cursorOffset_, align) - base;
+    vassert(at + bytes <= c.size, "arena chunk sizing bug");
+    cursorOffset_ = at + bytes;
+    void *p = c.base + at;
+    VESPERA_UNPOISON(p, bytes);
+    inUse_ = cursorTotal();
+    if (inUse_ > highWater_)
+        highWater_ = inUse_;
+    return p;
+}
+
+void
+Arena::release(Mark m)
+{
+    vassert(m.chunk < chunks_.size() || (m.chunk == 0 && m.offset == 0),
+            "arena release mark out of range");
+    vassert(m.chunk < cursorChunk_ ||
+                (m.chunk == cursorChunk_ && m.offset <= cursorOffset_) ||
+                (m.chunk == 0 && m.offset == 0),
+            "arena release mark is ahead of the cursor");
+    // Poison everything above the mark so stale reads trap under ASan.
+    for (std::size_t i = m.chunk; i < chunks_.size(); i++) {
+        Chunk &c = chunks_[i];
+        const std::size_t from = (i == m.chunk) ? m.offset : 0;
+        if (from < c.size)
+            VESPERA_POISON(c.base + from, c.size - from);
+    }
+    cursorChunk_ = m.chunk;
+    cursorOffset_ = m.offset;
+    inUse_ = cursorTotal();
+    epoch_++;
+}
+
+std::size_t
+Arena::cursorTotal() const
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cursorChunk_ && i < chunks_.size(); i++)
+        total += chunks_[i].size;
+    return total + cursorOffset_;
+}
+
+Arena *
+Arena::current()
+{
+    return tlCurrent;
+}
+
+Arena *
+Arena::bind(Arena *arena)
+{
+    Arena *prev = tlCurrent;
+    tlCurrent = arena;
+    return prev;
+}
+
+Arena &
+Arena::scratch()
+{
+    thread_local Arena arena(Arena::kDefaultChunkBytes,
+                             /*reportAllocs=*/false);
+    return arena;
+}
+
+} // namespace vespera::mem

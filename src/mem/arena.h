@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Bump-pointer arena for the per-step hot containers.
+ *
+ * The serving hot path rebuilds the same transient structures every
+ * step — `tpc::Program` instruction traces and `graph::Graph` node
+ * vectors — then throws them away. Under the default allocator that
+ * is a malloc/free pair per container growth per step, visible in the
+ * self-profile's allocation columns (PR 6). The Arena replaces that
+ * churn with chunked bump allocation: a step borrows memory with
+ * ScopedArena, containers grow by pointer bumps, and the whole step's
+ * memory is reclaimed in O(chunks) at scope exit. Steady state does
+ * zero heap traffic — chunks are retained and reused.
+ *
+ * Contracts:
+ *
+ *  - **Scope discipline.** ScopedArena records a Mark on entry and
+ *    releases back to it on exit, so scopes nest (an inner scope on
+ *    the same arena frees only its own suffix). Anything allocated
+ *    from the arena must not outlive the enclosing ScopedArena.
+ *  - **Containers choose their backing at construction.**
+ *    ArenaAllocator<T> captures Arena::current() (a thread-local
+ *    binding) when default-constructed: containers created inside a
+ *    scope are arena-backed, containers created outside fall back to
+ *    the heap and behave exactly like std::allocator. Copies likewise
+ *    bind to the arena current *where the copy is made*
+ *    (select_on_container_copy_construction), so copying a trace out
+ *    of a scope into long-lived storage — e.g. the kernel trace
+ *    registry's observer — yields heap memory, never a dangling
+ *    arena reference. The TPC dispatcher additionally skips the arena
+ *    entirely while a trace observer is registered.
+ *  - **Use-after-reset is detectable.** Every release()/reset() bumps
+ *    the arena epoch and (under ASan) poisons the reclaimed region.
+ *    Handle<T> pins the epoch at allocation time and vasserts it on
+ *    access, so a stale handle dies loudly in any build
+ *    (tests/mem/test_arena.cc); a raw stale pointer dies under ASan.
+ *    Epoch checking is conservative: release() invalidates *all*
+ *    handles on the arena, including ones below the mark.
+ *  - **Growth is observable.** Chunk allocations (the only heap
+ *    traffic) report through obs::SelfProf::recordAlloc, attributed
+ *    to the innermost active SelfTimer — the same PR 6 hook that
+ *    exposed the churn this arena removes. obs::selfRecordGrowth
+ *    skips arena-backed containers so the alloc columns count real
+ *    heap bytes, not recycled bumps.
+ *
+ * Thread model: an Arena is single-threaded (no internal locking);
+ * the current() binding and scratch() arena are thread-local, so pool
+ * workers never share one. allocate() outside any chunk capacity is
+ * the only path that touches malloc.
+ */
+
+#ifndef VESPERA_MEM_ARENA_H
+#define VESPERA_MEM_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define VESPERA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VESPERA_ASAN 1
+#endif
+#endif
+
+namespace vespera::mem {
+
+/** Chunked bump allocator with mark/release and epoch validation. */
+class Arena
+{
+  public:
+    /// Default chunk: big enough that a full decode-step graph plus a
+    /// per-TPC instruction trace fit in one chunk.
+    static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+    /**
+     * @param reportAllocs Report chunk mallocs through
+     *   obs::SelfProf::recordAlloc. The per-thread scratch() arenas
+     *   pass false: their chunks are one-time per-worker warmup, so
+     *   reporting them would make the self-profile's alloc columns
+     *   vary with --threads and break the count-invariance contract
+     *   (tests/obs/test_selfprof.cc).
+     */
+    explicit Arena(std::size_t chunkBytes = kDefaultChunkBytes,
+                   bool reportAllocs = true);
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate `bytes` aligned to `align` (a power of two). */
+    void *allocate(std::size_t bytes, std::size_t align);
+
+    /** Position snapshot for release(); cheap value type. */
+    struct Mark
+    {
+        std::size_t chunk = 0;
+        std::size_t offset = 0;
+    };
+
+    Mark mark() const { return Mark{cursorChunk_, cursorOffset_}; }
+
+    /**
+     * Pop back to `m`: memory allocated after the mark is reclaimed
+     * (chunks are retained for reuse). Bumps the epoch — all
+     * Handles on this arena become stale — and poisons the
+     * reclaimed region under ASan.
+     */
+    void release(Mark m);
+
+    /** release() to empty. Chunks are kept; epoch bumps. */
+    void reset() { release(Mark{}); }
+
+    /** Generation counter: incremented by every release()/reset(). */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /// @name Accounting (used by tests and the self-profile).
+    /// @{
+    /** Live bytes currently handed out (aligned). */
+    std::size_t bytesInUse() const { return inUse_; }
+    /** Heap bytes backing the arena (sum of chunk sizes). */
+    std::size_t bytesReserved() const { return reserved_; }
+    /** Chunks ever malloc'd — steady state stops growing. */
+    std::uint64_t chunkAllocs() const { return chunkAllocs_; }
+    /** allocate() calls served. */
+    std::uint64_t allocCalls() const { return allocCalls_; }
+    /** High-water of bytesInUse(). */
+    std::size_t highWater() const { return highWater_; }
+    /// @}
+
+    /** Epoch-checked pointer: access after release()/reset() dies. */
+    template <typename T>
+    class Handle
+    {
+      public:
+        Handle() = default;
+        Handle(Arena *arena, T *ptr, std::uint64_t epoch)
+            : arena_(arena), ptr_(ptr), epoch_(epoch)
+        {
+        }
+
+        bool valid() const
+        {
+            return arena_ != nullptr && epoch_ == arena_->epoch();
+        }
+
+        T &get() const
+        {
+            vassert(arena_ != nullptr, "empty arena handle");
+            vassert(epoch_ == arena_->epoch(),
+                    "arena handle outlived its epoch (use-after-reset: "
+                    "handle epoch %llu, arena epoch %llu)",
+                    static_cast<unsigned long long>(epoch_),
+                    static_cast<unsigned long long>(arena_->epoch()));
+            return *ptr_;
+        }
+
+        T &operator*() const { return get(); }
+        T *operator->() const { return &get(); }
+
+      private:
+        Arena *arena_ = nullptr;
+        T *ptr_ = nullptr;
+        std::uint64_t epoch_ = 0;
+    };
+
+    /**
+     * Construct a T in the arena and return an epoch-checked handle.
+     * The object is NOT destroyed by release(); use only for
+     * trivially-destructible or scope-managed payloads.
+     */
+    template <typename T, typename... Args>
+    Handle<T> make(Args &&...args);
+
+    /// @name Thread-local binding (what ArenaAllocator captures).
+    /// @{
+    /** Arena bound to this thread, or nullptr. */
+    static Arena *current();
+    /** Rebind; returns the previous binding (restore on unwind). */
+    static Arena *bind(Arena *arena);
+    /** This thread's lazily-created step-scratch arena. */
+    static Arena &scratch();
+    /// @}
+
+  private:
+    struct Chunk
+    {
+        unsigned char *base = nullptr;
+        std::size_t size = 0;
+    };
+
+    Chunk &ensureChunk(std::size_t atLeast);
+    /** Bytes between the arena start and the cursor (live bytes). */
+    std::size_t cursorTotal() const;
+
+    std::size_t chunkBytes_;
+    bool reportAllocs_ = true;
+    std::vector<Chunk> chunks_;
+    std::size_t cursorChunk_ = 0;  ///< Chunk the cursor is in.
+    std::size_t cursorOffset_ = 0; ///< Offset within that chunk.
+    std::uint64_t epoch_ = 0;
+    std::size_t inUse_ = 0;
+    std::size_t reserved_ = 0;
+    std::size_t highWater_ = 0;
+    std::uint64_t chunkAllocs_ = 0;
+    std::uint64_t allocCalls_ = 0;
+};
+
+template <typename T, typename... Args>
+Arena::Handle<T>
+Arena::make(Args &&...args)
+{
+    void *p = allocate(sizeof(T), alignof(T));
+    T *obj = ::new (p) T(std::forward<Args>(args)...);
+    return Handle<T>(this, obj, epoch_);
+}
+
+/**
+ * std-conforming allocator that bumps from the thread's current arena
+ * (captured at construction) and falls back to the heap when no arena
+ * is bound. deallocate() on the arena path is a no-op — memory comes
+ * back wholesale at ScopedArena exit.
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    ArenaAllocator() noexcept : arena_(Arena::current()) {}
+    explicit ArenaAllocator(Arena *arena) noexcept : arena_(arena) {}
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other) noexcept
+        : arena_(other.arena())
+    {
+    }
+
+    T *allocate(std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(T);
+        if (arena_ != nullptr)
+            return static_cast<T *>(arena_->allocate(bytes, alignof(T)));
+        return static_cast<T *>(::operator new(bytes));
+    }
+
+    void deallocate(T *p, std::size_t) noexcept
+    {
+        if (arena_ == nullptr)
+            ::operator delete(p);
+        // Arena memory is reclaimed wholesale at release().
+    }
+
+    /**
+     * Copies bind to the arena current *where the copy happens*:
+     * copying a container out of a scope into long-lived storage
+     * yields heap (or the outer scope's) memory, never a reference
+     * into a region about to be released.
+     */
+    ArenaAllocator select_on_container_copy_construction() const
+    {
+        return ArenaAllocator();
+    }
+
+    Arena *arena() const noexcept { return arena_; }
+
+    friend bool operator==(const ArenaAllocator &a,
+                           const ArenaAllocator &b) noexcept
+    {
+        return a.arena_ == b.arena_;
+    }
+    friend bool operator!=(const ArenaAllocator &a,
+                           const ArenaAllocator &b) noexcept
+    {
+        return !(a == b);
+    }
+
+  private:
+    template <typename U>
+    friend class ArenaAllocator;
+
+    Arena *arena_;
+};
+
+/**
+ * RAII scope: binds `arena` as the thread's current arena and releases
+ * everything the scope allocated on exit. Nests — including on the
+ * same arena, where the inner scope releases only its own suffix.
+ * Declare the scope before the containers that allocate from it, so
+ * the containers are destroyed while their memory is still live.
+ */
+class ScopedArena
+{
+  public:
+    explicit ScopedArena(Arena &arena)
+        : arena_(&arena), prev_(Arena::bind(&arena)), mark_(arena.mark())
+    {
+    }
+
+    ~ScopedArena()
+    {
+        arena_->release(mark_);
+        Arena::bind(prev_);
+    }
+
+    ScopedArena(const ScopedArena &) = delete;
+    ScopedArena &operator=(const ScopedArena &) = delete;
+
+  private:
+    Arena *arena_;
+    Arena *prev_;
+    Arena::Mark mark_;
+};
+
+} // namespace vespera::mem
+
+#endif // VESPERA_MEM_ARENA_H

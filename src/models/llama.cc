@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "graph/compiler.h"
+#include "graph/replay_cache.h"
+#include "mem/arena.h"
 #include "obs/selfprof.h"
 
 namespace vespera::models {
@@ -190,7 +192,16 @@ LlamaModel::buildStepGraph(DeviceKind device, int batch,
             return attentionCost(device, batch, tokens_per_request,
                                  context_len, prefill, cfg);
         },
-        "attention");
+        "attention",
+        // Replay-cache signature: every input attentionCost reads
+        // (the callback ignores its device argument and uses the
+        // captured one, so the device belongs in here too).
+        strfmt("attn|%s|q%d.kv%d.d%d|b%d|t%d|ctx%lld|p%d|tp%d|a%d|%s",
+               deviceName(device), config_.numQHeads,
+               config_.numKvHeads, config_.headDim, batch,
+               tokens_per_request, static_cast<long long>(context_len),
+               prefill ? 1 : 0, cfg.tpDevices,
+               static_cast<int>(cfg.attention), dtypeName(cfg.dt)));
 
     int wo = g.input({{o_k, h}, cfg.dt}, "w_o");
     int o = g.matmul(attn, wo, "o_proj");
@@ -220,28 +231,53 @@ LlamaModel::stepReport(DeviceKind device, int batch,
     // nested GraphBuild timer inside buildStepGraph carves its own
     // share out, so the two categories never double-count.
     obs::SelfTimer self(obs::SelfCat::KernelEval);
-    graph::Graph layer = buildStepGraph(device, batch,
-                                        tokens_per_request, context_len,
-                                        prefill, cfg);
-    graph::Compiler compiler;
-    compiler.compile(layer);
-    layer.validate();
-    graph::Executor executor(device);
-    graph::ExecutionReport one = executor.run(layer);
 
-    graph::ExecutionReport total;
-    graph::accumulate(total, one, config_.layers);
+    // Step-granularity replay cache: the whole report — graph build,
+    // compile, execute, LM head — is a pure (observed) function of
+    // the architecture + step shape, so repeat steps skip even the
+    // graph construction (replay_cache.h).
+    const std::string key = strfmt(
+        "llama_step|%s|l%d.h%d.i%d.q%d.kv%d.d%d.v%d|%s|b%d|t%d|ctx%lld"
+        "|p%d|tp%d|a%d|%s",
+        config_.name.c_str(), config_.layers, config_.hidden,
+        config_.intermediate, config_.numQHeads, config_.numKvHeads,
+        config_.headDim, config_.vocab, deviceName(device), batch,
+        tokens_per_request, static_cast<long long>(context_len),
+        prefill ? 1 : 0, cfg.tpDevices, static_cast<int>(cfg.attention),
+        dtypeName(cfg.dt));
 
-    // LM head over the last token of each request.
-    graph::Graph head;
-    int hx = head.input({{batch, config_.hidden}, cfg.dt}, "final_hidden");
-    int wl = head.input(
-        {{config_.hidden, config_.vocab / cfg.tpDevices}, cfg.dt},
-        "w_lm_head");
-    (void)head.matmul(hx, wl, "lm_head");
-    graph::ExecutionReport head_rep = executor.run(head);
-    graph::accumulate(total, head_rep);
-    return total;
+    return graph::stepReplayCache().runMemoized(key, [&] {
+        // The step's transient containers (graph nodes, compiler
+        // scratch) bump-allocate from this thread's scratch arena and
+        // are reclaimed wholesale on scope exit; the scope outlives
+        // the graphs below, which is what makes their destructors
+        // safe. The returned report uses ordinary heap storage.
+        mem::ScopedArena arena(mem::Arena::scratch());
+
+        graph::Graph layer = buildStepGraph(device, batch,
+                                            tokens_per_request,
+                                            context_len, prefill, cfg);
+        graph::Compiler compiler;
+        compiler.compile(layer);
+        layer.validate();
+        graph::Executor executor(device);
+        graph::ExecutionReport one = executor.run(layer);
+
+        graph::ExecutionReport total;
+        graph::accumulate(total, one, config_.layers);
+
+        // LM head over the last token of each request.
+        graph::Graph head;
+        int hx =
+            head.input({{batch, config_.hidden}, cfg.dt}, "final_hidden");
+        int wl = head.input(
+            {{config_.hidden, config_.vocab / cfg.tpDevices}, cfg.dt},
+            "w_lm_head");
+        (void)head.matmul(hx, wl, "lm_head");
+        graph::ExecutionReport head_rep = executor.run(head);
+        graph::accumulate(total, head_rep);
+        return total;
+    });
 }
 
 Seconds

@@ -112,6 +112,29 @@ class ScopedCapture
     SideEffectLog *prev_;
 };
 
+/**
+ * RAII: while alive, counter updates by this thread go straight to
+ * the shared atomics even under an enclosing ScopedCapture. For
+ * host-side bookkeeping (e.g. the replay cache's own hit/miss/evict
+ * counters) that must reflect what the process actually did: such
+ * counters are excluded from the deterministic metrics document, and
+ * deferring them into a capture log would lose them entirely when the
+ * log is never replayed (an unread prefetch window) or double-count
+ * them when a stored log is replayed per cache hit.
+ */
+class CaptureBypass
+{
+  public:
+    CaptureBypass();
+    ~CaptureBypass();
+
+    CaptureBypass(const CaptureBypass &) = delete;
+    CaptureBypass &operator=(const CaptureBypass &) = delete;
+
+  private:
+    SideEffectLog *prev_;
+};
+
 } // namespace vespera::obs
 
 #endif // VESPERA_OBS_CAPTURE_H

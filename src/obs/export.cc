@@ -158,6 +158,13 @@ metricsJson(const CounterRegistry &registry, const MetricsMeta &meta)
         // counter summary and the Perfetto trace.
         if (c.name.rfind("runtime.", 0) == 0)
             continue;
+        // Likewise `replay.*`: the replay cache's hit/miss/evict
+        // counts depend on thread count (prefetch windows populate
+        // the cache) and on process history, while the cache's
+        // *replayed effects* are what keeps the rest of this document
+        // bitwise cache-invariant (graph/replay_cache.h).
+        if (c.name.rfind("replay.", 0) == 0)
+            continue;
         // Attribution counters ("attrib.<scope>.<category>") become
         // the structured v2 section instead of counter entries.
         if (c.name.rfind("attrib.", 0) == 0 &&

@@ -241,11 +241,20 @@ template <typename Vec>
 inline void
 selfRecordGrowth(const Vec &v, std::size_t capBefore)
 {
-    if (v.capacity() != capBefore) {
-        SelfProf::instance().recordAlloc(
-            (v.capacity() - capBefore) *
-            sizeof(typename Vec::value_type));
+    if (v.capacity() == capBefore)
+        return;
+    // Arena-backed growth (mem::ArenaAllocator with a bound arena) is
+    // a pointer bump, not heap traffic — the arena's chunk hook
+    // reports the real allocations, so skip it here to keep the alloc
+    // columns honest about malloc churn.
+    if constexpr (requires(const Vec &vec) {
+                      vec.get_allocator().arena();
+                  }) {
+        if (v.get_allocator().arena() != nullptr)
+            return;
     }
+    SelfProf::instance().recordAlloc(
+        (v.capacity() - capBefore) * sizeof(typename Vec::value_type));
 }
 
 } // namespace vespera::obs

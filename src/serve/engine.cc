@@ -1,16 +1,11 @@
 #include "serve/engine.h"
 
 #include <algorithm>
-#include <deque>
-
-#include <set>
 
 #include "common/logging.h"
-#include "obs/counters.h"
-#include "obs/hist.h"
-#include "obs/profiler.h"
 #include "obs/selfprof.h"
 #include "runtime/pool.h"
+#include "serve/engine_run.h"
 
 namespace vespera::serve {
 
@@ -187,6 +182,459 @@ Engine::prewarmPrefill(const std::vector<Request> &trace)
         prefillCache_.emplace(buckets[i], std::move(steps[i]));
 }
 
+namespace {
+
+/// Under the Contiguous policy every request reserves a full
+/// max-model-length slab up front: modeled as paging with one giant
+/// block per sequence.
+int
+kvBlockTokens(const EngineConfig &cfg)
+{
+    return cfg.kvPolicy == KvPolicy::Paged
+               ? cfg.blockTokens
+               : static_cast<int>(cfg.maxModelLen);
+}
+
+std::int64_t
+kvTotalBlocks(const EngineConfig &cfg, const models::LlamaConfig &mc)
+{
+    const Bytes per_token = kvBytesPerToken(
+        mc.layers, std::max(1, mc.numKvHeads / cfg.tpDevices),
+        mc.headDim, cfg.dt);
+    const Bytes block_bytes =
+        per_token * static_cast<Bytes>(kvBlockTokens(cfg));
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(cfg.kvCacheBytes / block_bytes));
+}
+
+} // namespace
+
+Engine::RunState::RunState(Engine &engine, std::vector<Request> &reqs)
+    : eng(engine), trace(reqs),
+      paged(engine.config_.kvPolicy == KvPolicy::Paged),
+      kv(kvTotalBlocks(engine.config_, engine.model_.config()),
+         kvBlockTokens(engine.config_)),
+      remaining(reqs.size()), delivered(reqs.size(), 0),
+      c_steps(obs::CounterRegistry::instance().counter("engine.steps")),
+      c_prefill_tok(obs::CounterRegistry::instance().counter(
+          "engine.prefill_tokens")),
+      c_decode_tok(obs::CounterRegistry::instance().counter(
+          "engine.decode_tokens")),
+      c_preempt(obs::CounterRegistry::instance().counter(
+          "engine.preemptions")),
+      c_recomputed(obs::CounterRegistry::instance().counter(
+          "engine.recomputed_tokens")),
+      c_kv_in_use(obs::CounterRegistry::instance().counter(
+          "kv.blocks_in_use")),
+      profiler(obs::Profiler::instance()),
+      // Request-lifecycle flow tracing: one Perfetto flow per request
+      // (queued -> prefill -> decode, with preemption/re-prefill
+      // episodes), linked via SpanEvent::flowId. Queue time renders on
+      // one shared lane; admitted requests occupy one of
+      // maxDecodeBatch slot lanes for their prefill+decode residency.
+      // Recording is skipped under an active capture (a parallel
+      // sweep worker): the span order and lane cursors there would
+      // depend on thread interleaving, and overlapping sweep points on
+      // shared lanes are unreadable anyway — single-run traces
+      // (examples/profile_step) are where per-request flows make
+      // sense.
+      flow_trace(profiler.enabled() &&
+                 obs::ScopedCapture::current() == nullptr)
+{
+    for (std::size_t i = 0; i < trace.size(); i++)
+        waiting.push_back(i);
+    if (flow_trace) {
+        slot_of.assign(trace.size(), -1);
+        phase_start.assign(trace.size(), 0);
+        episodes.assign(trace.size(), 0);
+        for (std::size_t i = 0; i < trace.size(); i++)
+            phase_start[i] = trace[i].arrival;
+        for (int s = 0; s < eng.config_.maxDecodeBatch; s++)
+            free_slots.insert(s);
+        profiler.nameTrack(obs::TrackGroup::Device, kLaneQueue,
+                           "req queue");
+    }
+}
+
+std::int64_t
+Engine::RunState::reserveTokens(const Request &r) const
+{
+    return paged ? static_cast<std::int64_t>(r.inputLen) + 1
+                 : std::max<std::int64_t>(eng.config_.maxModelLen,
+                                          r.inputLen + r.outputLen);
+}
+
+void
+Engine::RunState::flowSpan(const Request &r, const char *phase,
+                           int lane, Seconds start)
+{
+    obs::SpanEvent e;
+    e.name = strfmt("req %lld %s", static_cast<long long>(r.id), phase);
+    e.category = "request";
+    e.group = obs::TrackGroup::Device;
+    e.track = lane;
+    e.start = start;
+    e.duration = clock - start;
+    e.flowId = static_cast<std::uint64_t>(r.id) + 1;
+    profiler.recordSpan(std::move(e));
+}
+
+void
+Engine::RunState::allocSlot(std::size_t idx)
+{
+    vassert(!free_slots.empty(), "more residents than batch slots");
+    const int s = *free_slots.begin();
+    free_slots.erase(free_slots.begin());
+    slot_of[idx] = s;
+    profiler.nameTrack(obs::TrackGroup::Device, kLaneSlot0 + s,
+                       strfmt("req slot %d", s));
+}
+
+void
+Engine::RunState::releaseSlot(std::size_t idx)
+{
+    free_slots.insert(slot_of[idx]);
+    slot_of[idx] = -1;
+}
+
+// Queue span ends and a slot lane begins when prefill starts.
+void
+Engine::RunState::flowAdmit(std::size_t idx)
+{
+    flowSpan(trace[idx], episodes[idx] ? "re-queued" : "queued",
+             kLaneQueue, phase_start[idx]);
+    allocSlot(idx);
+    phase_start[idx] = clock;
+}
+
+void
+Engine::RunState::record(EngineEvent::Kind kind, Seconds start,
+                         Seconds duration, int batch, int chunk)
+{
+    // Telemetry runs regardless of recordEvents: counters are cheap,
+    // and per-step counter tracks only when tracing.
+    c_steps.add();
+    c_prefill_tok.add(chunk);
+    c_decode_tok.add(batch);
+    const std::int64_t blocks_in_use =
+        kv.totalBlocks() - kv.freeBlocks();
+    c_kv_in_use.set(static_cast<double>(blocks_in_use));
+    if (profiler.enabled()) {
+        profiler.sample("kv.blocks_in_use", start + duration,
+                        static_cast<double>(blocks_in_use));
+        profiler.sample("engine.decode_batch", start + duration, batch);
+    }
+    if (!eng.config_.recordEvents)
+        return;
+    EngineEvent e;
+    e.kind = kind;
+    e.start = start;
+    e.duration = duration;
+    e.decodeBatch = batch;
+    e.prefillTokens = chunk;
+    eng.events_.push_back(e);
+}
+
+// Completes a request's prefill: its first token materializes.
+// After a preemption the same request prefills again — recompute
+// rebuilds its KV — but its first token was already delivered, so
+// TTFT and the generated-token total are recorded only once.
+void
+Engine::RunState::finishPrefill(std::size_t idx)
+{
+    Request &r = trace[idx];
+    r.prefilled = true;
+    r.generated = 1;
+    if (flow_trace) {
+        flowSpan(r, episodes[idx] ? "re-prefill" : "prefill",
+                 kLaneSlot0 + slot_of[idx], phase_start[idx]);
+        phase_start[idx] = clock;
+    }
+    if (r.firstTokenTime < 0) {
+        r.firstTokenTime = clock;
+        ttft.add(clock - r.arrival);
+    }
+    if (r.generated > delivered[idx]) {
+        delivered[idx] = r.generated;
+        generated_total++;
+    } else {
+        c_recomputed.add();
+    }
+    if (requestFinished(r)) {
+        r.finishTime = clock;
+        kv.release(r.id);
+        remaining--;
+        if (flow_trace)
+            releaseSlot(idx);
+    } else {
+        running.push_back(idx);
+    }
+}
+
+void
+Engine::RunState::spfSort()
+{
+    // Shortest-prompt-first: reorder the arrived prefix of the
+    // waiting queue by prompt length before admitting.
+    if (eng.config_.schedPolicy == SchedPolicy::ShortestPromptFirst &&
+        waiting.size() > 1) {
+        auto arrived_end = waiting.begin();
+        while (arrived_end != waiting.end() &&
+               trace[*arrived_end].arrival <= clock) {
+            ++arrived_end;
+        }
+        std::stable_sort(waiting.begin(), arrived_end,
+                         [&](std::size_t a, std::size_t b) {
+                             return trace[a].inputLen <
+                                    trace[b].inputLen;
+                         });
+    }
+}
+
+void
+Engine::RunState::admitArrived()
+{
+    // Admission: arrived requests into free slots, KV permitting.
+    while (!waiting.empty()) {
+        const Request &r = trace[waiting.front()];
+        const bool slot_free =
+            static_cast<int>(running.size() + prefill_queue.size()) <
+            eng.config_.maxDecodeBatch;
+        if (r.arrival > clock || !slot_free ||
+            !kv.canGrow(r.id, reserveTokens(r))) {
+            break;
+        }
+        kv.grow(r.id, reserveTokens(r));
+        prefill_queue.push_back(waiting.front());
+        waiting.pop_front();
+    }
+}
+
+void
+Engine::RunState::monolithicPrefillStep()
+{
+    // Monolithic prefill of one request (stalls decodes).
+    const std::size_t idx = prefill_queue.front();
+    prefill_queue.pop_front();
+    Request &r = trace[idx];
+    if (flow_trace)
+        flowAdmit(idx);
+    const Seconds t = eng.prefillStepTime(r.inputLen);
+    record(EngineEvent::Kind::Prefill, clock, t, 0, r.inputLen);
+    clock += t;
+    finishPrefill(idx);
+}
+
+void
+Engine::RunState::idleJump()
+{
+    // Idle: jump to the next arrival.
+    vassert(!waiting.empty(), "deadlock: nothing running or waiting");
+    clock = std::max(clock, trace[waiting.front()].arrival);
+}
+
+void
+Engine::RunState::preemptScan()
+{
+    // Grow KV for every decoding sequence; preempt the newest on
+    // exhaustion (vLLM's recompute-on-preemption policy).
+    for (std::size_t k = running.size(); k-- > 0;) {
+        Request &r = trace[running[k]];
+        if (!kv.grow(r.id, r.inputLen + r.generated + 1)) {
+            if (flow_trace) {
+                flowSpan(r, "decode (preempted)",
+                         kLaneSlot0 + slot_of[running[k]],
+                         phase_start[running[k]]);
+                releaseSlot(running[k]);
+                episodes[running[k]]++;
+                phase_start[running[k]] = clock;
+            }
+            kv.release(r.id);
+            r.generated = 0;
+            r.prefilled = false;
+            r.prefillProgress = 0;
+            waiting.push_front(running[k]);
+            running.erase(running.begin() +
+                          static_cast<std::ptrdiff_t>(k));
+            m.preemptions++;
+            c_preempt.add();
+        }
+    }
+}
+
+void
+Engine::RunState::decodeChunkStep(bool has_chunk)
+{
+    Seconds decode_time = 0;
+    if (!running.empty()) {
+        std::int64_t ctx_sum = 0;
+        for (auto i : running)
+            ctx_sum += trace[i].inputLen + trace[i].generated;
+        decode_time = eng.decodeStepTime(
+            static_cast<int>(running.size()),
+            ctx_sum / static_cast<std::int64_t>(running.size()));
+    }
+
+    Seconds chunk_time = 0;
+    int chunk = 0;
+    std::size_t chunk_idx = 0;
+    if (has_chunk) {
+        chunk_idx = prefill_queue.front();
+        Request &r = trace[chunk_idx];
+        // First chunk of this prefill episode: the request leaves
+        // the queue lane and takes a slot.
+        if (flow_trace && slot_of[chunk_idx] < 0)
+            flowAdmit(chunk_idx);
+        chunk = std::min(eng.config_.chunkedPrefillTokens,
+                         r.inputLen - r.prefillProgress);
+        chunk_time = eng.prefillChunkTime(chunk, r.prefillProgress);
+    }
+
+    // Compute-bound prefill chunks overlap with memory-bound
+    // decode steps on real hardware; charge the longer plus a
+    // small serialization tax.
+    Seconds step;
+    EngineEvent::Kind kind;
+    if (decode_time > 0 && chunk_time > 0) {
+        step = std::max(decode_time, chunk_time) +
+               0.15 * std::min(decode_time, chunk_time);
+        kind = EngineEvent::Kind::Mixed;
+    } else if (chunk_time > 0) {
+        step = chunk_time;
+        kind = EngineEvent::Kind::Prefill;
+    } else {
+        step = decode_time;
+        kind = EngineEvent::Kind::Decode;
+    }
+    record(kind, clock, step, static_cast<int>(running.size()), chunk);
+    clock += step;
+
+    if (has_chunk) {
+        Request &r = trace[chunk_idx];
+        r.prefillProgress += chunk;
+        if (r.prefillProgress >= r.inputLen) {
+            prefill_queue.pop_front();
+            finishPrefill(chunk_idx);
+        }
+    }
+
+    if (!running.empty()) {
+        batch_sum += static_cast<double>(running.size());
+        decode_steps++;
+        for (std::size_t k = running.size(); k-- > 0;) {
+            Request &r = trace[running[k]];
+            r.generated++;
+            if (r.generated > delivered[running[k]]) {
+                delivered[running[k]] = r.generated;
+                generated_total++;
+            } else {
+                c_recomputed.add();
+            }
+            if (requestFinished(r)) {
+                r.finishTime = clock;
+                if (r.outputLen > 1) {
+                    tpot.add((r.finishTime - r.firstTokenTime) /
+                             (r.outputLen - 1));
+                }
+                if (flow_trace) {
+                    flowSpan(r, "decode",
+                             kLaneSlot0 + slot_of[running[k]],
+                             phase_start[running[k]]);
+                    releaseSlot(running[k]);
+                }
+                kv.release(r.id);
+                running.erase(running.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+                remaining--;
+            }
+        }
+    }
+}
+
+void
+Engine::RunState::fullIteration()
+{
+    spfSort();
+    admitArrived();
+
+    const bool chunked = eng.config_.chunkedPrefillTokens > 0;
+
+    if (!chunked && !prefill_queue.empty()) {
+        monolithicPrefillStep();
+        return;
+    }
+
+    const bool has_decodes = !running.empty();
+    const bool has_chunk = chunked && !prefill_queue.empty();
+
+    if (!has_decodes && !has_chunk) {
+        idleJump();
+        return;
+    }
+
+    // has_chunk is latched before the scan; preemption never touches
+    // prefill_queue, so the latch is stable (engine_run.h).
+    preemptScan();
+    if (running.empty() && !has_chunk)
+        return;
+
+    decodeChunkStep(has_chunk);
+}
+
+bool
+Engine::RunState::fastPathEligible() const
+{
+    return prefill_queue.empty() && !running.empty() &&
+           (waiting.empty() || trace[waiting.front()].arrival > clock);
+}
+
+ServingMetrics
+Engine::RunState::finalize()
+{
+    m.makespan = clock;
+    m.throughputTokensPerSec =
+        static_cast<double>(generated_total) / clock;
+    m.meanTtft = ttft.mean();
+    m.p99Ttft = ttft.percentile(99);
+    m.meanTpot = tpot.mean();
+    m.completed = static_cast<int>(trace.size());
+    m.avgDecodeBatch =
+        decode_steps ? batch_sum / static_cast<double>(decode_steps)
+                     : 0;
+
+    // End-of-run serving gauges (last run wins; peak keeps the best).
+    auto &registry = obs::CounterRegistry::instance();
+    registry.counter("engine.throughput_tokens_per_sec")
+        .set(m.throughputTokensPerSec);
+    registry.counter("engine.mean_ttft_seconds").set(m.meanTtft);
+    registry.counter("engine.p99_ttft_seconds").set(m.p99Ttft);
+    registry.counter("engine.mean_tpot_seconds").set(m.meanTpot);
+    registry.counter("engine.avg_decode_batch").set(m.avgDecodeBatch);
+
+    // Publish the full latency distributions. Histogram::merge is not
+    // capture-aware like Counter::set, so when this run executes on a
+    // sweep worker (bench_fig17_vllm) the merge is deferred to the
+    // outermost replay — serial, in task-index order — keeping the
+    // registry histograms bit-identical at any thread count.
+    auto publish_hists = [ttft = ttft, tpot = tpot]() {
+        auto &reg = obs::CounterRegistry::instance();
+        reg.histogram("engine.ttft_seconds").merge(ttft);
+        reg.histogram("engine.tpot_seconds").merge(tpot);
+    };
+    if (obs::SideEffectLog *log = obs::ScopedCapture::current())
+        log->appendDeferred(publish_hists);
+    else
+        publish_hists();
+    return m;
+}
+
+void
+Engine::runLegacy(RunState &st)
+{
+    while (st.remaining > 0)
+        st.fullIteration();
+}
+
 ServingMetrics
 Engine::run(std::vector<Request> trace)
 {
@@ -201,400 +649,12 @@ Engine::run(std::vector<Request> trace)
     events_.clear();
     prewarmPrefill(trace);
 
-    const auto &mc = model_.config();
-    const Bytes per_token = kvBytesPerToken(
-        mc.layers,
-        std::max(1, mc.numKvHeads / config_.tpDevices), mc.headDim,
-        config_.dt);
-    // Under the Contiguous policy every request reserves a full
-    // max-model-length slab up front: modeled as paging with one giant
-    // block per sequence.
-    const bool paged = config_.kvPolicy == KvPolicy::Paged;
-    const int block_tokens =
-        paged ? config_.blockTokens
-              : static_cast<int>(config_.maxModelLen);
-    const Bytes block_bytes = per_token * block_tokens;
-    const std::int64_t total_blocks = std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(config_.kvCacheBytes / block_bytes));
-    PagedKvCache kv(total_blocks, block_tokens);
-
-    auto reserve_tokens = [&](const Request &r) {
-        return paged ? static_cast<std::int64_t>(r.inputLen) + 1
-                     : std::max<std::int64_t>(config_.maxModelLen,
-                                              r.inputLen + r.outputLen);
-    };
-
-    std::deque<std::size_t> waiting;
-    for (std::size_t i = 0; i < trace.size(); i++)
-        waiting.push_back(i);
-    std::deque<std::size_t> prefill_queue;
-    std::vector<std::size_t> running;
-
-    Seconds clock = 0;
-    std::int64_t generated_total = 0;
-    // Streaming histograms instead of Samples: fixed memory at any
-    // trace length (obs/hist.h). mean() is bitwise what Samples gave
-    // (sum/count in add order); percentiles become conservative
-    // bucket-edge estimates within ~4.4% relative error.
-    obs::Histogram ttft, tpot;
-    ServingMetrics m;
-    double batch_sum = 0;
-    std::int64_t decode_steps = 0;
-    std::size_t remaining = trace.size();
-
-    auto finished = [&](const Request &r) {
-        return r.generated >= r.outputLen;
-    };
-
-    auto &registry = obs::CounterRegistry::instance();
-    static obs::Counter &c_steps = registry.counter("engine.steps");
-    static obs::Counter &c_prefill_tok =
-        registry.counter("engine.prefill_tokens");
-    static obs::Counter &c_decode_tok =
-        registry.counter("engine.decode_tokens");
-    static obs::Counter &c_preempt =
-        registry.counter("engine.preemptions");
-    static obs::Counter &c_recomputed =
-        registry.counter("engine.recomputed_tokens");
-    static obs::Counter &c_kv_in_use =
-        registry.counter("kv.blocks_in_use");
-    obs::Profiler &profiler = obs::Profiler::instance();
-
-    // Request-lifecycle flow tracing: one Perfetto flow per request
-    // (queued -> prefill -> decode, with preemption/re-prefill
-    // episodes), linked via SpanEvent::flowId. Queue time renders on
-    // one shared lane; admitted requests occupy one of maxDecodeBatch
-    // slot lanes for their prefill+decode residency. Recording is
-    // skipped under an active capture (a parallel sweep worker): the
-    // span order and lane cursors there would depend on thread
-    // interleaving, and overlapping sweep points on shared lanes are
-    // unreadable anyway — single-run traces (examples/profile_step)
-    // are where per-request flows make sense.
-    const bool flow_trace =
-        profiler.enabled() && obs::ScopedCapture::current() == nullptr;
-    constexpr int kLaneQueue = 31;  // after attrib lanes (6..)
-    constexpr int kLaneSlot0 = 32;
-    std::vector<int> slot_of;
-    std::vector<Seconds> phase_start;
-    std::vector<int> episodes;
-    std::set<int> free_slots;
-    if (flow_trace) {
-        slot_of.assign(trace.size(), -1);
-        phase_start.assign(trace.size(), 0);
-        episodes.assign(trace.size(), 0);
-        for (std::size_t i = 0; i < trace.size(); i++)
-            phase_start[i] = trace[i].arrival;
-        for (int s = 0; s < config_.maxDecodeBatch; s++)
-            free_slots.insert(s);
-        profiler.nameTrack(obs::TrackGroup::Device, kLaneQueue,
-                           "req queue");
-    }
-    auto flow_span = [&](const Request &r, const char *phase, int lane,
-                         Seconds start) {
-        obs::SpanEvent e;
-        e.name = strfmt("req %lld %s", static_cast<long long>(r.id),
-                        phase);
-        e.category = "request";
-        e.group = obs::TrackGroup::Device;
-        e.track = lane;
-        e.start = start;
-        e.duration = clock - start;
-        e.flowId = static_cast<std::uint64_t>(r.id) + 1;
-        profiler.recordSpan(std::move(e));
-    };
-    auto alloc_slot = [&](std::size_t idx) {
-        vassert(!free_slots.empty(), "more residents than batch slots");
-        const int s = *free_slots.begin();
-        free_slots.erase(free_slots.begin());
-        slot_of[idx] = s;
-        profiler.nameTrack(obs::TrackGroup::Device, kLaneSlot0 + s,
-                           strfmt("req slot %d", s));
-    };
-    auto release_slot = [&](std::size_t idx) {
-        free_slots.insert(slot_of[idx]);
-        slot_of[idx] = -1;
-    };
-    // Queue span ends and a slot lane begins when prefill starts.
-    auto flow_admit = [&](std::size_t idx) {
-        flow_span(trace[idx],
-                  episodes[idx] ? "re-queued" : "queued", kLaneQueue,
-                  phase_start[idx]);
-        alloc_slot(idx);
-        phase_start[idx] = clock;
-    };
-
-    auto record = [&](EngineEvent::Kind kind, Seconds start,
-                      Seconds duration, int batch, int chunk) {
-        // Telemetry runs regardless of recordEvents: counters are
-        // cheap, and per-step counter tracks only when tracing.
-        c_steps.add();
-        c_prefill_tok.add(chunk);
-        c_decode_tok.add(batch);
-        const std::int64_t blocks_in_use =
-            kv.totalBlocks() - kv.freeBlocks();
-        c_kv_in_use.set(static_cast<double>(blocks_in_use));
-        if (profiler.enabled()) {
-            profiler.sample("kv.blocks_in_use", start + duration,
-                            static_cast<double>(blocks_in_use));
-            profiler.sample("engine.decode_batch", start + duration,
-                            batch);
-        }
-        if (!config_.recordEvents)
-            return;
-        EngineEvent e;
-        e.kind = kind;
-        e.start = start;
-        e.duration = duration;
-        e.decodeBatch = batch;
-        e.prefillTokens = chunk;
-        events_.push_back(e);
-    };
-
-    // Tokens already delivered per request: a preempted request's
-    // recompute regenerates tokens the user has already received, and
-    // those must not count twice toward throughput (or TTFT).
-    std::vector<int> delivered(trace.size(), 0);
-
-    // Completes a request's prefill: its first token materializes.
-    // After a preemption the same request prefills again — recompute
-    // rebuilds its KV — but its first token was already delivered, so
-    // TTFT and the generated-token total are recorded only once.
-    auto finish_prefill = [&](std::size_t idx) {
-        Request &r = trace[idx];
-        r.prefilled = true;
-        r.generated = 1;
-        if (flow_trace) {
-            flow_span(r, episodes[idx] ? "re-prefill" : "prefill",
-                      kLaneSlot0 + slot_of[idx], phase_start[idx]);
-            phase_start[idx] = clock;
-        }
-        if (r.firstTokenTime < 0) {
-            r.firstTokenTime = clock;
-            ttft.add(clock - r.arrival);
-        }
-        if (r.generated > delivered[idx]) {
-            delivered[idx] = r.generated;
-            generated_total++;
-        } else {
-            c_recomputed.add();
-        }
-        if (finished(r)) {
-            r.finishTime = clock;
-            kv.release(r.id);
-            remaining--;
-            if (flow_trace)
-                release_slot(idx);
-        } else {
-            running.push_back(idx);
-        }
-    };
-
-    while (remaining > 0) {
-        // Shortest-prompt-first: reorder the arrived prefix of the
-        // waiting queue by prompt length before admitting.
-        if (config_.schedPolicy == SchedPolicy::ShortestPromptFirst &&
-            waiting.size() > 1) {
-            auto arrived_end = waiting.begin();
-            while (arrived_end != waiting.end() &&
-                   trace[*arrived_end].arrival <= clock) {
-                ++arrived_end;
-            }
-            std::stable_sort(waiting.begin(), arrived_end,
-                             [&](std::size_t a, std::size_t b) {
-                                 return trace[a].inputLen <
-                                        trace[b].inputLen;
-                             });
-        }
-
-        // Admission: arrived requests into free slots, KV permitting.
-        while (!waiting.empty()) {
-            const Request &r = trace[waiting.front()];
-            const bool slot_free =
-                static_cast<int>(running.size() + prefill_queue.size()) <
-                config_.maxDecodeBatch;
-            if (r.arrival > clock || !slot_free ||
-                !kv.canGrow(r.id, reserve_tokens(r))) {
-                break;
-            }
-            kv.grow(r.id, reserve_tokens(r));
-            prefill_queue.push_back(waiting.front());
-            waiting.pop_front();
-        }
-
-        const bool chunked = config_.chunkedPrefillTokens > 0;
-
-        if (!chunked && !prefill_queue.empty()) {
-            // Monolithic prefill of one request (stalls decodes).
-            const std::size_t idx = prefill_queue.front();
-            prefill_queue.pop_front();
-            Request &r = trace[idx];
-            if (flow_trace)
-                flow_admit(idx);
-            const Seconds t = prefillStepTime(r.inputLen);
-            record(EngineEvent::Kind::Prefill, clock, t, 0, r.inputLen);
-            clock += t;
-            finish_prefill(idx);
-            continue;
-        }
-
-        const bool has_decodes = !running.empty();
-        const bool has_chunk = chunked && !prefill_queue.empty();
-
-        if (!has_decodes && !has_chunk) {
-            // Idle: jump to the next arrival.
-            vassert(!waiting.empty(),
-                    "deadlock: nothing running or waiting");
-            clock = std::max(clock, trace[waiting.front()].arrival);
-            continue;
-        }
-
-        // Grow KV for every decoding sequence; preempt the newest on
-        // exhaustion (vLLM's recompute-on-preemption policy).
-        for (std::size_t k = running.size(); k-- > 0;) {
-            Request &r = trace[running[k]];
-            if (!kv.grow(r.id, r.inputLen + r.generated + 1)) {
-                if (flow_trace) {
-                    flow_span(r, "decode (preempted)",
-                              kLaneSlot0 + slot_of[running[k]],
-                              phase_start[running[k]]);
-                    release_slot(running[k]);
-                    episodes[running[k]]++;
-                    phase_start[running[k]] = clock;
-                }
-                kv.release(r.id);
-                r.generated = 0;
-                r.prefilled = false;
-                r.prefillProgress = 0;
-                waiting.push_front(running[k]);
-                running.erase(running.begin() +
-                              static_cast<std::ptrdiff_t>(k));
-                m.preemptions++;
-                c_preempt.add();
-            }
-        }
-        if (running.empty() && !has_chunk)
-            continue;
-
-        Seconds decode_time = 0;
-        if (!running.empty()) {
-            std::int64_t ctx_sum = 0;
-            for (auto i : running)
-                ctx_sum += trace[i].inputLen + trace[i].generated;
-            decode_time = decodeStepTime(
-                static_cast<int>(running.size()),
-                ctx_sum / static_cast<std::int64_t>(running.size()));
-        }
-
-        Seconds chunk_time = 0;
-        int chunk = 0;
-        std::size_t chunk_idx = 0;
-        if (has_chunk) {
-            chunk_idx = prefill_queue.front();
-            Request &r = trace[chunk_idx];
-            // First chunk of this prefill episode: the request leaves
-            // the queue lane and takes a slot.
-            if (flow_trace && slot_of[chunk_idx] < 0)
-                flow_admit(chunk_idx);
-            chunk = std::min(config_.chunkedPrefillTokens,
-                             r.inputLen - r.prefillProgress);
-            chunk_time = prefillChunkTime(chunk, r.prefillProgress);
-        }
-
-        // Compute-bound prefill chunks overlap with memory-bound
-        // decode steps on real hardware; charge the longer plus a
-        // small serialization tax.
-        Seconds step;
-        EngineEvent::Kind kind;
-        if (decode_time > 0 && chunk_time > 0) {
-            step = std::max(decode_time, chunk_time) +
-                   0.15 * std::min(decode_time, chunk_time);
-            kind = EngineEvent::Kind::Mixed;
-        } else if (chunk_time > 0) {
-            step = chunk_time;
-            kind = EngineEvent::Kind::Prefill;
-        } else {
-            step = decode_time;
-            kind = EngineEvent::Kind::Decode;
-        }
-        record(kind, clock, step, static_cast<int>(running.size()),
-               chunk);
-        clock += step;
-
-        if (has_chunk) {
-            Request &r = trace[chunk_idx];
-            r.prefillProgress += chunk;
-            if (r.prefillProgress >= r.inputLen) {
-                prefill_queue.pop_front();
-                finish_prefill(chunk_idx);
-            }
-        }
-
-        if (!running.empty()) {
-            batch_sum += static_cast<double>(running.size());
-            decode_steps++;
-            for (std::size_t k = running.size(); k-- > 0;) {
-                Request &r = trace[running[k]];
-                r.generated++;
-                if (r.generated > delivered[running[k]]) {
-                    delivered[running[k]] = r.generated;
-                    generated_total++;
-                } else {
-                    c_recomputed.add();
-                }
-                if (finished(r)) {
-                    r.finishTime = clock;
-                    if (r.outputLen > 1) {
-                        tpot.add((r.finishTime - r.firstTokenTime) /
-                                 (r.outputLen - 1));
-                    }
-                    if (flow_trace) {
-                        flow_span(r, "decode",
-                                  kLaneSlot0 + slot_of[running[k]],
-                                  phase_start[running[k]]);
-                        release_slot(running[k]);
-                    }
-                    kv.release(r.id);
-                    running.erase(running.begin() +
-                                  static_cast<std::ptrdiff_t>(k));
-                    remaining--;
-                }
-            }
-        }
-    }
-
-    m.makespan = clock;
-    m.throughputTokensPerSec =
-        static_cast<double>(generated_total) / clock;
-    m.meanTtft = ttft.mean();
-    m.p99Ttft = ttft.percentile(99);
-    m.meanTpot = tpot.mean();
-    m.completed = static_cast<int>(trace.size());
-    m.avgDecodeBatch =
-        decode_steps ? batch_sum / static_cast<double>(decode_steps) : 0;
-
-    // End-of-run serving gauges (last run wins; peak keeps the best).
-    registry.counter("engine.throughput_tokens_per_sec")
-        .set(m.throughputTokensPerSec);
-    registry.counter("engine.mean_ttft_seconds").set(m.meanTtft);
-    registry.counter("engine.p99_ttft_seconds").set(m.p99Ttft);
-    registry.counter("engine.mean_tpot_seconds").set(m.meanTpot);
-    registry.counter("engine.avg_decode_batch").set(m.avgDecodeBatch);
-
-    // Publish the full latency distributions. Histogram::merge is not
-    // capture-aware like Counter::set, so when this run executes on a
-    // sweep worker (bench_fig17_vllm) the merge is deferred to the
-    // outermost replay — serial, in task-index order — keeping the
-    // registry histograms bit-identical at any thread count.
-    auto publish_hists = [ttft, tpot]() {
-        auto &reg = obs::CounterRegistry::instance();
-        reg.histogram("engine.ttft_seconds").merge(ttft);
-        reg.histogram("engine.tpot_seconds").merge(tpot);
-    };
-    if (obs::SideEffectLog *log = obs::ScopedCapture::current())
-        log->appendDeferred(publish_hists);
+    RunState st(*this, trace);
+    if (config_.core == EngineCore::Legacy)
+        runLegacy(st);
     else
-        publish_hists();
-    return m;
+        runEvent(st);
+    return st.finalize();
 }
 
 } // namespace vespera::serve

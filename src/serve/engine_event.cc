@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Event-driven engine core.
+ *
+ * The legacy stepper re-runs the whole scheduler front-end — SPF
+ * re-sort, admission scan, prefill dispatch, idle check — on every
+ * iteration, even though on a long decode stretch nothing there can
+ * fire: scheduling decisions only change on an *event* (a request
+ * arrives, a prefill is queued, the batch drains, a preemption
+ * re-queues work). This core checks for a pending event in O(1)
+ * (RunState::fastPathEligible) and, when none is pending, jumps
+ * straight to the two phases that always run — the KV-growth/preempt
+ * scan and the decode step itself.
+ *
+ * Equivalence: the fast path executes the exact phase-method suffix
+ * the full iteration would have reached, and the eligibility predicate
+ * proves the skipped prefix is side-effect-free that iteration (the
+ * waiting-queue ordering argument is spelled out on fastPathEligible).
+ * When the fast-path preempt scan drains the batch, control falls
+ * through to the next iteration where eligibility fails (the preempted
+ * request now heads `waiting` with arrival <= clock) and the full
+ * front-end runs — the same recovery order as the legacy core. The
+ * differential suite (tests/serve/test_engine_equiv.cc) asserts
+ * byte-identical metrics, counters, and histograms across both cores
+ * on every regression scenario at 1/2/4/8 threads.
+ *
+ * Observability: `engine.events_processed` counts full iterations,
+ * `engine.steps_skipped` counts fast-path iterations. Both are pure
+ * functions of the simulated schedule (thread-count invariant), but
+ * they differ between the two cores by construction, so the
+ * equivalence suite excludes exactly this pair.
+ */
+
+#include "obs/counters.h"
+#include "serve/engine_run.h"
+
+namespace vespera::serve {
+
+void
+Engine::runEvent(RunState &st)
+{
+    auto &registry = obs::CounterRegistry::instance();
+    static obs::Counter &c_skipped =
+        registry.counter("engine.steps_skipped");
+    static obs::Counter &c_events =
+        registry.counter("engine.events_processed");
+
+    while (st.remaining > 0) {
+        if (st.fastPathEligible()) {
+            c_skipped.add();
+            st.preemptScan();
+            if (st.running.empty())
+                continue; // Batch drained: full front-end next.
+            st.decodeChunkStep(/*has_chunk=*/false);
+            continue;
+        }
+        c_events.add();
+        st.fullIteration();
+    }
+}
+
+} // namespace vespera::serve

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Internal: shared run-loop state for the two engine cores.
+ *
+ * Engine::run() used to be one 200-line loop. It is now a RunState —
+ * the mutable per-run state plus one method per scheduler phase — and
+ * two drivers: runLegacy() executes every phase every iteration (the
+ * reference stepper), runEvent() skips the scheduler front-end on
+ * iterations where fastPathEligible() proves it is a no-op. Because
+ * both cores call the *same* phase methods, they cannot drift except
+ * in loop structure; the differential suite
+ * (tests/serve/test_engine_equiv.cc) fences exactly that structural
+ * difference, asserting byte-identical metrics/counters/histograms.
+ *
+ * Phase order of one full iteration (fullIteration()) — this order is
+ * load-bearing and mirrors the original loop:
+ *
+ *   1. spfSort()               reorder arrived waiting prefix
+ *   2. admitArrived()          waiting -> prefill_queue, KV permitting
+ *   3. monolithicPrefillStep() when !chunked and queue nonempty (then
+ *                              the iteration ends)
+ *   4. idleJump()              nothing runnable: clock jumps to the
+ *                              next arrival (then the iteration ends)
+ *   5. preemptScan()           KV growth; preempt newest on exhaustion
+ *   6. decodeChunkStep()       the decode batch + optional co-run
+ *                              prefill chunk, telemetry, bookkeeping
+ *
+ * `has_chunk` is latched BEFORE preemptScan() (step 5 never touches
+ * prefill_queue, so the latch is stable; keeping the original read
+ * point makes the equivalence argument local).
+ *
+ * This header is internal to src/serve — tests include it directly,
+ * public consumers use serve/engine.h.
+ */
+
+#ifndef VESPERA_SERVE_ENGINE_RUN_H
+#define VESPERA_SERVE_ENGINE_RUN_H
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/hist.h"
+#include "obs/profiler.h"
+#include "serve/engine.h"
+#include "serve/kv_cache.h"
+
+namespace vespera::serve {
+
+struct Engine::RunState
+{
+    /** Builds KV pool, queues, counters, and flow-trace lanes. */
+    RunState(Engine &engine, std::vector<Request> &reqs);
+
+    /// @name Scheduler phases (see file comment for the order).
+    /// @{
+    void spfSort();
+    void admitArrived();
+    void monolithicPrefillStep();
+    void idleJump();
+    void preemptScan();
+    void decodeChunkStep(bool has_chunk);
+    /** One full legacy iteration: phases 1-6 with the early-outs. */
+    void fullIteration();
+    /// @}
+
+    /**
+     * True when phases 1-4 are provably no-ops this iteration: no
+     * request queued for prefill, a decode batch is running, and no
+     * waiting request has arrived. The waiting-front check is exact
+     * because the queue is [arrived, any order][not yet arrived, by
+     * arrival]: admission pops the front, preemption pushes requests
+     * whose arrival <= clock to the front, and the tail keeps the
+     * trace's arrival order — so front.arrival > clock implies every
+     * queued arrival is still in the future.
+     */
+    bool fastPathEligible() const;
+
+    /** Computes ServingMetrics and publishes end-of-run telemetry. */
+    ServingMetrics finalize();
+
+    /// @name Helpers shared by the phases.
+    /// @{
+    std::int64_t reserveTokens(const Request &r) const;
+    bool requestFinished(const Request &r) const
+    {
+        return r.generated >= r.outputLen;
+    }
+    /** Per-step telemetry + optional EngineEvent record. */
+    void record(EngineEvent::Kind kind, Seconds start, Seconds duration,
+                int batch, int chunk);
+    /** First token materializes (TTFT once, recompute-aware). */
+    void finishPrefill(std::size_t idx);
+    /// @}
+
+    /// @name Request-lifecycle flow tracing (profiler runs only).
+    /// @{
+    void flowSpan(const Request &r, const char *phase, int lane,
+                  Seconds start);
+    void allocSlot(std::size_t idx);
+    void releaseSlot(std::size_t idx);
+    void flowAdmit(std::size_t idx);
+    /// @}
+
+    Engine &eng;
+    std::vector<Request> &trace;
+
+    bool paged;
+    PagedKvCache kv;
+
+    std::deque<std::size_t> waiting;
+    std::deque<std::size_t> prefill_queue;
+    std::vector<std::size_t> running;
+
+    Seconds clock = 0;
+    std::int64_t generated_total = 0;
+    /// Streaming histograms: fixed memory at any trace length.
+    obs::Histogram ttft, tpot;
+    ServingMetrics m;
+    double batch_sum = 0;
+    std::int64_t decode_steps = 0;
+    std::size_t remaining;
+    /// Tokens already delivered per request (recompute must not count
+    /// twice toward throughput or TTFT).
+    std::vector<int> delivered;
+
+    obs::Counter &c_steps;
+    obs::Counter &c_prefill_tok;
+    obs::Counter &c_decode_tok;
+    obs::Counter &c_preempt;
+    obs::Counter &c_recomputed;
+    obs::Counter &c_kv_in_use;
+    obs::Profiler &profiler;
+
+    /// Flow tracing is skipped under an active capture (sweep worker):
+    /// span order and lane cursors would depend on thread interleaving.
+    bool flow_trace;
+    std::vector<int> slot_of;
+    std::vector<Seconds> phase_start;
+    std::vector<int> episodes;
+    std::set<int> free_slots;
+
+    static constexpr int kLaneQueue = 31; ///< after attrib lanes (6..)
+    static constexpr int kLaneSlot0 = 32;
+};
+
+} // namespace vespera::serve
+
+#endif // VESPERA_SERVE_ENGINE_RUN_H

@@ -1,8 +1,10 @@
 #include "tpc/dispatcher.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
+#include "mem/arena.h"
 #include "obs/attrib.h"
 #include "obs/selfprof.h"
 #include "runtime/parallel.h"
@@ -76,6 +78,15 @@ TpcDispatcher::launch(const Kernel &kernel, const IndexSpace &space,
             std::min<std::int64_t>((t + 1) * per_tpc, extent);
         if (range.empty())
             return out;
+
+        // The trace is transient — recorded, evaluated, discarded —
+        // so it bump-allocates from this thread's scratch arena. Not
+        // when an observer is registered: the observer may copy the
+        // program into storage that outlives this scope (the kernel
+        // trace registry does), and those copies must be heap-backed.
+        std::optional<mem::ScopedArena> arena;
+        if (!traceObserver())
+            arena.emplace(mem::Arena::scratch());
 
         Program program;
         program.setKernelName(params.kernelName);

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "mem/arena.h"
 #include "obs/selfprof.h"
 #include "tpc/isa.h"
 
@@ -40,7 +41,13 @@ class Program
     /** Allocate a fresh SSA value id. */
     std::int32_t newValue() { return nextValue_++; }
 
-    const std::vector<Instr> &instrs() const { return instrs_; }
+    /// Trace storage: arena-backed when the program is recorded
+    /// inside a mem::ScopedArena (the dispatcher's hot path), heap
+    /// otherwise — including whenever a trace observer may copy the
+    /// program into long-lived storage.
+    using InstrVec = std::vector<Instr, mem::ArenaAllocator<Instr>>;
+
+    const InstrVec &instrs() const { return instrs_; }
     std::int32_t numValues() const { return nextValue_; }
     bool empty() const { return instrs_.empty(); }
 
@@ -97,7 +104,7 @@ class Program
     Stats stats() const;
 
   private:
-    std::vector<Instr> instrs_;
+    InstrVec instrs_;
     std::int32_t nextValue_ = 0;
     std::string kernelName_;
     std::vector<std::string> labels_;
