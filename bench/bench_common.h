@@ -26,6 +26,13 @@
  *                      section. Wall times vary run to run, so the
  *                      determinism contract covers documents produced
  *                      *without* this flag.
+ *   --timeline-interval=<sec>  enable virtual-time timelines
+ *                      (obs/timeline.h): serving producers record
+ *                      windowed gauges every <sec> *simulated* seconds
+ *                      and the metrics document gains the v2.2
+ *                      "timeline" section. Deterministic (simulated
+ *                      time only), so --timeline-interval documents
+ *                      stay byte-identical at any --threads.
  *   --quiet            suppress normal stdout (telemetry still written)
  *
  * Usage pattern (see any bench_*.cc):
@@ -51,6 +58,7 @@
 
 #include "common/io.h"
 #include "obs/export.h"
+#include "obs/timeline.h"
 #include "runtime/pool.h"
 
 namespace vespera::bench {
@@ -65,6 +73,8 @@ struct Options
     bool quiet = false;
     bool selfprof = false;   ///< Host self-profiling was requested.
     int threads = 1;         ///< Runtime pool size this run used.
+    /// Virtual-time sampling interval in simulated seconds; 0 = off.
+    double timelineInterval = 0;
     /** Extra google-benchmark results merged into the metrics doc. */
     obs::MetricsMeta meta;
 };
@@ -100,6 +110,8 @@ parseArgs(int &argc, char **argv, const char *bench_name)
             opts.threads = std::atoi(argv[++i]);
         } else if (std::strcmp(arg, "--selfprof") == 0) {
             opts.selfprof = true;
+        } else if (std::strncmp(arg, "--timeline-interval=", 20) == 0) {
+            opts.timelineInterval = std::atof(arg + 20);
         } else if (std::strcmp(arg, "--quiet") == 0) {
             opts.quiet = true;
         } else if (std::strcmp(arg, "--help") == 0 ||
@@ -119,6 +131,12 @@ parseArgs(int &argc, char **argv, const char *bench_name)
                 "--metrics/\n"
                 "                    --telemetry-dir export; writes no "
                 "file alone)\n"
+                "  --timeline-interval=<sec>  record virtual-time "
+                "timelines every\n"
+                "                    <sec> simulated seconds (adds the "
+                "\"timeline\"\n"
+                "                    section to a metrics export; "
+                "deterministic)\n"
                 "  --quiet           suppress normal stdout\n",
                 bench_name, bench_name);
             std::exit(0);
@@ -150,6 +168,10 @@ parseArgs(int &argc, char **argv, const char *bench_name)
         obs::Profiler::instance().setEnabled(true);
     if (opts.selfprof)
         obs::SelfProf::instance().setEnabled(true);
+    if (opts.timelineInterval > 0) {
+        obs::Timeline::instance().setInterval(opts.timelineInterval);
+        obs::Timeline::instance().setEnabled(true);
+    }
     if (opts.quiet) {
         // Telemetry files are the only output anyone asked for.
         if (!std::freopen("/dev/null", "w", stdout))

@@ -17,7 +17,10 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "models/llama.h"
+#include "obs/timeline.h"
 #include "runtime/sweep.h"
+#include "serve/engine.h"
+#include "serve/trace.h"
 
 #include "bench_common.h"
 
@@ -109,6 +112,55 @@ latencyBreakdown()
     t2.print();
 }
 
+/**
+ * Virtual-time serving timeline (--timeline-interval only): one
+ * continuous-batching engine run over a bursty Dynamic-Sonnet-like
+ * trace, recorded as windowed gauges with a p99-TTFT SLO monitor. The
+ * run is deterministic (fixed seed, simulated time only), so the
+ * exported "timeline" section is diffable across commits with
+ * `vespera-stat timeline` — CI gates it against
+ * tools/bench_baseline/bench_fig12_llm_serving.timeline.json.
+ */
+void
+servingTimeline()
+{
+    obs::Timeline &timeline = obs::Timeline::instance();
+    if (!timeline.enabled())
+        return;
+    printHeading("Serving timeline (virtual-time gauges)");
+    // The SLO monitor records the first window whose p99 TTFT exceeds
+    // the bound; the bound sits inside this trace's dynamic range so
+    // the violation path is exercised (and its first-violation
+    // timestamp baselined).
+    timeline.addSlo({"ttft_p99_seconds", 2.0});
+
+    models::LlamaModel model(models::LlamaConfig::llama31_8b());
+    serve::EngineConfig ec;
+    ec.maxDecodeBatch = 32;
+    ec.kvCacheBytes = 16ull << 30;
+    ec.timelineLabel = "fig12.serve";
+    serve::Engine engine(model, ec);
+
+    serve::TraceConfig tc;
+    tc.numRequests = 96;
+    tc.arrivalRate = 24; // bursty enough that queue depth moves
+    Rng rng(2025);
+    const auto m = engine.run(serve::makeDynamicTrace(tc, rng));
+    std::printf("makespan %.2fs  p99 TTFT %.3fs  goodput %.0f tok/s  "
+                "windows every %.3gs\n",
+                m.makespan, m.p99Ttft, m.throughputTokensPerSec,
+                timeline.interval());
+    for (const auto &r : timeline.sloResults()) {
+        std::printf("SLO %s <= %g: %s\n", r.gauge.c_str(), r.bound,
+                    r.violated
+                        ? strfmt("first violated at t=%.3fs (%.3f)",
+                                 r.firstViolationT,
+                                 r.firstViolationValue)
+                              .c_str()
+                        : "never violated");
+    }
+}
+
 } // namespace
 
 int
@@ -124,6 +176,7 @@ main(int argc, char **argv)
                                   tp);
 
     latencyBreakdown();
+    servingTimeline();
 
     printHeading("Summary vs paper");
     std::printf("8B  single-device avg: %.2fx (paper 1.47x)\n", s8);

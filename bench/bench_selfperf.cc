@@ -303,8 +303,13 @@ main(int argc, char **argv)
 
     // Drop everything the adaptive timing loops recorded, then run the
     // deterministic fixed-work scenario the metrics document reports.
+    // The Timeline reset matters under --timeline-interval: the timing
+    // loops above publish a machine-dependent number of auto-labelled
+    // engine runs, while the fixed scenario's single run is the only
+    // deterministic timeline this document should carry.
     obs::CounterRegistry::instance().reset();
     obs::SelfProf::instance().reset();
+    obs::Timeline::instance().reset();
     runFixedScenario();
     return bench::finish(opts);
 }

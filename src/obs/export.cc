@@ -6,6 +6,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/table.h"
+#include "obs/timeline.h"
 
 namespace vespera::obs {
 
@@ -284,6 +285,54 @@ metricsJson(const CounterRegistry &registry, const MetricsMeta &meta)
         cache["kernel_eval"] = json::Value::makeObject(std::move(ke));
         host["cache"] = json::Value::makeObject(std::move(cache));
         root["host"] = json::Value::makeObject(std::move(host));
+    }
+
+    // v2.2 "timeline" section: virtual-time gauge series and SLO
+    // monitors (obs/timeline.h), present only when the Timeline is
+    // enabled and at least one producer published. Unlike "host" this
+    // section is deterministic — samples are keyed by simulated time —
+    // so it is diffable across commits with `vespera-stat timeline`.
+    const Timeline &timeline = Timeline::instance();
+    if (timeline.enabled() && timeline.hasData()) {
+        std::map<std::string, json::Value> section;
+        section["interval_seconds"] =
+            json::Value::makeNumber(timeline.interval());
+        std::map<std::string, json::Value> series;
+        for (const Timeline::SeriesView &s : timeline.series()) {
+            std::map<std::string, json::Value> entry;
+            entry["dropped"] = json::Value::makeNumber(
+                static_cast<double>(s.dropped));
+            std::vector<json::Value> samples;
+            samples.reserve(s.samples.size());
+            for (const TimelineSample &smp : s.samples) {
+                samples.push_back(json::Value::makeArray(
+                    {json::Value::makeNumber(smp.t),
+                     json::Value::makeNumber(smp.value)}));
+            }
+            entry["samples"] =
+                json::Value::makeArray(std::move(samples));
+            series[s.name] = json::Value::makeObject(std::move(entry));
+        }
+        section["series"] = json::Value::makeObject(std::move(series));
+        const auto slo_results = timeline.sloResults();
+        if (!slo_results.empty()) {
+            std::map<std::string, json::Value> slo;
+            for (const SloResult &r : slo_results) {
+                std::map<std::string, json::Value> entry;
+                entry["bound"] = json::Value::makeNumber(r.bound);
+                entry["violated"] = json::Value::makeBool(r.violated);
+                // -1 keeps the shape stable when never violated.
+                entry["first_violation_seconds"] =
+                    json::Value::makeNumber(
+                        r.violated ? r.firstViolationT : -1.0);
+                entry["first_violation_value"] =
+                    json::Value::makeNumber(
+                        r.violated ? r.firstViolationValue : -1.0);
+                slo[r.gauge] = json::Value::makeObject(std::move(entry));
+            }
+            section["slo"] = json::Value::makeObject(std::move(slo));
+        }
+        root["timeline"] = json::Value::makeObject(std::move(section));
     }
 
     return json::serialize(json::Value::makeObject(std::move(root))) +

@@ -35,9 +35,14 @@ namespace vespera::obs {
  * self-profile, obs/selfprof.h), present only when the producer ran
  * with --selfprof; v2 readers that ignore unknown sections keep
  * working, and absent the flag the document is byte-for-byte what v2
- * produced apart from the schema string.
+ * produced apart from the schema string. v2.2 adds the *optional*
+ * "timeline" section (virtual-time gauge series and SLO monitors,
+ * obs/timeline.h), present only when the Timeline is enabled and a
+ * producer published a run; unlike "host", the section is covered by
+ * the determinism contract — its samples are keyed by simulated time
+ * and are byte-identical at any thread count.
  */
-inline constexpr const char *metricsSchema = "vespera-metrics/v2.1";
+inline constexpr const char *metricsSchema = "vespera-metrics/v2.2";
 
 /**
  * Chrome-trace JSON of everything the profiler recorded: spans as

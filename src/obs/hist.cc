@@ -109,6 +109,51 @@ void Histogram::merge(const Histogram &other)
     max_ = std::max(max_, other.max_);
 }
 
+Histogram Histogram::diff(const Histogram &earlier) const
+{
+    vassert(layout_ == earlier.layout_,
+            "histogram diff: mismatched bucket layouts "
+            "('%s': min=%g x%d oct=%d vs '%s': min=%g x%d oct=%d)",
+            name_.c_str(), layout_.minTrackable,
+            layout_.bucketsPerOctave, layout_.octaves,
+            earlier.name_.c_str(), earlier.layout_.minTrackable,
+            earlier.layout_.bucketsPerOctave, earlier.layout_.octaves);
+    Histogram out(name_, layout_);
+    const int buckets = layout_.buckets();
+    int first_nonzero = -1;
+    int last_nonzero = -1;
+    for (int i = 0; i < buckets; ++i) {
+        const std::uint64_t now = counts_[static_cast<std::size_t>(i)];
+        const std::uint64_t then =
+            earlier.counts_[static_cast<std::size_t>(i)];
+        vassert(then <= now,
+                "histogram diff: '%s' is not an earlier snapshot of "
+                "'%s' (bucket %d: %llu > %llu)",
+                earlier.name_.c_str(), name_.c_str(), i,
+                static_cast<unsigned long long>(then),
+                static_cast<unsigned long long>(now));
+        const std::uint64_t d = now - then;
+        out.counts_[static_cast<std::size_t>(i)] = d;
+        if (d > 0) {
+            if (first_nonzero < 0)
+                first_nonzero = i;
+            last_nonzero = i;
+        }
+    }
+    out.count_ = count_ - earlier.count_;
+    out.sum_ = sum_ - earlier.sum_;
+    if (first_nonzero >= 0) {
+        // Conservative extremes from bucket geometry: the delta's true
+        // min/max lie inside these edges. The overflow bucket has no
+        // finite edge; the full histogram's observed max bounds it.
+        out.min_ = bucketLo(layout_, first_nonzero);
+        out.max_ = (last_nonzero == buckets - 1)
+                       ? max_
+                       : bucketHi(layout_, last_nonzero);
+    }
+    return out;
+}
+
 double Histogram::percentile(double p) const
 {
     if (count_ == 0)

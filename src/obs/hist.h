@@ -94,6 +94,23 @@ class Histogram
      */
     void merge(const Histogram &other);
 
+    /**
+     * The delta histogram `*this - earlier`, where `earlier` is a
+     * previous snapshot (copy) of this histogram: every bucket count
+     * of `earlier` must be <= the corresponding count here, and the
+     * layouts must be equal — both are vasserted, never silently
+     * wrong. Powers windowed percentile monitors (obs/timeline.h):
+     * diffing consecutive snapshots yields the distribution of just
+     * the samples recorded in between.
+     *
+     * min()/max() of the delta are reconstructed from the nonzero
+     * delta buckets (conservative: bucket edges, with the overflow
+     * bucket's edge supplied by this histogram's observed max), since
+     * the exact extremes of the in-between samples are not recoverable
+     * from two endpoint snapshots.
+     */
+    Histogram diff(const Histogram &earlier) const;
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }

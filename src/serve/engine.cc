@@ -9,6 +9,21 @@
 
 namespace vespera::serve {
 
+namespace {
+
+/// Harvest the step fields the engine (and its timeline gauges) care
+/// about from a full execution report. stepReport() is memoized by the
+/// step replay cache exactly like stepTime() — stepTime *is*
+/// stepReport().time — so this changes no values and no side effects.
+StepCost
+costOf(const graph::ExecutionReport &r)
+{
+    return {r.time, r.matrixBusy, r.vectorBusy,
+            static_cast<double>(r.hbmBytes)};
+}
+
+} // namespace
+
 Engine::Engine(const models::LlamaModel &model, EngineConfig config)
     : model_(model), config_(config)
 {
@@ -35,7 +50,7 @@ Engine::Engine(const models::LlamaModel &model, EngineConfig config)
     }
 }
 
-Seconds
+StepCost
 Engine::prefillChunkTime(int chunk, std::int64_t ctx)
 {
     // Chunked prefill co-executes with the decode batch; this costs
@@ -51,11 +66,11 @@ Engine::prefillChunkTime(int chunk, std::int64_t ctx)
                    deviceName(config_.device), bucket,
                    static_cast<long long>(ctx_bucket)));
     }
-    return model_.stepTime(config_.device, 1, bucket, ctx_bucket, true,
-                           servingCfg_);
+    return costOf(model_.stepReport(config_.device, 1, bucket,
+                                    ctx_bucket, true, servingCfg_));
 }
 
-Seconds
+StepCost
 Engine::decodeStepTime(int batch, std::int64_t mean_ctx)
 {
     const std::int64_t bucket = (mean_ctx + 63) / 64 * 64;
@@ -94,8 +109,8 @@ Engine::decodeStepTime(int batch, std::int64_t mean_ctx)
                     bucket + 64 * static_cast<std::int64_t>(i);
                 window[i].first = b;
                 obs::ScopedCapture cap(window[i].second.log);
-                window[i].second.t = model_.stepTime(
-                    config_.device, batch, 1, b, false, servingCfg_);
+                window[i].second.c = costOf(model_.stepReport(
+                    config_.device, batch, 1, b, false, servingCfg_));
             });
             for (auto &entry : window) {
                 decodeCache_.emplace(
@@ -104,8 +119,8 @@ Engine::decodeStepTime(int batch, std::int64_t mean_ctx)
             }
         } else {
             CachedStep step;
-            step.t = model_.stepTime(config_.device, batch, 1, bucket,
-                                     false, servingCfg_);
+            step.c = costOf(model_.stepReport(config_.device, batch, 1,
+                                              bucket, false, servingCfg_));
             step.replayed = true; // Eager: effects already applied.
             decodeCache_.emplace(key, std::move(step));
         }
@@ -114,7 +129,7 @@ Engine::decodeStepTime(int batch, std::int64_t mean_ctx)
     return it->second.use();
 }
 
-Seconds
+StepCost
 Engine::prefillStepTime(int input_len)
 {
     const int bucket = (input_len + 63) / 64 * 64;
@@ -129,8 +144,8 @@ Engine::prefillStepTime(int input_len)
     }
     if (it == prefillCache_.end()) {
         CachedStep step;
-        step.t = model_.stepTime(config_.device, 1, bucket, bucket,
-                                 true, servingCfg_);
+        step.c = costOf(model_.stepReport(config_.device, 1, bucket,
+                                          bucket, true, servingCfg_));
         step.replayed = true; // Eager: effects already applied.
         it = prefillCache_.emplace(bucket, std::move(step)).first;
     }
@@ -175,8 +190,9 @@ Engine::prewarmPrefill(const std::vector<Request> &trace)
     std::vector<CachedStep> steps(buckets.size());
     pool.run(buckets.size(), [&](std::size_t i) {
         obs::ScopedCapture cap(steps[i].log);
-        steps[i].t = model_.stepTime(config_.device, 1, buckets[i],
-                                     buckets[i], true, servingCfg_);
+        steps[i].c = costOf(model_.stepReport(config_.device, 1,
+                                              buckets[i], buckets[i],
+                                              true, servingCfg_));
     });
     for (std::size_t i = 0; i < buckets.size(); i++)
         prefillCache_.emplace(buckets[i], std::move(steps[i]));
@@ -254,6 +270,114 @@ Engine::RunState::RunState(Engine &engine, std::vector<Request> &reqs)
         profiler.nameTrack(obs::TrackGroup::Device, kLaneQueue,
                            "req queue");
     }
+
+    // Virtual-time timeline: a run-local windowed sampler, created
+    // only when the process-wide Timeline is on. Run-local state fed
+    // from the serial scheduler path is what keeps the series a pure
+    // function of the simulated schedule — sampling the shared counter
+    // registry at boundaries would be thread-variant (deferred updates
+    // are invisible under capture, and a 1-thread pool skips captures
+    // entirely).
+    obs::Timeline &timeline = obs::Timeline::instance();
+    if (timeline.enabled()) {
+        const models::LlamaConfig &mc = eng.model_.config();
+        const Bytes per_token = kvBytesPerToken(
+            mc.layers,
+            std::max(1, mc.numKvHeads / eng.config_.tpDevices),
+            mc.headDim, eng.config_.dt);
+        kv_block_bytes =
+            static_cast<double>(per_token) *
+            static_cast<double>(kvBlockTokens(eng.config_));
+        tl = std::make_unique<obs::TimelineRecorder>(
+            timeline.interval(), timeline.capacity(), timeline.slos());
+        g_queue = tl->gaugeId("queue_depth");
+        g_running = tl->gaugeId("running");
+        g_kv_bytes = tl->gaugeId("kv_bytes_in_use");
+        g_kv_hw = tl->gaugeId("kv_high_water_bytes");
+        g_preempt = tl->gaugeId("preemptions");
+        g_prefill_tok = tl->gaugeId("prefill_tokens");
+        g_decode_tok = tl->gaugeId("decode_tokens");
+        g_goodput = tl->gaugeId("goodput_tokens_per_sec");
+        g_ttft_p99 = tl->gaugeId("ttft_p99_seconds");
+        g_tpot_p99 = tl->gaugeId("tpot_p99_seconds");
+        g_mme_util = tl->gaugeId("mme_util");
+        g_tpc_util = tl->gaugeId("tpc_util");
+        g_hbm_gbps = tl->gaugeId("hbm_gbps");
+    }
+}
+
+void
+Engine::RunState::tlAdvance(Seconds t)
+{
+    // Close every window whose end has passed. The engine advances in
+    // whole steps, so a boundary is never itself a scheduling point;
+    // boundary gauges are read at the first scheduling point at or
+    // after it (documented in docs/observability.md).
+    while (tl->windowEnd() <= t) {
+        tlSample(tl->windowEnd(), tl->interval());
+        tl->closeWindow();
+    }
+}
+
+void
+Engine::RunState::tlSample(Seconds t, Seconds len)
+{
+    // Arrived-but-unadmitted requests plus the prefill queue. The
+    // arrived prefix of `waiting` may be SPF-reordered, so the whole
+    // deque is scanned against the boundary time.
+    std::int64_t queued =
+        static_cast<std::int64_t>(prefill_queue.size());
+    for (std::size_t idx : waiting) {
+        if (trace[idx].arrival <= t)
+            queued++;
+    }
+    tl->set(g_queue, static_cast<double>(queued));
+    tl->set(g_running, static_cast<double>(running.size()));
+    const double kv_bytes =
+        static_cast<double>(kv.totalBlocks() - kv.freeBlocks()) *
+        kv_block_bytes;
+    tl->set(g_kv_bytes, kv_bytes);
+    // The window's KV high-water is at least the boundary occupancy
+    // (a window with no steps still holds its residents' blocks).
+    tl->max(g_kv_hw, kv_bytes);
+
+    // Windowed deltas against the previous boundary's snapshots.
+    tl->set(g_goodput,
+            static_cast<double>(generated_total - w_goodput_base) /
+                len);
+    w_goodput_base = generated_total;
+    tl->set(g_ttft_p99, ttft.diff(ttft_prev).percentile(99));
+    ttft_prev = ttft;
+    tl->set(g_tpot_p99, tpot.diff(tpot_prev).percentile(99));
+    tpot_prev = tpot;
+
+    // Busy fractions. A step is charged whole to the window containing
+    // its start, so a fraction can exceed 1 when steps outlast the
+    // interval — pick an interval above the typical step time
+    // (docs/observability.md).
+    tl->set(g_mme_util, w_mme / len);
+    tl->set(g_tpc_util, w_tpc / len);
+    tl->set(g_hbm_gbps, w_hbm / len / 1e9);
+    w_mme = w_tpc = w_hbm = 0;
+}
+
+void
+Engine::RunState::tlBusy(const StepCost &c)
+{
+    w_mme += c.mmeBusy;
+    w_tpc += c.tpcBusy;
+    w_hbm += c.hbmBytes;
+}
+
+void
+Engine::RunState::tlFinish()
+{
+    tlAdvance(clock);
+    if (clock > tl->windowStart()) {
+        tlSample(clock, clock - tl->windowStart());
+        tl->closeFinal(clock);
+    }
+    tl->publish(eng.config_.timelineLabel);
 }
 
 std::int64_t
@@ -319,6 +443,15 @@ Engine::RunState::record(EngineEvent::Kind kind, Seconds start,
     const std::int64_t blocks_in_use =
         kv.totalBlocks() - kv.freeBlocks();
     c_kv_in_use.set(static_cast<double>(blocks_in_use));
+    if (tl) {
+        // Close windows the clock has passed, then charge this step's
+        // scheduling to the window containing its start.
+        tlAdvance(start);
+        tl->add(g_prefill_tok, chunk);
+        tl->add(g_decode_tok, batch);
+        tl->max(g_kv_hw,
+                static_cast<double>(blocks_in_use) * kv_block_bytes);
+    }
     if (profiler.enabled()) {
         profiler.sample("kv.blocks_in_use", start + duration,
                         static_cast<double>(blocks_in_use));
@@ -419,9 +552,11 @@ Engine::RunState::monolithicPrefillStep()
     Request &r = trace[idx];
     if (flow_trace)
         flowAdmit(idx);
-    const Seconds t = eng.prefillStepTime(r.inputLen);
-    record(EngineEvent::Kind::Prefill, clock, t, 0, r.inputLen);
-    clock += t;
+    const StepCost sc = eng.prefillStepTime(r.inputLen);
+    record(EngineEvent::Kind::Prefill, clock, sc.t, 0, r.inputLen);
+    if (tl)
+        tlBusy(sc);
+    clock += sc.t;
     finishPrefill(idx);
 }
 
@@ -438,6 +573,11 @@ Engine::RunState::preemptScan()
 {
     // Grow KV for every decoding sequence; preempt the newest on
     // exhaustion (vLLM's recompute-on-preemption policy).
+    // Preemptions happen at the current clock, which may sit past an
+    // unclosed window boundary (the scan precedes the step's record);
+    // closing here keeps them attributed to the right window.
+    if (tl)
+        tlAdvance(clock);
     for (std::size_t k = running.size(); k-- > 0;) {
         Request &r = trace[running[k]];
         if (!kv.grow(r.id, r.inputLen + r.generated + 1)) {
@@ -458,6 +598,8 @@ Engine::RunState::preemptScan()
                           static_cast<std::ptrdiff_t>(k));
             m.preemptions++;
             c_preempt.add();
+            if (tl)
+                tl->add(g_preempt, 1);
         }
     }
 }
@@ -465,17 +607,18 @@ Engine::RunState::preemptScan()
 void
 Engine::RunState::decodeChunkStep(bool has_chunk)
 {
-    Seconds decode_time = 0;
+    StepCost dc{};
     if (!running.empty()) {
         std::int64_t ctx_sum = 0;
         for (auto i : running)
             ctx_sum += trace[i].inputLen + trace[i].generated;
-        decode_time = eng.decodeStepTime(
+        dc = eng.decodeStepTime(
             static_cast<int>(running.size()),
             ctx_sum / static_cast<std::int64_t>(running.size()));
     }
+    const Seconds decode_time = dc.t;
 
-    Seconds chunk_time = 0;
+    StepCost pc{};
     int chunk = 0;
     std::size_t chunk_idx = 0;
     if (has_chunk) {
@@ -487,8 +630,9 @@ Engine::RunState::decodeChunkStep(bool has_chunk)
             flowAdmit(chunk_idx);
         chunk = std::min(eng.config_.chunkedPrefillTokens,
                          r.inputLen - r.prefillProgress);
-        chunk_time = eng.prefillChunkTime(chunk, r.prefillProgress);
+        pc = eng.prefillChunkTime(chunk, r.prefillProgress);
     }
+    const Seconds chunk_time = pc.t;
 
     // Compute-bound prefill chunks overlap with memory-bound
     // decode steps on real hardware; charge the longer plus a
@@ -507,6 +651,12 @@ Engine::RunState::decodeChunkStep(bool has_chunk)
         kind = EngineEvent::Kind::Decode;
     }
     record(kind, clock, step, static_cast<int>(running.size()), chunk);
+    if (tl) {
+        // Both halves of a mixed step overlap within it; their busy
+        // times charge the same window (pc is zero when no chunk ran).
+        tlBusy(dc);
+        tlBusy(pc);
+    }
     clock += step;
 
     if (has_chunk) {
@@ -625,6 +775,13 @@ Engine::RunState::finalize()
         log->appendDeferred(publish_hists);
     else
         publish_hists();
+
+    // Flush and publish the virtual-time timeline. Same deferral
+    // story: publish() captures a self-contained payload and lands it
+    // in the Timeline singleton at the outermost replay, so sweep
+    // workers produce deterministic labels and ordering.
+    if (tl)
+        tlFinish();
     return m;
 }
 

@@ -25,6 +25,7 @@
 #define VESPERA_SERVE_ENGINE_H
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "models/llama.h"
@@ -90,6 +91,23 @@ struct EngineConfig
     DataType dt = DataType::BF16;
     /// Which run-loop core executes the schedule (same results).
     EngineCore core = EngineCore::Event;
+    /// Label for this engine's virtual-time timeline series
+    /// (obs/timeline.h) when the Timeline is enabled; empty means the
+    /// Timeline assigns a deterministic "runN" label at publish.
+    std::string timelineLabel;
+};
+
+/**
+ * Cost of one engine step, harvested from the model's
+ * graph::ExecutionReport: the step latency plus the per-unit busy
+ * times the timeline layer turns into windowed utilization gauges.
+ */
+struct StepCost
+{
+    Seconds t = 0;        ///< Step latency (what the clock advances by).
+    Seconds mmeBusy = 0;  ///< Matrix-engine busy time within the step.
+    Seconds tpcBusy = 0;  ///< Vector-engine busy time within the step.
+    double hbmBytes = 0;  ///< HBM traffic of the step.
 };
 
 /** One engine iteration, for profiling/visualization. */
@@ -143,24 +161,24 @@ class Engine
      */
     struct CachedStep
     {
-        Seconds t = 0;
+        StepCost c;
         obs::SideEffectLog log;
         bool replayed = false;
 
-        Seconds
+        const StepCost &
         use()
         {
             if (!replayed) {
                 replayed = true;
                 log.replay();
             }
-            return t;
+            return c;
         }
     };
 
-    Seconds decodeStepTime(int batch, std::int64_t mean_ctx);
-    Seconds prefillStepTime(int input_len);
-    Seconds prefillChunkTime(int chunk, std::int64_t ctx);
+    StepCost decodeStepTime(int batch, std::int64_t mean_ctx);
+    StepCost prefillStepTime(int input_len);
+    StepCost prefillChunkTime(int chunk, std::int64_t ctx);
     void prewarmPrefill(const std::vector<Request> &trace);
 
     /**

@@ -38,12 +38,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "obs/counters.h"
 #include "obs/hist.h"
 #include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "serve/engine.h"
 #include "serve/kv_cache.h"
 
@@ -104,6 +106,25 @@ struct Engine::RunState
     void flowAdmit(std::size_t idx);
     /// @}
 
+    /// @name Virtual-time timeline hooks (obs/timeline.h). All are
+    /// called from the serial scheduler path only and no-op (one
+    /// branch) when the Timeline is disabled; because both cores share
+    /// the phase methods carrying these hooks, the recorded series is
+    /// identical across cores by construction.
+    /// @{
+    /** Close every window whose end is <= t (boundary gauges sampled
+        at the first scheduling point at or after each boundary). */
+    void tlAdvance(Seconds t);
+    /** Sample the boundary gauges for the window ending at `t` of
+        length `len` (the final window may be partial). */
+    void tlSample(Seconds t, Seconds len);
+    /** Charge one step's busy time / HBM traffic to the current
+        window (the window containing the step's start). */
+    void tlBusy(const StepCost &c);
+    /** Flush trailing windows and publish (capture-deferred). */
+    void tlFinish();
+    /// @}
+
     Engine &eng;
     std::vector<Request> &trace;
 
@@ -144,6 +165,36 @@ struct Engine::RunState
 
     static constexpr int kLaneQueue = 31; ///< after attrib lanes (6..)
     static constexpr int kLaneSlot0 = 32;
+
+    /// Windowed sampler, created only when Timeline::enabled(); null
+    /// keeps every hook above down to a single branch.
+    std::unique_ptr<obs::TimelineRecorder> tl;
+    /// Bytes per KV block (layout-derived), for KV-occupancy gauges.
+    double kv_block_bytes = 0;
+    /// @name Gauge ids (dense, from TimelineRecorder::gaugeId).
+    /// @{
+    int g_queue = -1;       ///< queue_depth: arrived-waiting + prefill queue.
+    int g_running = -1;     ///< running: decode batch size at the boundary.
+    int g_kv_bytes = -1;    ///< kv_bytes_in_use at the boundary.
+    int g_kv_hw = -1;       ///< kv_high_water_bytes within the window.
+    int g_preempt = -1;     ///< preemptions within the window.
+    int g_prefill_tok = -1; ///< prefill_tokens scheduled within the window.
+    int g_decode_tok = -1;  ///< decode_tokens scheduled within the window.
+    int g_goodput = -1;     ///< goodput_tokens_per_sec over the window.
+    int g_ttft_p99 = -1;    ///< ttft_p99_seconds of the window's samples.
+    int g_tpot_p99 = -1;    ///< tpot_p99_seconds of the window's samples.
+    int g_mme_util = -1;    ///< mme_util: matrix busy / window length.
+    int g_tpc_util = -1;    ///< tpc_util: vector busy / window length.
+    int g_hbm_gbps = -1;    ///< hbm_gbps: HBM traffic / window length.
+    /// @}
+    /// @name Per-window accumulators and boundary snapshots.
+    /// @{
+    double w_mme = 0, w_tpc = 0, w_hbm = 0;
+    std::int64_t w_goodput_base = 0;
+    /// Snapshots at the previous boundary; diffed (Histogram::diff)
+    /// for windowed percentiles.
+    obs::Histogram ttft_prev, tpot_prev;
+    /// @}
 };
 
 } // namespace vespera::serve

@@ -6,9 +6,12 @@
  * The contract under test is *byte* equivalence, not approximate
  * equivalence: for every scheduler scenario, both cores at every
  * thread count must produce bit-identical serving metrics, counter
- * values/peaks/update-counts, rate meters, and latency histograms
- * (count, exact sum bits, every nonzero bucket). All floating-point
- * state is serialized with %a so "close" can never pass for "equal".
+ * values/peaks/update-counts, rate meters, latency histograms
+ * (count, exact sum bits, every nonzero bucket), and — with the
+ * Timeline enabled, as this fixture always does — every virtual-time
+ * timeline sample and SLO first-violation stamp (obs/timeline.h). All
+ * floating-point state is serialized with %a so "close" can never
+ * pass for "equal".
  *
  * Canonical-doc exclusions (and nothing else):
  *  - engine.steps_skipped / engine.events_processed: differ between
@@ -35,6 +38,7 @@
 
 #include "graph/replay_cache.h"
 #include "obs/counters.h"
+#include "obs/timeline.h"
 #include "runtime/pool.h"
 #include "serve/engine.h"
 
@@ -87,6 +91,21 @@ canonicalDoc(const ServingMetrics &m)
                           static_cast<unsigned long long>(b.count));
         doc += "\n";
     }
+    // Timeline series and SLO stamps are virtual-time state, so they
+    // fall under the same byte-equivalence contract as everything
+    // above — every sample bit-for-bit, in both timestamp and value.
+    const auto &tl = obs::Timeline::instance();
+    for (const auto &s : tl.series()) {
+        doc += strfmt("timeline|%s|dropped=%llu", s.name.c_str(),
+                      static_cast<unsigned long long>(s.dropped));
+        for (const auto &smp : s.samples)
+            doc += strfmt("|(%a,%a)", smp.t, smp.value);
+        doc += "\n";
+    }
+    for (const auto &r : tl.sloResults())
+        doc += strfmt("slo|%s|bound=%a|violated=%d|t=%a|v=%a\n",
+                      r.gauge.c_str(), r.bound, r.violated ? 1 : 0,
+                      r.firstViolationT, r.firstViolationValue);
     return doc;
 }
 
@@ -216,12 +235,29 @@ scenarios()
 class EngineEquivTest : public ::testing::Test
 {
   protected:
-    EngineEquivTest() : model_(models::LlamaConfig::llama31_8b()) {}
+    EngineEquivTest() : model_(models::LlamaConfig::llama31_8b())
+    {
+        // Always-on timelines: every scenario's windowed gauges join
+        // the byte-equivalence contract. The short interval forces
+        // many window crossings per run, and the tight TTFT bound
+        // exercises the SLO first-violation path on most scenarios.
+        auto &tl = obs::Timeline::instance();
+        tl.reset();
+        tl.clearSlos();
+        tl.setInterval(0.25);
+        tl.addSlo({"ttft_p99_seconds", 0.5});
+        tl.setEnabled(true);
+    }
 
     ~EngineEquivTest() override
     {
         runtime::Pool::setGlobalThreads(1);
         obs::CounterRegistry::instance().reset();
+        auto &tl = obs::Timeline::instance();
+        tl.setEnabled(false);
+        tl.reset();
+        tl.clearSlos();
+        tl.setInterval(1.0);
     }
 
     /** One measured run: fresh engine, reset registry, canonical doc. */
@@ -231,6 +267,9 @@ class EngineEquivTest : public ::testing::Test
     {
         runtime::Pool::setGlobalThreads(threads);
         obs::CounterRegistry::instance().reset();
+        // Fresh timeline store per run (config survives): each run's
+        // auto-assigned label is then deterministically "run0".
+        obs::Timeline::instance().reset();
         EngineConfig cfg = s.cfg;
         cfg.core = core;
         Engine engine(model_, cfg);
@@ -272,6 +311,11 @@ TEST_F(EngineEquivTest, CoresAreByteIdenticalAtEveryThreadCount)
         const std::string reference =
             runOnce(s, EngineCore::Legacy, 1, &ref_events);
         ASSERT_FALSE(reference.empty());
+        // The timeline must actually be part of the compared document,
+        // or its equivalence claim would pass vacuously.
+        ASSERT_NE(reference.find("timeline|run0."), std::string::npos);
+        ASSERT_NE(reference.find("slo|run0.ttft_p99_seconds"),
+                  std::string::npos);
 
         for (int threads : {1, 2, 4, 8}) {
             SCOPED_TRACE(strfmt("threads=%d", threads));

@@ -14,7 +14,12 @@ in the telemetry surface is NOT deferred:
   - obs::SelfProf window operations (settle / reset / setEnabled) and
     raw obs::SelfLedger mutation (merge / settle / reset) — the
     *charge/alloc hooks* are capture-deferred, but the window control
-    and bare-ledger paths are serial-only by contract.
+    and bare-ledger paths are serial-only by contract;
+  - obs::Timeline singleton control (setEnabled / setInterval /
+    setCapacity / addSlo / clearSlos / reset / publishRun) and
+    obs::TimelineRecorder gauge mutation (set / add / max /
+    closeWindow / closeFinal) — a recorder is run-local state; only
+    TimelineRecorder::publish() is capture-deferred.
 
 Calling any of those from inside a parallel region (a lambda handed to
 runtime::parallel_for / parallel_map / Pool::run) races the container
@@ -53,11 +58,18 @@ ALWAYS_UNSAFE = [
                 r"(?:settle|reset|setEnabled)\s*\("),
      "SelfProf window control — serial-path only (charges defer, "
      "settle/reset/setEnabled do not)"),
+    (re.compile(r"\bTimeline::instance\(\)\s*\.\s*"
+                r"(?:setEnabled|setInterval|setCapacity|addSlo|"
+                r"clearSlos|reset|publishRun)\s*\("),
+     "Timeline singleton control — serial-path only (recorder "
+     "publish() defers, the singleton's own methods do not)"),
 ]
 
 DECL_SAMPLES = re.compile(r"\b(?:common::)?Samples\s+(\w+)")
 DECL_HIST = re.compile(r"\b(?:obs::)?Histogram\s+(\w+)")
 DECL_SELF = re.compile(r"\b(?:obs::)?SelfLedger\s+(\w+)")
+# Matches both a plain declaration and one behind unique_ptr<...>.
+DECL_TL = re.compile(r"\b(?:obs::)?TimelineRecorder\s*>?\s+(\w+)")
 WAIVER = "capture-ok"
 
 
@@ -122,6 +134,13 @@ def check_file(path):
                 re.compile(r"\b%s\s*\.\s*(?:add|merge|settle|reset)"
                            r"\s*\(" % re.escape(name)),
                 "%s '%s' mutated — not capture-deferred" % (what, name)))
+    for m in DECL_TL.finditer(text):
+        name = m.group(1)
+        unsafe.append((
+            re.compile(r"\b%s\s*(?:\.|->)\s*(?:set|add|max|closeWindow|"
+                       r"closeFinal)\s*\(" % re.escape(name)),
+            "obs::TimelineRecorder '%s' mutated — run-local state, "
+            "not capture-deferred (only publish() defers)" % name))
 
     findings = []
     for m in PARALLEL_CALL.finditer(text):
@@ -155,12 +174,15 @@ void f() {
     common::Samples lat;
     obs::Histogram h("x");
     obs::SelfLedger ledger;
+    std::unique_ptr<obs::TimelineRecorder> tl;
     runtime::parallel_for(8, [&](std::size_t i) {
         lat.add(1.0);                       // racy push_back
         h.merge(other);                     // racy merge
         reg.histogram("ttft").add(0.5);     // registry histogram
         obs::SelfProf::instance().settle(); // racy window close
         ledger.merge(worker);               // racy bare-ledger fold
+        tl->add(0, 1.0);                    // racy gauge mutation
+        obs::Timeline::instance().reset();  // racy singleton reset
     });
     pool.run(4, [&](std::size_t i) { sink.record(i); });
 }
@@ -172,15 +194,19 @@ void f() {
     common::Samples lat;
     obs::Histogram h("x");
     obs::SelfLedger ledger;
+    obs::TimelineRecorder rec(1.0, 512, {});
     lat.add(1.0);      // serial path: fine
     h.add(2.0);        // serial path: fine
     ledger.settle(10); // serial path: fine
     obs::SelfProf::instance().reset(); // serial path: fine
+    rec.closeWindow(); // serial path: fine
+    obs::Timeline::instance().setInterval(0.5); // serial path: fine
     runtime::parallel_for(8, [&](std::size_t i) {
         reg.counter("ok.total").add(1.0); // capture-aware: deferred
         obs::SelfProf::instance().charge( // capture-aware: deferred
             obs::SelfCat::KernelEval, 5);
         obs::SelfProf::instance().recordAlloc(64); // deferred too
+        rec.publish("run"); // capture-aware: deferred publish
         lat.add(3.0); // capture-ok: task-indexed slot, joined after
     });
     // parallel_for mentioned in a comment: reg.histogram("x").add(1);
@@ -199,8 +225,8 @@ def self_test():
         bad_findings = check_file(bad)
         good_findings = check_file(good)
     ok = True
-    if len(bad_findings) != 6:
-        print("self-test: expected 6 findings in bad.cc, got %d:"
+    if len(bad_findings) != 8:
+        print("self-test: expected 8 findings in bad.cc, got %d:"
               % len(bad_findings))
         print("\n".join(bad_findings))
         ok = False

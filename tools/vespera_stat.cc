@@ -59,6 +59,27 @@
  *
  * Exit codes: 0 = within thresholds, 1 = regression (each offending
  * metric named on stdout), 2 = usage or document error.
+ *
+ * Timeline mode:
+ *
+ *   vespera-stat timeline [options] <baseline.json> <candidate.json>
+ *
+ * diffs the v2.2 "timeline" sections (virtual-time gauge series +
+ * SLO monitors, obs/timeline.h) window by window instead of comparing
+ * end-of-run aggregates. Extra option:
+ *
+ *     --skip-windows=<n>           ignore the first <n> windows of
+ *                                  every series (warm-up transients)
+ *
+ * Per series, the comparison localizes a regression to the *first*
+ * offending window (index, virtual timestamp, both values) — the
+ * window where a trajectory diverged is where to start debugging, and
+ * later windows usually just inherit the divergence. Window-count
+ * drift, removed series, SLO violated-flag changes, and
+ * first-violation-timestamp drift beyond the threshold all fail.
+ * Thresholds and --ignore match against the series name
+ * ("<label>.<gauge>"), so `--threshold=fig12.serve.ttft=0.2` works
+ * the way counter prefixes do. Same exit codes.
  */
 
 #include <algorithm>
@@ -347,11 +368,327 @@ jsonFindings(const std::vector<Finding> &findings)
     return vespera::json::serialize(Value::makeArray(std::move(arr)));
 }
 
+// ---------------------------------------------------------------------------
+// `vespera-stat timeline`: window-by-window diff of v2.2 sections.
+
+int
+usageTimeline()
+{
+    std::fprintf(
+        stderr,
+        "usage: vespera-stat timeline [options] <baseline.json> "
+        "<candidate.json>\n"
+        "  --threshold=<frac>           per-window relative gate "
+        "(default 0.10)\n"
+        "  --threshold=<prefix>=<frac>  per-series override "
+        "(repeatable)\n"
+        "  --skip-windows=<n>           ignore the first <n> windows "
+        "(warm-up)\n"
+        "  --ignore=<prefix>            skip matching series "
+        "(repeatable)\n"
+        "  --json                       vespera-stat-timeline/v1 JSON "
+        "report\n");
+    return 2;
+}
+
+struct TimelineSeriesData
+{
+    double dropped = 0;
+    std::vector<std::pair<double, double>> samples; ///< (t, value)
+};
+
+struct TimelineSlo
+{
+    double bound = 0;
+    bool violated = false;
+    double firstT = -1;
+};
+
+struct TimelineDoc
+{
+    double interval = 0;
+    std::map<std::string, TimelineSeriesData> series;
+    std::map<std::string, TimelineSlo> slos;
+};
+
+bool
+loadTimeline(const std::string &path, TimelineDoc &out)
+{
+    std::string text;
+    if (!vespera::readFile(path, text)) {
+        std::fprintf(stderr, "vespera-stat: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    Value doc;
+    std::string err;
+    if (!vespera::json::parse(text, doc, &err)) {
+        std::fprintf(stderr, "vespera-stat: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    const Value *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->str().rfind("vespera-metrics/", 0) != 0) {
+        std::fprintf(stderr,
+                     "vespera-stat: %s is not a vespera-metrics "
+                     "document\n",
+                     path.c_str());
+        return false;
+    }
+    const Value *tl = doc.find("timeline");
+    if (!tl || !tl->isObject()) {
+        std::fprintf(stderr,
+                     "vespera-stat: %s has no \"timeline\" section "
+                     "(produce one with --timeline-interval)\n",
+                     path.c_str());
+        return false;
+    }
+    if (const Value *v = tl->find("interval_seconds");
+        v && v->isNumber())
+        out.interval = v->number();
+    if (const Value *series = tl->find("series");
+        series && series->isObject()) {
+        for (const auto &[name, entry] : series->object()) {
+            TimelineSeriesData s;
+            if (const Value *d = entry.find("dropped");
+                d && d->isNumber())
+                s.dropped = d->number();
+            if (const Value *samples = entry.find("samples");
+                samples && samples->isArray()) {
+                for (const Value &smp : samples->array()) {
+                    if (!smp.isArray() || smp.array().size() != 2 ||
+                        !smp.array()[0].isNumber() ||
+                        !smp.array()[1].isNumber())
+                        continue;
+                    s.samples.emplace_back(smp.array()[0].number(),
+                                           smp.array()[1].number());
+                }
+            }
+            out.series.emplace(name, std::move(s));
+        }
+    }
+    if (const Value *slo = tl->find("slo"); slo && slo->isObject()) {
+        for (const auto &[name, entry] : slo->object()) {
+            TimelineSlo s;
+            if (const Value *v = entry.find("bound");
+                v && v->isNumber())
+                s.bound = v->number();
+            if (const Value *v = entry.find("violated");
+                v && v->isBool())
+                s.violated = v->boolean();
+            if (const Value *v = entry.find("first_violation_seconds");
+                v && v->isNumber())
+                s.firstT = v->number();
+            out.slos.emplace(name, s);
+        }
+    }
+    return true;
+}
+
+/** Relative change of cand vs base; inf when base is 0, 0 on noise. */
+double
+relChange(double base, double cand)
+{
+    const double diff = std::abs(cand - base);
+    if (diff <= kAbsEps)
+        return 0.0;
+    return base != 0.0 ? diff / std::abs(base)
+                       : std::numeric_limits<double>::infinity();
+}
+
+int
+timelineMain(int argc, char **argv)
+{
+    Config cfg;
+    std::size_t skip = 0;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--threshold=", 12) == 0) {
+            const std::string rest(arg + 12);
+            const std::size_t eq = rest.find('=');
+            if (eq == std::string::npos) {
+                cfg.threshold = std::atof(rest.c_str());
+            } else {
+                cfg.overrides.push_back(
+                    {rest.substr(0, eq),
+                     std::atof(rest.c_str() + eq + 1)});
+            }
+        } else if (std::strncmp(arg, "--skip-windows=", 15) == 0) {
+            skip = static_cast<std::size_t>(std::atoi(arg + 15));
+        } else if (std::strncmp(arg, "--ignore=", 9) == 0) {
+            cfg.ignores.emplace_back(arg + 9);
+        } else if (std::strcmp(arg, "--json") == 0) {
+            cfg.jsonOut = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usageTimeline();
+            return 0;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "vespera-stat: unknown flag %s\n",
+                         arg);
+            return usageTimeline();
+        } else {
+            positional.emplace_back(arg);
+        }
+    }
+    if (positional.size() != 2)
+        return usageTimeline();
+    cfg.baselinePath = positional[0];
+    cfg.candidatePath = positional[1];
+
+    TimelineDoc base, cand;
+    if (!loadTimeline(cfg.baselinePath, base) ||
+        !loadTimeline(cfg.candidatePath, cand))
+        return 2;
+
+    std::vector<Finding> regressions;
+    std::vector<std::string> added, removed, notes;
+    std::size_t compared = 0;
+
+    if (relChange(base.interval, cand.interval) > cfg.threshold) {
+        regressions.push_back({"timeline.interval_seconds",
+                               base.interval, cand.interval,
+                               relChange(base.interval,
+                                         cand.interval)});
+    }
+
+    for (const auto &[name, bs] : base.series) {
+        if (ignored(cfg, name))
+            continue;
+        const auto it = cand.series.find(name);
+        if (it == cand.series.end()) {
+            removed.push_back(name);
+            continue;
+        }
+        compared++;
+        const TimelineSeriesData &cs = it->second;
+        if (bs.samples.size() != cs.samples.size()) {
+            regressions.push_back(
+                {name + " (window count)",
+                 static_cast<double>(bs.samples.size()),
+                 static_cast<double>(cs.samples.size()),
+                 relChange(static_cast<double>(bs.samples.size()),
+                           static_cast<double>(cs.samples.size()))});
+        }
+        const double thr = thresholdFor(cfg, name);
+        const std::size_t n =
+            std::min(bs.samples.size(), cs.samples.size());
+        // Localize to the FIRST offending window: later windows
+        // usually inherit the divergence, so the earliest one is
+        // where the trajectories actually split.
+        for (std::size_t w = skip; w < n; w++) {
+            const auto &[bt, bv] = bs.samples[w];
+            const auto &[ct, cv] = cs.samples[w];
+            const double t_rel = relChange(bt, ct);
+            const double v_rel = relChange(bv, cv);
+            if (t_rel > cfg.threshold || v_rel > thr) {
+                const bool time_off = t_rel > cfg.threshold;
+                regressions.push_back(
+                    {strfmt("%s window %zu (t=%.6g)%s", name.c_str(),
+                            w, bt, time_off ? " [timestamp]" : ""),
+                     time_off ? bt : bv, time_off ? ct : cv,
+                     std::max(t_rel, v_rel)});
+                break;
+            }
+        }
+    }
+    for (const auto &[name, cs] : cand.series) {
+        (void)cs;
+        if (!ignored(cfg, name) &&
+            base.series.find(name) == base.series.end())
+            added.push_back(name);
+    }
+
+    for (const auto &[name, bslo] : base.slos) {
+        if (ignored(cfg, name))
+            continue;
+        const auto it = cand.slos.find(name);
+        if (it == cand.slos.end()) {
+            removed.push_back("slo." + name);
+            continue;
+        }
+        compared++;
+        const TimelineSlo &cslo = it->second;
+        if (bslo.violated != cslo.violated) {
+            regressions.push_back(
+                {"slo." + name + " (violated flag)",
+                 bslo.violated ? 1.0 : 0.0, cslo.violated ? 1.0 : 0.0,
+                 std::numeric_limits<double>::infinity()});
+        } else if (bslo.violated &&
+                   relChange(bslo.firstT, cslo.firstT) >
+                       thresholdFor(cfg, "slo." + name)) {
+            regressions.push_back(
+                {"slo." + name + " (first violation t)", bslo.firstT,
+                 cslo.firstT, relChange(bslo.firstT, cslo.firstT)});
+        }
+    }
+
+    const bool fail = !regressions.empty() || !removed.empty();
+
+    if (cfg.jsonOut) {
+        std::string out = "{\n";
+        out += "  \"schema\": \"vespera-stat-timeline/v1\",\n";
+        out += strfmt("  \"baseline\": \"%s\",\n",
+                      cfg.baselinePath.c_str());
+        out += strfmt("  \"candidate\": \"%s\",\n",
+                      cfg.candidatePath.c_str());
+        out += strfmt("  \"threshold\": %g,\n", cfg.threshold);
+        out += strfmt("  \"skip_windows\": %zu,\n", skip);
+        out += strfmt("  \"compared\": %zu,\n", compared);
+        out += "  \"regressions\": " + jsonFindings(regressions) +
+               ",\n";
+        std::vector<Value> rm, ad;
+        for (const std::string &n : removed)
+            rm.push_back(Value::makeString(n));
+        for (const std::string &n : added)
+            ad.push_back(Value::makeString(n));
+        out += "  \"removed\": " +
+               vespera::json::serialize(
+                   Value::makeArray(std::move(rm))) +
+               ",\n";
+        out += "  \"added\": " +
+               vespera::json::serialize(
+                   Value::makeArray(std::move(ad))) +
+               ",\n";
+        out += strfmt("  \"pass\": %s\n", fail ? "false" : "true");
+        out += "}\n";
+        std::fputs(out.c_str(), stdout);
+        return fail ? 1 : 0;
+    }
+
+    std::printf("vespera-stat timeline: %s vs %s "
+                "(threshold %g%%, skipping %zu warm-up windows)\n",
+                cfg.baselinePath.c_str(), cfg.candidatePath.c_str(),
+                cfg.threshold * 100.0, skip);
+    for (const Finding &f : regressions) {
+        std::printf("  REGRESSION %-56s %.6g -> %.6g\n",
+                    f.metric.c_str(), f.baseline, f.candidate);
+    }
+    for (const std::string &n : removed)
+        std::printf("  REMOVED    %s (present in baseline only)\n",
+                    n.c_str());
+    for (const std::string &n : added)
+        std::printf("  added      %s (not gated)\n", n.c_str());
+    std::printf("%s: %zu series/SLOs compared, %zu regression%s, "
+                "%zu removed, %zu added\n",
+                fail ? "FAIL" : "OK", compared, regressions.size(),
+                regressions.size() == 1 ? "" : "s", removed.size(),
+                added.size());
+    return fail ? 1 : 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Subcommand dispatch: `vespera-stat timeline ...` diffs timeline
+    // sections; everything else is the classic metrics diff.
+    if (argc >= 2 && std::strcmp(argv[1], "timeline") == 0)
+        return timelineMain(argc - 1, argv + 1);
+
     Config cfg;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; i++) {
