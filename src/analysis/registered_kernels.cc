@@ -18,6 +18,8 @@
 #include "kern/layernorm.h"
 #include "kern/softmax.h"
 #include "kern/stream.h"
+#include "port/corpus.h"
+#include "port/lower.h"
 
 namespace vespera::analysis {
 
@@ -175,6 +177,23 @@ registerBuiltinKernels()
             t.shape = "tables=4 rows=1024 vec=256B batch=32 pool=20";
             t.program =
                 captureTrace([&] { layer.run(c.variant, rng); });
+            return t;
+        });
+    }
+
+    // The migration corpus (port/corpus.h): every CUDA kernel desc,
+    // lowered by port::lowerAndRun at its corpus LowerOptions. Ported
+    // traces carry "port:*" op labels, so the lint sweep runs the
+    // migration-aware passes over them; hand-written kernels above are
+    // untouched by those passes.
+    for (const port::CorpusEntry &e : port::migrationCorpus()) {
+        const port::CorpusEntry *entry = &e;
+        reg.add(e.desc.name, [entry] {
+            TracedKernel t;
+            t.name = entry->desc.name;
+            t.shape = entry->desc.shape;
+            t.program = captureTrace(
+                [entry] { port::lowerAndRun(entry->desc, entry->lower); });
             return t;
         });
     }

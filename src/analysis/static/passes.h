@@ -89,6 +89,22 @@ void passRegisterPressure(PassContext &ctx);
 void passSwpOpportunity(PassContext &ctx);
 /// @}
 
+/// @name Migration-aware passes (passes_port.cc). Each no-ops unless
+/// the trace carries "port:*" labels from port::lowerAndRun, so
+/// hand-written kernels keep their finding sets byte-identical.
+/// @{
+/// Mask/select divergence emulation (rules::divergenceEmulation).
+void passDivergenceEmulation(PassContext &ctx);
+/// Shattered or sub-granule warp accesses (rules::coalescingLoss).
+void passCoalescingLoss(PassContext &ctx);
+/// Verbatim __shared__ staging of global loads
+/// (rules::stagingRedundancy).
+void passStagingRedundancy(PassContext &ctx);
+/// Thread-order issue vs strip software pipelining
+/// (rules::loweredPipelining).
+void passLoweredPipelining(PassContext &ctx);
+/// @}
+
 } // namespace vespera::analysis
 
 #endif // VESPERA_ANALYSIS_STATIC_PASSES_H

@@ -119,6 +119,10 @@ analyzeProgramStatic(const tpc::Program &program,
     passLocalOverflow(ctx);
     passRegisterPressure(ctx);
     passSwpOpportunity(ctx);
+    passDivergenceEmulation(ctx);
+    passCoalescingLoss(ctx);
+    passStagingRedundancy(ctx);
+    passLoweredPipelining(ctx);
 
     exportRuleCounters(report, options);
     return out;

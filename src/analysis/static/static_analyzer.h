@@ -37,6 +37,21 @@ inline constexpr const char *registerPressure = "register-pressure";
 /// recurrence/resource lower bound: software pipelining would pay
 /// (static-only).
 inline constexpr const char *swpOpportunity = "swp-opportunity";
+
+/// @name Migration-aware rules (ported "port:*"-labelled traces only).
+/// @{
+/// Predicated CUDA lanes emulated with mask + select instructions.
+inline constexpr const char *divergenceEmulation =
+    "divergence-emulation";
+/// Warp accesses that lost coalescing in the port: shattered into
+/// per-lane transactions, or vectorized below the TPC granule.
+inline constexpr const char *coalescingLoss = "coalescing-loss";
+/// __shared__ staging of unmodified global loads, ported verbatim.
+inline constexpr const char *stagingRedundancy = "staging-redundancy";
+/// Thread-order issue exposing latencies the GPU's warp scheduler
+/// hid; strip-level software pipelining would recover them.
+inline constexpr const char *loweredPipelining = "lowered-pipelining";
+/// @}
 } // namespace rules
 
 /** Static-analyzer knobs. Defaults match the simulated Gaudi-2 TPC
@@ -69,6 +84,13 @@ struct StaticAnalyzerOptions
     double swpGapFactor = 1.2;
     /// ... and the projected saving must reach this many cycles.
     double swpMinSavedCycles = 16;
+    /// @}
+
+    /// @name Migration-aware pass thresholds (ported traces only).
+    /// @{
+    /// Dependency-stall fraction of total cycles above which
+    /// lowered-pipelining fires on a ported program.
+    double portStallFrac = 0.10;
     /// @}
 };
 

@@ -62,6 +62,8 @@ KernelCost
 SimtModel::streamKernel(const StreamKernelDesc &desc, DataType dt) const
 {
     vassert(desc.numElements > 0, "empty stream kernel");
+    vassert(desc.bytesPerElement >= 0 && desc.flopsPerElement >= 0,
+            "negative stream-kernel intensity");
 
     const double bytes =
         desc.bytesPerElement * static_cast<double>(desc.numElements);
@@ -87,6 +89,9 @@ KernelCost
 SimtModel::gatherScatter(Bytes access_size, std::uint64_t num_accesses,
                          bool write, double occupancy_warps) const
 {
+    vassert(access_size > 0 && num_accesses > 0,
+            "empty gather/scatter");
+    vassert(occupancy_warps > 0, "gather/scatter needs occupancy");
     mem::RandomAccessWorkload w;
     w.accessSize = access_size;
     w.numAccesses = num_accesses;

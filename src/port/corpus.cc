@@ -1,0 +1,1112 @@
+#include "port/corpus.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "common/logging.h"
+#include "cuda/simt.h"
+#include "kern/layernorm.h"
+#include "kern/softmax.h"
+#include "kern/stream.h"
+#include "tpc/dispatcher.h"
+
+namespace vespera::port {
+
+namespace {
+
+using tpc::Int5;
+
+// ---------------------------------------------------------------------
+// Hand-written TPC-C comparators. These implement the corpus workloads
+// the way a Gaudi kernel author would: 256 B (64-lane fp32) vector
+// accesses, 4x unrolling so independent work hides the 4-cycle result
+// latency, loads hoisted ahead of dependent ops, and independent
+// accumulator chains for reductions.
+// ---------------------------------------------------------------------
+
+constexpr int kLanes = 64;   ///< 256 B of fp32: the TPC access granule.
+constexpr int kUnroll = 4;
+
+tpc::LaunchParams
+handParams(const char *name)
+{
+    tpc::LaunchParams p;
+    p.numTpcs = 24;
+    p.partitionDim = 1;
+    p.vectorBytes = kLanes * 4;
+    p.kernelName = name;
+    return p;
+}
+
+/**
+ * Generic streaming hand kernel over `elems` elements: per 64-lane
+ * vector, `loads` stream loads, `alu` dependent vector-ALU ops (the
+ * dependency chains are interleaved across the 4x unroll, so they
+ * overlap), `perLaneLocal` independent single-lane local-memory ops
+ * (hand-tiled staging, e.g. a transpose gather), and `stores` stream
+ * stores.
+ */
+Seconds
+handStreams(const char *name, std::int64_t elems, int loads, int stores,
+            int alu, int per_lane_local = 0)
+{
+    const std::int64_t vectors = (elems + kLanes - 1) / kLanes;
+    auto in = std::make_shared<tpc::Tensor>(
+        std::vector<std::int64_t>{elems}, DataType::FP32);
+    in->fill([](std::int64_t i) {
+        return static_cast<float>(i % 97) * 0.01f;
+    });
+    auto out = std::make_shared<tpc::Tensor>(
+        std::vector<std::int64_t>{std::max<std::int64_t>(elems, 1)},
+        DataType::FP32);
+
+    tpc::Kernel kernel = [=](tpc::TpcContext &ctx) {
+        for (std::int64_t v = ctx.memberStart(1); v < ctx.memberEnd(1);
+             v += kUnroll) {
+            const std::int64_t vEnd =
+                std::min(ctx.memberEnd(1), v + kUnroll);
+            std::array<tpc::Vec, kUnroll> acc;
+            // All loads first: independent, issue-limited.
+            for (std::int64_t u = v; u < vEnd; u++) {
+                tpc::Vec a = ctx.v_ld_tnsr({u * kLanes, 0, 0, 0, 0},
+                                           *in, kLanes * 4);
+                for (int ld = 1; ld < loads; ld++) {
+                    const tpc::Vec b = ctx.v_ld_tnsr(
+                        {u * kLanes, 0, 0, 0, 0}, *in, kLanes * 4);
+                    a = ctx.v_add(a, b);
+                }
+                acc[static_cast<std::size_t>(u - v)] = a;
+            }
+            for (std::int64_t u = v; u < vEnd; u++) {
+                for (int k = 0; k < per_lane_local; k++)
+                    (void)ctx.v_ld_local((k * 7) % 256, 1);
+            }
+            // Dependent chains, interleaved across the unroll.
+            for (int a = 0; a < alu; a++) {
+                for (std::int64_t u = v; u < vEnd; u++) {
+                    tpc::Vec &r = acc[static_cast<std::size_t>(u - v)];
+                    r = ctx.v_mac_s(r, 1.0001f, r);
+                }
+            }
+            for (int s = 0; s < stores; s++) {
+                for (std::int64_t u = v; u < vEnd; u++)
+                    ctx.v_st_tnsr({u * kLanes, 0, 0, 0, 0}, *out,
+                                  acc[static_cast<std::size_t>(u - v)]);
+            }
+        }
+    };
+
+    tpc::IndexSpace space;
+    space.size = {1, vectors, 1, 1, 1};
+    tpc::TpcDispatcher dispatcher;
+    return dispatcher.launch(kernel, space, handParams(name)).time;
+}
+
+/** Hand reduction: 4 independent accumulator chains, loads hoisted. */
+Seconds
+handReduce(const char *name, std::int64_t elems, bool dot)
+{
+    const std::int64_t vectors = (elems + kLanes - 1) / kLanes;
+    auto in = std::make_shared<tpc::Tensor>(
+        std::vector<std::int64_t>{elems}, DataType::FP32);
+    in->fill([](std::int64_t i) {
+        return static_cast<float>(i % 89) * 0.01f;
+    });
+    auto in2 = std::make_shared<tpc::Tensor>(
+        std::vector<std::int64_t>{elems}, DataType::FP32);
+    auto out = std::make_shared<tpc::Tensor>(
+        std::vector<std::int64_t>{kLanes}, DataType::FP32);
+
+    tpc::Kernel kernel = [=](tpc::TpcContext &ctx) {
+        std::array<tpc::Vec, kUnroll> acc;
+        for (auto &a : acc)
+            a = ctx.v_zero(kLanes);
+        for (std::int64_t v = ctx.memberStart(1); v < ctx.memberEnd(1);
+             v += kUnroll) {
+            const std::int64_t vEnd =
+                std::min(ctx.memberEnd(1), v + kUnroll);
+            std::array<tpc::Vec, kUnroll> a, b;
+            for (std::int64_t u = v; u < vEnd; u++) {
+                a[static_cast<std::size_t>(u - v)] = ctx.v_ld_tnsr(
+                    {u * kLanes, 0, 0, 0, 0}, *in, kLanes * 4);
+                if (dot)
+                    b[static_cast<std::size_t>(u - v)] = ctx.v_ld_tnsr(
+                        {u * kLanes, 0, 0, 0, 0}, *in2, kLanes * 4);
+            }
+            for (std::int64_t u = v; u < vEnd; u++) {
+                const auto s = static_cast<std::size_t>(u - v);
+                acc[s] = dot ? ctx.v_mac(a[s], b[s], acc[s])
+                             : ctx.v_add(acc[s], a[s]);
+            }
+        }
+        const tpc::Vec t = ctx.v_add(ctx.v_add(acc[0], acc[1]),
+                                     ctx.v_add(acc[2], acc[3]));
+        const tpc::Vec r = ctx.v_reduce_add(t);
+        ctx.v_st_tnsr({ctx.memberStart(1) % kLanes, 0, 0, 0, 0}, *out,
+                      r);
+    };
+
+    tpc::IndexSpace space;
+    space.size = {1, vectors, 1, 1, 1};
+    tpc::TpcDispatcher dispatcher;
+    return dispatcher.launch(kernel, space, handParams(name)).time;
+}
+
+/**
+ * Hand gather/scatter: random 4 B accesses with all loads issued
+ * before the dependent staging ops, so the 130-cycle random-access
+ * latency overlaps across lanes instead of serializing.
+ */
+Seconds
+handGather(const char *name, std::int64_t n, std::int64_t table_elems,
+           bool write)
+{
+    const std::int64_t vectors = (n + kLanes - 1) / kLanes;
+    auto idx = std::make_shared<tpc::Tensor>(
+        std::vector<std::int64_t>{n}, DataType::FP32);
+    idx->fill([table_elems](std::int64_t i) {
+        return static_cast<float>((i * 73 + 5) % table_elems);
+    });
+    auto table = std::make_shared<tpc::Tensor>(
+        std::vector<std::int64_t>{table_elems}, DataType::FP32);
+    auto out = std::make_shared<tpc::Tensor>(
+        std::vector<std::int64_t>{std::max(n, table_elems)},
+        DataType::FP32);
+
+    tpc::Kernel kernel = [=](tpc::TpcContext &ctx) {
+        for (std::int64_t v = ctx.memberStart(1); v < ctx.memberEnd(1);
+             v++) {
+            const tpc::Vec iv = ctx.v_ld_tnsr({v * kLanes, 0, 0, 0, 0},
+                                              *idx, kLanes * 4);
+            const int lanes = iv.laneCount();
+            if (!write) {
+                std::vector<tpc::Vec> lvs;
+                lvs.reserve(static_cast<std::size_t>(lanes));
+                for (int l = 0; l < lanes; l++) {
+                    const auto a = static_cast<std::int64_t>(
+                        iv.lanes[static_cast<std::size_t>(l)]);
+                    lvs.push_back(ctx.v_ld_tnsr({a, 0, 0, 0, 0},
+                                                *table, 4,
+                                                tpc::Access::Random));
+                }
+                for (int l = 0; l < lanes; l++)
+                    ctx.v_st_local(l, lvs[static_cast<std::size_t>(l)]);
+                const tpc::Vec g = ctx.v_ld_local(0, lanes);
+                ctx.v_st_tnsr({v * kLanes, 0, 0, 0, 0}, *out, g);
+            } else {
+                const tpc::Vec sv = ctx.v_ld_tnsr(
+                    {v * kLanes, 0, 0, 0, 0}, *table, kLanes * 4);
+                ctx.v_st_local(0, sv);
+                std::vector<tpc::Vec> lvs;
+                lvs.reserve(static_cast<std::size_t>(lanes));
+                for (int l = 0; l < lanes; l++)
+                    lvs.push_back(ctx.v_ld_local(l, 1));
+                for (int l = 0; l < lanes; l++) {
+                    const auto a = static_cast<std::int64_t>(
+                        iv.lanes[static_cast<std::size_t>(l)]);
+                    ctx.v_st_tnsr({a, 0, 0, 0, 0}, *out,
+                                  lvs[static_cast<std::size_t>(l)],
+                                  tpc::Access::Random);
+                }
+            }
+        }
+    };
+
+    tpc::IndexSpace space;
+    space.size = {1, vectors, 1, 1, 1};
+    tpc::TpcDispatcher dispatcher;
+    return dispatcher.launch(kernel, space, handParams(name)).time;
+}
+
+// ---------------------------------------------------------------------
+// Desc-building helpers.
+// ---------------------------------------------------------------------
+
+CudaStmt
+I(CudaInstr i)
+{
+    return CudaStmt::of(i);
+}
+
+CudaInstr
+gLd(int dst, int buf, AddrExpr a, Pred p = {})
+{
+    CudaInstr i;
+    i.op = CudaOp::LoadGlobal;
+    i.dst = dst;
+    i.buf = buf;
+    i.addr = a;
+    i.pred = p;
+    return i;
+}
+
+CudaInstr
+gSt(int buf, int src, AddrExpr a, Pred p = {})
+{
+    CudaInstr i;
+    i.op = CudaOp::StoreGlobal;
+    i.src0 = src;
+    i.buf = buf;
+    i.addr = a;
+    i.pred = p;
+    return i;
+}
+
+CudaInstr
+sLd(int dst, AddrExpr a, Pred p = {})
+{
+    CudaInstr i;
+    i.op = CudaOp::LoadShared;
+    i.dst = dst;
+    i.addr = a;
+    i.pred = p;
+    return i;
+}
+
+CudaInstr
+sSt(int src, AddrExpr a, Pred p = {})
+{
+    CudaInstr i;
+    i.op = CudaOp::StoreShared;
+    i.src0 = src;
+    i.addr = a;
+    i.pred = p;
+    return i;
+}
+
+CudaInstr
+sAtomAdd(int src, AddrExpr a)
+{
+    CudaInstr i;
+    i.op = CudaOp::AtomicAddShared;
+    i.src0 = src;
+    i.addr = a;
+    return i;
+}
+
+CudaInstr
+rr(CudaOp op, int dst, int s0, int s1 = -1, int s2 = -1)
+{
+    CudaInstr i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = s0;
+    i.src1 = s1;
+    i.src2 = s2;
+    return i;
+}
+
+CudaInstr
+ri(CudaOp op, int dst, int s0, float imm, Pred p = {})
+{
+    CudaInstr i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = s0;
+    i.imm = imm;
+    i.pred = p;
+    return i;
+}
+
+CudaInstr
+movi(int dst, float imm)
+{
+    CudaInstr i;
+    i.op = CudaOp::MovImm;
+    i.dst = dst;
+    i.imm = imm;
+    return i;
+}
+
+CudaInstr
+warp(CudaOp op, int dst, int src)
+{
+    CudaInstr i;
+    i.op = op;
+    i.dst = dst;
+    i.src0 = src;
+    return i;
+}
+
+CudaInstr
+syncI()
+{
+    CudaInstr i;
+    i.op = CudaOp::Sync;
+    return i;
+}
+
+Pred
+laneLt(std::int64_t n)
+{
+    Pred p;
+    p.active = true;
+    p.op = CmpOp::Lt;
+    p.lhs = AddrExpr{.cLane = 1};
+    p.rhs = AddrExpr{.base = n};
+    return p;
+}
+
+Pred
+laneEq0()
+{
+    Pred p;
+    p.active = true;
+    p.op = CmpOp::Eq;
+    p.lhs = AddrExpr{.cLane = 1};
+    p.rhs = AddrExpr{};
+    return p;
+}
+
+Pred
+tidEq0()
+{
+    Pred p;
+    p.active = true;
+    p.op = CmpOp::Eq;
+    p.lhs = AddrExpr{.cTid = 1};
+    p.rhs = AddrExpr{};
+    return p;
+}
+
+Pred
+tidGePow2()
+{
+    Pred p;
+    p.active = true;
+    p.op = CmpOp::Ge;
+    p.lhs = AddrExpr{.cTid = 1};
+    p.rhs = AddrExpr{.cPow2Iter = 1};
+    return p;
+}
+
+Pred
+tidLt(std::int64_t n)
+{
+    Pred p;
+    p.active = true;
+    p.op = CmpOp::Lt;
+    p.lhs = AddrExpr{.cTid = 1};
+    p.rhs = AddrExpr{.base = n};
+    return p;
+}
+
+Pred
+regEq(int l, int r)
+{
+    Pred p;
+    p.active = true;
+    p.onRegs = true;
+    p.op = CmpOp::Eq;
+    p.lhsReg = l;
+    p.rhsReg = r;
+    return p;
+}
+
+BufferDesc
+buf(std::string name, std::int64_t elems, BufferInit init,
+    bool output = false, double scale = 1.0, std::int64_t mod = 1)
+{
+    BufferDesc b;
+    b.name = std::move(name);
+    b.elems = elems;
+    b.output = output;
+    b.init = init;
+    b.initScale = scale;
+    b.initMod = mod;
+    return b;
+}
+
+CudaKernelDesc
+makeDesc(std::string name, std::string shape, std::int64_t blocks,
+         std::int64_t block_threads, int regs, std::int64_t shared,
+         std::int64_t grid_x = 1)
+{
+    CudaKernelDesc d;
+    d.name = std::move(name);
+    d.shape = std::move(shape);
+    d.gridBlocks = blocks;
+    d.gridX = grid_x;
+    d.blockThreads = block_threads;
+    d.numRegs = regs;
+    d.sharedElems = shared;
+    return d;
+}
+
+/**
+ * Appends the canonical CUDA two-level block reduction tail: warp
+ * reduce -> one shared slot per warp (lane 0) -> barrier -> warp 0
+ * re-reduces the partials -> thread 0 stores. Registers src..src+3
+ * are used; the block result lands in reg src+3.
+ */
+void
+blockReduceTail(std::vector<CudaStmt> &body, CudaOp warp_op,
+                float identity, int src, std::int64_t num_warps,
+                std::int64_t shared_base = 0)
+{
+    body.push_back(I(warp(warp_op, src + 1, src)));
+    body.push_back(I(sSt(src + 1,
+                         AddrExpr{.base = shared_base, .cWarp = 1},
+                         laneEq0())));
+    body.push_back(I(syncI()));
+    body.push_back(I(movi(src + 2, identity)));
+    body.push_back(I(sLd(src + 2,
+                         AddrExpr{.base = shared_base, .cLane = 1},
+                         laneLt(num_warps))));
+    body.push_back(I(warp(warp_op, src + 3, src + 2)));
+}
+
+Seconds
+a100Stream(std::uint64_t elems, double bytes_per_elem,
+           double flops_per_elem, bool fma)
+{
+    cuda::SimtModel m;
+    cuda::StreamKernelDesc d;
+    d.numElements = elems;
+    d.bytesPerElement = bytes_per_elem;
+    d.flopsPerElement = flops_per_elem;
+    d.usesFma = fma;
+    return m.streamKernel(d, DataType::FP32).time;
+}
+
+// ---------------------------------------------------------------------
+// The corpus.
+// ---------------------------------------------------------------------
+
+std::vector<CorpusEntry>
+buildCorpus()
+{
+    std::vector<CorpusEntry> c;
+
+    // --- port_saxpy: y = a*x + y ------------------------------------
+    const auto saxpyDesc = [](const char *name) {
+        const std::int64_t n = 393216;
+        CudaKernelDesc d = makeDesc(name, "n=393216", 1536, 256, 4, 0);
+        d.buffers = {buf("x", n, BufferInit::Wave),
+                     buf("y", n, BufferInit::Linear, /*output=*/true)};
+        d.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 1})),
+                  I(gLd(1, 1, AddrExpr{.cGlobal = 1})),
+                  I(movi(2, 1.5f)),
+                  I(rr(CudaOp::Fma, 3, 0, 2, 1)),
+                  I(gSt(1, 3, AddrExpr{.cGlobal = 1}))};
+        return d;
+    };
+    {
+        CorpusEntry e;
+        e.desc = saxpyDesc("port_saxpy");
+        e.notes = "warp-width (128 B) accesses + strip-serial stalls";
+        e.handTime = [] {
+            kern::StreamConfig cfg;
+            cfg.op = kern::StreamOp::Triad;
+            cfg.numElements = 393216;
+            cfg.dt = DataType::FP32;
+            return kern::runStreamGaudi(cfg).time;
+        };
+        e.a100Time = [] { return a100Stream(393216, 12, 2, true); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_vecadd: c = a + b -------------------------------------
+    {
+        const std::int64_t n = 393216;
+        CorpusEntry e;
+        e.desc = makeDesc("port_vecadd", "n=393216", 1536, 256, 4, 0);
+        e.desc.buffers = {buf("a", n, BufferInit::Wave),
+                          buf("b", n, BufferInit::Linear),
+                          buf("c", n, BufferInit::Zero, true)};
+        e.desc.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 1})),
+                       I(gLd(1, 1, AddrExpr{.cGlobal = 1})),
+                       I(rr(CudaOp::Add, 2, 0, 1)),
+                       I(gSt(2, 2, AddrExpr{.cGlobal = 1}))};
+        e.notes = "STREAM add";
+        e.handTime = [] {
+            kern::StreamConfig cfg;
+            cfg.op = kern::StreamOp::Add;
+            cfg.numElements = 393216;
+            cfg.dt = DataType::FP32;
+            return kern::runStreamGaudi(cfg).time;
+        };
+        e.a100Time = [] { return a100Stream(393216, 12, 1, false); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_scale: b = s * a --------------------------------------
+    {
+        const std::int64_t n = 393216;
+        CorpusEntry e;
+        e.desc = makeDesc("port_scale", "n=393216", 1536, 256, 2, 0);
+        e.desc.buffers = {buf("a", n, BufferInit::Wave),
+                          buf("b", n, BufferInit::Zero, true)};
+        e.desc.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 1})),
+                       I(ri(CudaOp::MulImm, 1, 0, 2.5f)),
+                       I(gSt(1, 1, AddrExpr{.cGlobal = 1}))};
+        e.notes = "STREAM scale";
+        e.handTime = [] {
+            kern::StreamConfig cfg;
+            cfg.op = kern::StreamOp::Scale;
+            cfg.numElements = 393216;
+            cfg.dt = DataType::FP32;
+            return kern::runStreamGaudi(cfg).time;
+        };
+        e.a100Time = [] { return a100Stream(393216, 8, 1, false); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_strided_copy: out[i] = in[2i] -------------------------
+    {
+        const std::int64_t n = 24576;
+        CorpusEntry e;
+        e.desc = makeDesc("port_strided_copy", "n=24576,stride=2", 96,
+                          256, 2, 0);
+        e.desc.buffers = {buf("in", 2 * n, BufferInit::Wave),
+                          buf("out", n, BufferInit::Zero, true)};
+        e.desc.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 2})),
+                       I(gSt(1, 0, AddrExpr{.cGlobal = 1}))};
+        e.notes = "stride-2 load shatters into per-lane transactions";
+        e.handTime = [] {
+            // Hand version re-lays the data out and streams it.
+            kern::StreamConfig cfg;
+            cfg.op = kern::StreamOp::Scale;
+            cfg.numElements = 24576;
+            cfg.dt = DataType::FP32;
+            return kern::runStreamGaudi(cfg).time;
+        };
+        e.a100Time = [] {
+            cuda::SimtModel m;
+            return m.stridedSweep({4, 8, 32}, 24576).time;
+        };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_staged_copy: global -> shared -> global ----------------
+    {
+        const std::int64_t n = 49152;
+        CorpusEntry e;
+        e.desc = makeDesc("port_staged_copy", "n=49152", 192, 256, 2,
+                          256);
+        e.desc.buffers = {buf("in", n, BufferInit::Wave),
+                          buf("out", n, BufferInit::Zero, true)};
+        e.desc.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 1})),
+                       I(sSt(0, AddrExpr{.cTid = 1})),
+                       I(syncI()),
+                       I(sLd(1, AddrExpr{.cTid = 1})),
+                       I(gSt(1, 1, AddrExpr{.cGlobal = 1}))};
+        e.notes = "shared staging is redundant on a TPC";
+        e.handTime = [] {
+            kern::StreamConfig cfg;
+            cfg.op = kern::StreamOp::Scale;
+            cfg.numElements = 49152;
+            cfg.dt = DataType::FP32;
+            return kern::runStreamGaudi(cfg).time;
+        };
+        e.a100Time = [] { return a100Stream(49152, 8, 0, false); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_branchy_scale: out = lane < 16 ? 3x : x ----------------
+    {
+        const std::int64_t n = 49152;
+        CorpusEntry e;
+        e.desc = makeDesc("port_branchy_scale", "n=49152", 192, 256, 2,
+                          0);
+        e.desc.buffers = {buf("x", n, BufferInit::Wave),
+                          buf("out", n, BufferInit::Zero, true)};
+        e.desc.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 1})),
+                       I(rr(CudaOp::Mov, 1, 0)),
+                       I(ri(CudaOp::MulImm, 1, 0, 3.0f, laneLt(16))),
+                       I(gSt(1, 1, AddrExpr{.cGlobal = 1}))};
+        e.notes = "SIMT divergence emulated with mask + select";
+        e.handTime = [] {
+            // Branch-free hand version: one select-free scale pass.
+            kern::StreamConfig cfg;
+            cfg.op = kern::StreamOp::Scale;
+            cfg.numElements = 49152;
+            cfg.dt = DataType::FP32;
+            return kern::runStreamGaudi(cfg).time;
+        };
+        e.a100Time = [] { return a100Stream(49152, 8, 1, false); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_reduce_sum: out[block] = sum(x[block slice]) -----------
+    {
+        const std::int64_t n = 98304;
+        CorpusEntry e;
+        e.desc = makeDesc("port_reduce_sum", "n=98304", 384, 256, 6, 8);
+        e.desc.buffers = {buf("x", n, BufferInit::Wave),
+                          buf("out", 384, BufferInit::Zero, true)};
+        e.desc.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 1}))};
+        blockReduceTail(e.desc.body, CudaOp::WarpReduceSum, 0.0f, 0, 8);
+        e.desc.body.push_back(
+            I(gSt(1, 3, AddrExpr{.cBlock = 1}, tidEq0())));
+        e.notes = "two-level block reduction";
+        e.handTime = [] {
+            return handReduce("hand_reduce_sum", 98304, false);
+        };
+        e.a100Time = [] { return a100Stream(98304, 4, 1, false); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_dot: grid-strided dot-product partials -----------------
+    {
+        const std::int64_t n = 196608; // 192 blocks x 256 x 4 trips
+        CorpusEntry e;
+        e.desc = makeDesc("port_dot", "n=196608,trips=4", 192, 256, 7,
+                          8);
+        e.desc.buffers = {buf("x", n, BufferInit::Wave),
+                          buf("y", n, BufferInit::Linear),
+                          buf("out", 192, BufferInit::Zero, true)};
+        CudaLoop loop;
+        loop.trips = 4;
+        loop.body = {
+            gLd(0, 0, AddrExpr{.cGlobal = 1, .cIter = 49152}),
+            gLd(1, 1, AddrExpr{.cGlobal = 1, .cIter = 49152}),
+            rr(CudaOp::Fma, 2, 0, 1, 2)};
+        e.desc.body.push_back(CudaStmt::of(loop));
+        blockReduceTail(e.desc.body, CudaOp::WarpReduceSum, 0.0f, 2, 8);
+        e.desc.body.push_back(
+            I(gSt(2, 5, AddrExpr{.cBlock = 1}, tidEq0())));
+        e.notes = "grid-strided loop + block reduction";
+        e.handTime = [] {
+            return handReduce("hand_dot", 196608, true);
+        };
+        e.a100Time = [] { return a100Stream(196608, 8, 2, true); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_scan_incl: Hillis-Steele inclusive scan per block ------
+    {
+        const std::int64_t n = 24576;
+        CorpusEntry e;
+        e.desc = makeDesc("port_scan_incl", "n=24576,block=256", 96,
+                          256, 5, 256);
+        e.desc.buffers = {
+            buf("x", n, BufferInit::Linear),
+            buf("out", n, BufferInit::Zero, true)};
+        e.desc.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 1})),
+                       I(sSt(0, AddrExpr{.cTid = 1})), I(syncI())};
+        CudaLoop steps;
+        steps.trips = 8; // log2(256)
+        steps.body = {
+            sLd(2, AddrExpr{.cTid = 1}),
+            movi(1, 0.0f),
+            sLd(1, AddrExpr{.cTid = 1, .cPow2Iter = -1}, tidGePow2()),
+            rr(CudaOp::Add, 2, 2, 1),
+            syncI(),
+            sSt(2, AddrExpr{.cTid = 1}),
+            syncI()};
+        e.desc.body.push_back(CudaStmt::of(steps));
+        e.desc.body.push_back(I(sLd(3, AddrExpr{.cTid = 1})));
+        e.desc.body.push_back(I(gSt(1, 3, AddrExpr{.cGlobal = 1})));
+        e.notes = "barrier-heavy shared-memory scan";
+        e.handTime = [] {
+            // Hand scan: lane-shift adds in local memory, one pass.
+            return handStreams("hand_scan", 24576, 1, 1, 6, 12);
+        };
+        e.a100Time = [] { return a100Stream(24576, 16, 4, false); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_stencil3: 3-point stencil with halo --------------------
+    const auto stencil3Desc = [](const char *name) {
+        const std::int64_t n = 98304;
+        CudaKernelDesc d = makeDesc(name, "n=98304", 384, 256, 6, 0);
+        d.buffers = {buf("in", n + 2, BufferInit::Wave),
+                     buf("out", n, BufferInit::Zero, true)};
+        d.body = {I(gLd(0, 0, AddrExpr{.base = 0, .cGlobal = 1})),
+                  I(gLd(1, 0, AddrExpr{.base = 1, .cGlobal = 1})),
+                  I(gLd(2, 0, AddrExpr{.base = 2, .cGlobal = 1})),
+                  I(movi(3, 0.25f)),
+                  I(movi(4, 0.5f)),
+                  I(rr(CudaOp::Mul, 5, 0, 3)),
+                  I(rr(CudaOp::Fma, 5, 1, 4, 5)),
+                  I(rr(CudaOp::Fma, 5, 2, 3, 5)),
+                  I(gSt(1, 5, AddrExpr{.cGlobal = 1}))};
+        return d;
+    };
+    {
+        CorpusEntry e;
+        e.desc = stencil3Desc("port_stencil3");
+        e.notes = "three shifted streams, FMA chain";
+        e.handTime = [] {
+            return handStreams("hand_stencil3", 98304, 3, 1, 3);
+        };
+        e.a100Time = [] { return a100Stream(98304, 16, 5, true); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_stencil5_2d: 5-point stencil on a 512x48 grid ----------
+    {
+        // 2D grid: gridX=2 tiles of 256 columns, 48 rows.
+        const std::int64_t w = 512, h = 48, wp = w + 2;
+        CorpusEntry e;
+        e.desc = makeDesc("port_stencil5_2d", "512x48", 96, 256, 7, 0,
+                          /*grid_x=*/2);
+        e.desc.buffers = {
+            buf("in", wp * (h + 2), BufferInit::Wave),
+            buf("out", w * h, BufferInit::Zero, true)};
+        const AddrExpr center{
+            .base = wp + 1, .cTid = 1, .cBlockX = 256, .cBlockY = wp};
+        AddrExpr up = center, down = center, left = center,
+                 right = center;
+        up.base -= wp;
+        down.base += wp;
+        left.base -= 1;
+        right.base += 1;
+        e.desc.body = {
+            I(gLd(0, 0, center)),
+            I(gLd(1, 0, left)),
+            I(gLd(2, 0, right)),
+            I(gLd(3, 0, up)),
+            I(gLd(4, 0, down)),
+            I(movi(5, 0.2f)),
+            I(rr(CudaOp::Mul, 6, 0, 5)),
+            I(rr(CudaOp::Fma, 6, 1, 5, 6)),
+            I(rr(CudaOp::Fma, 6, 2, 5, 6)),
+            I(rr(CudaOp::Fma, 6, 3, 5, 6)),
+            I(rr(CudaOp::Fma, 6, 4, 5, 6)),
+            I(gSt(1, 6,
+                  AddrExpr{.cTid = 1, .cBlockX = 256, .cBlockY = w}))};
+        e.notes = "2D decomposition, five shifted streams";
+        e.handTime = [] {
+            return handStreams("hand_stencil5", 24576, 5, 1, 5);
+        };
+        e.a100Time = [] { return a100Stream(24576, 24, 9, true); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_histogram: shared-privatized, atomics ------------------
+    {
+        const std::int64_t n = 16384, bins = 64;
+        CorpusEntry e;
+        e.desc = makeDesc("port_histogram", "n=16384,bins=64", 64, 256,
+                          4, bins);
+        e.desc.buffers = {
+            buf("data", n, BufferInit::Mod, false, 1.0, bins),
+            buf("out", 64 * bins, BufferInit::Zero, true)};
+        e.desc.body = {
+            I(gLd(0, 0, AddrExpr{.cGlobal = 1})),
+            I(movi(1, 1.0f)),
+            I(sAtomAdd(1, AddrExpr{.indexReg = 0})),
+            I(syncI()),
+            I(sLd(2, AddrExpr{.cTid = 1}, tidLt(bins))),
+            I(gSt(1, 2, AddrExpr{.cTid = 1, .cBlock = bins},
+                  tidLt(bins)))};
+        e.notes = "shared atomics serialize lane-by-lane on a TPC";
+        e.handTime = [] {
+            // Hand version: per-element local-memory bin updates,
+            // independent across elements.
+            return handStreams("hand_histogram", 16384, 1, 0, 0, 128);
+        };
+        e.a100Time = [] {
+            cuda::SimtModel m;
+            return m.gatherScatter(4, 16384, true).time;
+        };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_gather: out[i] = table[idx[i]] -------------------------
+    {
+        const std::int64_t n = 24576, table = 16384;
+        CorpusEntry e;
+        e.desc = makeDesc("port_gather", "n=24576,table=16384", 96, 256,
+                          3, 0);
+        e.desc.buffers = {
+            buf("idx", n, BufferInit::Indices, false, 1.0, table),
+            buf("table", table, BufferInit::Wave),
+            buf("out", n, BufferInit::Zero, true)};
+        e.desc.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 1})),
+                       I(gLd(1, 1, AddrExpr{.indexReg = 0})),
+                       I(gSt(2, 1, AddrExpr{.cGlobal = 1}))};
+        e.notes = "data-dependent loads: 130-cycle random latency";
+        e.handTime = [] {
+            return handGather("hand_gather", 24576, 16384, false);
+        };
+        e.a100Time = [] {
+            cuda::SimtModel m;
+            return m.gatherScatter(4, 24576, false).time;
+        };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_scatter: out[idx[i]] = x[i] (idx is a permutation) -----
+    {
+        const std::int64_t n = 24576; // gcd(73, n) = 1: bijective idx.
+        CorpusEntry e;
+        e.desc = makeDesc("port_scatter", "n=24576", 96, 256, 3, 0);
+        e.desc.buffers = {
+            buf("idx", n, BufferInit::Indices, false, 1.0, n),
+            buf("x", n, BufferInit::Wave),
+            buf("out", n, BufferInit::Zero, true)};
+        e.desc.body = {I(gLd(0, 0, AddrExpr{.cGlobal = 1})),
+                       I(gLd(1, 1, AddrExpr{.cGlobal = 1})),
+                       I(gSt(2, 1, AddrExpr{.indexReg = 0}))};
+        e.notes = "data-dependent stores shatter into 4 B writes";
+        e.handTime = [] {
+            return handGather("hand_scatter", 24576, 24576, true);
+        };
+        e.a100Time = [] {
+            cuda::SimtModel m;
+            return m.gatherScatter(4, 24576, true).time;
+        };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_transpose: 256x256 via 32x32 shared tiles --------------
+    {
+        const std::int64_t w = 256, h = 256;
+        CorpusEntry e;
+        e.desc = makeDesc("port_transpose", "256x256,tile=32", 64, 256,
+                          3, 1024, /*grid_x=*/8);
+        e.desc.buffers = {buf("in", w * h, BufferInit::Wave),
+                          buf("out", w * h, BufferInit::Zero, true)};
+        CudaLoop stage;
+        stage.trips = 4; // 8 rows per trip x 4 = 32 rows.
+        stage.body = {
+            gLd(0, 0,
+                AddrExpr{.cLane = 1, .cWarp = w, .cBlockX = 32,
+                         .cBlockY = 32 * w, .cIter = 8 * w}),
+            sSt(0, AddrExpr{.cLane = 1, .cWarp = 32, .cIter = 256})};
+        e.desc.body.push_back(CudaStmt::of(stage));
+        e.desc.body.push_back(I(syncI()));
+        CudaLoop write;
+        write.trips = 4;
+        write.body = {
+            // Transposed read: lane walks a shared-memory column.
+            sLd(1, AddrExpr{.cLane = 32, .cWarp = 1, .cIter = 8}),
+            gSt(1, 1,
+                AddrExpr{.cLane = 1, .cWarp = h, .cBlockX = 32 * h,
+                         .cBlockY = 32, .cIter = 8 * h})};
+        e.desc.body.push_back(CudaStmt::of(write));
+        e.notes = "strided shared reads become per-lane local gathers";
+        e.handTime = [] {
+            return handStreams("hand_transpose", 65536, 1, 1, 0, 65);
+        };
+        e.a100Time = [] { return a100Stream(65536, 8, 0, false); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_rmsnorm: rows=48, cols=2048 ----------------------------
+    {
+        const std::int64_t rows = 48, cols = 2048;
+        CorpusEntry e;
+        e.desc = makeDesc("port_rmsnorm", "48x2048", rows, 256, 8, 8);
+        e.desc.buffers = {
+            buf("x", rows * cols, BufferInit::Wave),
+            buf("out", rows * cols, BufferInit::Zero, true)};
+        const AddrExpr row{.cTid = 1, .cBlock = cols, .cIter = 256};
+        CudaLoop sumsq;
+        sumsq.trips = cols / 256;
+        sumsq.body = {gLd(0, 0, row), rr(CudaOp::Fma, 1, 0, 0, 1)};
+        e.desc.body.push_back(CudaStmt::of(sumsq));
+        blockReduceTail(e.desc.body, CudaOp::WarpReduceSum, 0.0f, 1, 8);
+        e.desc.body.push_back(I(ri(
+            CudaOp::MulImm, 5, 4, 1.0f / static_cast<float>(cols))));
+        e.desc.body.push_back(I(ri(CudaOp::AddImm, 5, 5, 1e-5f)));
+        e.desc.body.push_back(I(rr(CudaOp::Rsqrt, 6, 5)));
+        CudaLoop scale;
+        scale.trips = cols / 256;
+        scale.body = {gLd(0, 0, row), rr(CudaOp::Mul, 7, 0, 6),
+                      gSt(1, 7, row)};
+        e.desc.body.push_back(CudaStmt::of(scale));
+        e.notes = "row reduction + scale (vs hand RMSNorm kernel)";
+        e.handTime = [rows, cols] {
+            kern::NormConfig cfg;
+            cfg.kind = kern::NormKind::RmsNorm;
+            cfg.rows = rows;
+            cfg.cols = cols;
+            cfg.dt = DataType::FP32;
+            return kern::runNormGaudi(cfg).time;
+        };
+        e.a100Time = [] { return a100Stream(98304, 8, 3, true); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_softmax: rows=48, cols=1024 ----------------------------
+    {
+        const std::int64_t rows = 48, cols = 1024;
+        CorpusEntry e;
+        e.desc = makeDesc("port_softmax", "48x1024", rows, 256, 10, 16);
+        e.desc.buffers = {
+            buf("x", rows * cols, BufferInit::Wave, false, 4.0),
+            buf("out", rows * cols, BufferInit::Zero, true)};
+        const AddrExpr row{.cTid = 1, .cBlock = cols, .cIter = 256};
+        // Pass 1: row max.
+        e.desc.body.push_back(I(movi(1, -1e30f)));
+        CudaLoop maxp;
+        maxp.trips = cols / 256;
+        maxp.body = {gLd(0, 0, row), rr(CudaOp::Max, 1, 1, 0)};
+        e.desc.body.push_back(CudaStmt::of(maxp));
+        blockReduceTail(e.desc.body, CudaOp::WarpReduceMax, -1e30f, 1,
+                        8);
+        // Pass 2: exp(x - max), accumulate sum, stash exp in out.
+        e.desc.body.push_back(I(movi(5, 0.0f)));
+        CudaLoop expp;
+        expp.trips = cols / 256;
+        expp.body = {gLd(0, 0, row), rr(CudaOp::Sub, 6, 0, 4),
+                     rr(CudaOp::Exp, 6, 6), rr(CudaOp::Add, 5, 5, 6),
+                     gSt(1, 6, row)};
+        e.desc.body.push_back(CudaStmt::of(expp));
+        blockReduceTail(e.desc.body, CudaOp::WarpReduceSum, 0.0f, 5, 8,
+                        /*shared_base=*/8);
+        e.desc.body.push_back(I(rr(CudaOp::Recip, 9, 8)));
+        // Pass 3: normalize.
+        CudaLoop normp;
+        normp.trips = cols / 256;
+        normp.body = {gLd(0, 1, row), rr(CudaOp::Mul, 6, 0, 9),
+                      gSt(1, 6, row)};
+        e.desc.body.push_back(CudaStmt::of(normp));
+        e.notes = "three-pass softmax (vs hand fused TPC softmax)";
+        e.handTime = [rows, cols] {
+            kern::SoftmaxConfig cfg;
+            cfg.rows = rows;
+            cfg.cols = cols;
+            cfg.dt = DataType::FP32;
+            return kern::runSoftmaxGaudi(cfg).time;
+        };
+        e.a100Time = [] { return a100Stream(49152, 12, 4, false); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_rope: interleaved rotary embedding ---------------------
+    {
+        const std::int64_t pairs = 12288;
+        CorpusEntry e;
+        e.desc = makeDesc("port_rope", "pairs=12288,interleaved", 48,
+                          256, 8, 0);
+        e.desc.buffers = {
+            buf("x", 2 * pairs, BufferInit::Wave),
+            buf("cosv", pairs, BufferInit::Wave, false, 0.7),
+            buf("sinv", pairs, BufferInit::Wave, false, 0.7),
+            buf("out", 2 * pairs, BufferInit::Zero, true)};
+        e.desc.body = {
+            I(gLd(0, 0, AddrExpr{.base = 0, .cGlobal = 2})),
+            I(gLd(1, 0, AddrExpr{.base = 1, .cGlobal = 2})),
+            I(gLd(2, 1, AddrExpr{.cGlobal = 1})),
+            I(gLd(3, 2, AddrExpr{.cGlobal = 1})),
+            I(rr(CudaOp::Mul, 4, 0, 2)),
+            I(rr(CudaOp::Mul, 5, 1, 3)),
+            I(rr(CudaOp::Sub, 6, 4, 5)),
+            I(rr(CudaOp::Mul, 4, 0, 3)),
+            I(rr(CudaOp::Mul, 5, 1, 2)),
+            I(rr(CudaOp::Add, 7, 4, 5)),
+            I(gSt(3, 6, AddrExpr{.base = 0, .cGlobal = 2})),
+            I(gSt(3, 7, AddrExpr{.base = 1, .cGlobal = 2}))};
+        e.notes = "interleaved layout: stride-2 shatters (hand kernel "
+                  "uses rotate-half contiguous layout)";
+        e.handTime = [] {
+            return handStreams("hand_rope", 24576, 2, 1, 2);
+        };
+        e.a100Time = [] { return a100Stream(24576, 16, 3, true); };
+        c.push_back(std::move(e));
+    }
+
+    // --- port_topk: top-4 per row by repeated block max --------------
+    {
+        const std::int64_t rows = 48, cols = 1024, k = 4;
+        CorpusEntry e;
+        e.desc = makeDesc("port_topk", "48x1024,k=4", rows, 256, 8,
+                          cols + 8);
+        e.desc.buffers = {
+            buf("x", rows * cols, BufferInit::Wave),
+            buf("out", rows * k, BufferInit::Zero, true)};
+        CudaLoop stage;
+        stage.trips = cols / 256;
+        stage.body = {gLd(0, 0,
+                          AddrExpr{.cTid = 1, .cBlock = cols,
+                                   .cIter = 256}),
+                      sSt(0, AddrExpr{.cTid = 1, .cIter = 256})};
+        e.desc.body.push_back(CudaStmt::of(stage));
+        e.desc.body.push_back(I(syncI()));
+        CudaLoop pick;
+        pick.trips = k;
+        pick.body = {movi(1, -1e30f)};
+        for (int chunk = 0; chunk < 4; chunk++) {
+            pick.body.push_back(
+                sLd(0, AddrExpr{.base = chunk * 256, .cTid = 1}));
+            pick.body.push_back(rr(CudaOp::Max, 1, 1, 0));
+        }
+        pick.body.push_back(warp(CudaOp::WarpReduceMax, 2, 1));
+        pick.body.push_back(
+            sSt(2, AddrExpr{.base = cols, .cWarp = 1}, laneEq0()));
+        pick.body.push_back(syncI());
+        pick.body.push_back(movi(3, -1e30f));
+        pick.body.push_back(
+            sLd(3, AddrExpr{.base = cols, .cLane = 1}, laneLt(8)));
+        pick.body.push_back(warp(CudaOp::WarpReduceMax, 4, 3));
+        pick.body.push_back(
+            gSt(1, 4, AddrExpr{.cBlock = k, .cIter = 1}, tidEq0()));
+        // Mask out every occurrence of the picked value.
+        pick.body.push_back(movi(5, -1e30f));
+        for (int chunk = 0; chunk < 4; chunk++) {
+            const AddrExpr slot{.base = chunk * 256, .cTid = 1};
+            pick.body.push_back(sLd(6, slot));
+            pick.body.push_back(sSt(5, slot, regEq(6, 4)));
+        }
+        pick.body.push_back(syncI());
+        e.desc.body.push_back(CudaStmt::of(pick));
+        e.notes = "data-dependent masking: reg-predicated stores";
+        e.handTime = [] {
+            // Hand top-k reads each row once and keeps the k running
+            // maxima in registers: one pass, k max ops per vector.
+            return handStreams("hand_topk", 49152, 1, 0, 4);
+        };
+        e.a100Time = [] { return a100Stream(196608, 8, 2, false); };
+        c.push_back(std::move(e));
+    }
+
+    // --- tuned re-lowerings: the fix-hints applied -------------------
+    {
+        CorpusEntry e;
+        e.desc = saxpyDesc("port_saxpy_tuned");
+        e.lower.warpsPerStrip = 2; // full 256 B granule
+        e.lower.stripUnroll = 4;   // hide the 4-cycle latency
+        e.notes = "port_saxpy with warpsPerStrip=2, stripUnroll=4";
+        e.handTime = [] {
+            kern::StreamConfig cfg;
+            cfg.op = kern::StreamOp::Triad;
+            cfg.numElements = 393216;
+            cfg.dt = DataType::FP32;
+            return kern::runStreamGaudi(cfg).time;
+        };
+        e.a100Time = [] { return a100Stream(393216, 12, 2, true); };
+        c.push_back(std::move(e));
+    }
+    {
+        CorpusEntry e;
+        e.desc = stencil3Desc("port_stencil3_tuned");
+        e.lower.warpsPerStrip = 2;
+        e.lower.stripUnroll = 4;
+        e.notes = "port_stencil3 with warpsPerStrip=2, stripUnroll=4";
+        e.handTime = [] {
+            return handStreams("hand_stencil3", 98304, 3, 1, 3);
+        };
+        e.a100Time = [] { return a100Stream(98304, 16, 5, true); };
+        c.push_back(std::move(e));
+    }
+
+    for (const CorpusEntry &e : c)
+        validateDesc(e.desc);
+    return c;
+}
+
+} // namespace
+
+const std::vector<CorpusEntry> &
+migrationCorpus()
+{
+    static const std::vector<CorpusEntry> corpus = buildCorpus();
+    return corpus;
+}
+
+const CorpusEntry *
+findCorpusEntry(std::string_view name)
+{
+    for (const CorpusEntry &e : migrationCorpus())
+        if (e.desc.name == name)
+            return &e;
+    return nullptr;
+}
+
+} // namespace vespera::port

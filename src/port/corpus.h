@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The CUDABench-style migration corpus (ROADMAP item 5).
+ *
+ * Each entry pairs a CudaKernelDesc — the CUDA kernel as a porting tool
+ * sees it — with the LowerOptions used to migrate it, a hand-written
+ * TPC-C comparator implementing the same workload the way a Gaudi
+ * kernel author would (vector-width accesses, deep unrolling,
+ * independent accumulator chains), and an A100-side cost estimate from
+ * cuda::SimtModel. The scorecard in analysis/migrate/scorecard.h runs
+ * every entry through port::lowerAndRun and reports functional parity,
+ * the achieved fraction of hand-written performance, and the analyzer
+ * findings explaining the gap.
+ *
+ * Entries ending in `_tuned` re-lower an existing desc with the knobs
+ * the migration fix-hints recommend (warpsPerStrip=2, stripUnroll>=4),
+ * demonstrating that following the hints closes the gap.
+ */
+
+#ifndef VESPERA_PORT_CORPUS_H
+#define VESPERA_PORT_CORPUS_H
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "port/cuda_desc.h"
+#include "port/lower.h"
+
+namespace vespera::port {
+
+/** One migration-corpus kernel. */
+struct CorpusEntry
+{
+    CudaKernelDesc desc;
+    /// Lowering knobs for this entry (the `_tuned` entries differ).
+    LowerOptions lower;
+    /// What migration artifact this kernel exercises (for reports).
+    std::string notes;
+    /// Hand-written TPC-C comparator: runs the same workload on the
+    /// simulated Gaudi-2 the way a TPC kernel author would write it.
+    std::function<Seconds()> handTime;
+    /// A100-side estimate from the SIMT cost model (informational).
+    std::function<Seconds()> a100Time;
+};
+
+/** The corpus, built once (deterministic order and contents). */
+const std::vector<CorpusEntry> &migrationCorpus();
+
+/** Find an entry by desc name; nullptr if absent. */
+const CorpusEntry *findCorpusEntry(std::string_view name);
+
+} // namespace vespera::port
+
+#endif // VESPERA_PORT_CORPUS_H

@@ -1,0 +1,239 @@
+#include "port/reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vespera::port {
+
+namespace {
+
+/** Per-block interpreter state. */
+struct BlockState
+{
+    const CudaKernelDesc &desc;
+    std::vector<std::vector<float>> &buffers;
+    std::vector<float> shared;
+    /// regs[thread * numRegs + r]
+    std::vector<float> regs;
+    std::int64_t block = 0;
+
+    LaneCtx
+    laneCtx(std::int64_t tid, std::int64_t iter) const
+    {
+        LaneCtx c;
+        c.tid = tid;
+        c.lane = tid % warpSize;
+        c.warp = tid / warpSize;
+        c.block = block;
+        c.blockX = block % desc.gridX;
+        c.blockY = block / desc.gridX;
+        c.globalTid = block * desc.blockThreads + tid;
+        c.iter = iter;
+        return c;
+    }
+
+    float *
+    regsOf(std::int64_t tid)
+    {
+        return regs.data() + tid * desc.numRegs;
+    }
+};
+
+void
+checkBufferIndex(const BlockState &st, const CudaInstr &i,
+                 std::int64_t idx)
+{
+    const std::vector<float> &buf =
+        st.buffers[static_cast<std::size_t>(i.buf)];
+    vassert(idx >= 0 && idx < static_cast<std::int64_t>(buf.size()),
+            "%s: %s address %lld out of buffer '%s' [0, %zu)",
+            st.desc.name.c_str(), cudaOpName(i.op),
+            static_cast<long long>(idx),
+            st.desc.buffers[static_cast<std::size_t>(i.buf)].name.c_str(),
+            buf.size());
+}
+
+void
+checkSharedIndex(const BlockState &st, const CudaInstr &i,
+                 std::int64_t idx)
+{
+    vassert(idx >= 0 && idx < st.desc.sharedElems,
+            "%s: %s shared address %lld out of [0, %lld)",
+            st.desc.name.c_str(), cudaOpName(i.op),
+            static_cast<long long>(idx),
+            static_cast<long long>(st.desc.sharedElems));
+}
+
+/**
+ * Execute one op for all threads of the block in lockstep: evaluate
+ * every thread's reads before any thread's writes take effect (two
+ * sweeps for ops whose sources other threads could overwrite).
+ */
+void
+stepInstr(BlockState &st, const CudaInstr &i, std::int64_t iter)
+{
+    const std::int64_t threads = st.desc.blockThreads;
+
+    if (i.op == CudaOp::Sync)
+        return; // Lockstep interpretation is already barrier-strong.
+
+    if (i.op == CudaOp::WarpReduceSum || i.op == CudaOp::WarpReduceMax) {
+        // Warp-wide reduction over all lanes of each (possibly
+        // partial) warp; every lane receives the result.
+        for (std::int64_t wbase = 0; wbase < threads;
+             wbase += warpSize) {
+            const std::int64_t wend =
+                std::min<std::int64_t>(wbase + warpSize, threads);
+            double sum = 0;
+            float mx = st.regsOf(wbase)[i.src0];
+            for (std::int64_t t = wbase; t < wend; t++) {
+                const float v = st.regsOf(t)[i.src0];
+                sum += v;
+                mx = std::max(mx, v);
+            }
+            const float r = i.op == CudaOp::WarpReduceSum
+                                ? static_cast<float>(sum)
+                                : mx;
+            for (std::int64_t t = wbase; t < wend; t++)
+                st.regsOf(t)[i.dst] = r;
+        }
+        return;
+    }
+
+    if (i.op == CudaOp::AtomicAddShared) {
+        // Serialized over threads (deterministic ascending-tid order;
+        // the lowering serializes lanes the same way).
+        for (std::int64_t t = 0; t < threads; t++) {
+            const LaneCtx c = st.laneCtx(t, iter);
+            float *r = st.regsOf(t);
+            if (!evalPred(i.pred, c, r))
+                continue;
+            const std::int64_t idx = evalAddr(i.addr, c, r);
+            checkSharedIndex(st, i, idx);
+            st.shared[static_cast<std::size_t>(idx)] += r[i.src0];
+        }
+        return;
+    }
+
+    // Read phase: compute every thread's result against pre-op state.
+    std::vector<float> results(static_cast<std::size_t>(threads), 0.0f);
+    std::vector<bool> active(static_cast<std::size_t>(threads), false);
+    for (std::int64_t t = 0; t < threads; t++) {
+        const LaneCtx c = st.laneCtx(t, iter);
+        float *r = st.regsOf(t);
+        if (!evalPred(i.pred, c, r))
+            continue;
+        active[static_cast<std::size_t>(t)] = true;
+        float v = 0;
+        switch (i.op) {
+          case CudaOp::LoadGlobal: {
+            const std::int64_t idx = evalAddr(i.addr, c, r);
+            checkBufferIndex(st, i, idx);
+            v = st.buffers[static_cast<std::size_t>(i.buf)]
+                          [static_cast<std::size_t>(idx)];
+            break;
+          }
+          case CudaOp::StoreGlobal: {
+            v = r[i.src0];
+            break;
+          }
+          case CudaOp::LoadShared: {
+            const std::int64_t idx = evalAddr(i.addr, c, r);
+            checkSharedIndex(st, i, idx);
+            v = st.shared[static_cast<std::size_t>(idx)];
+            break;
+          }
+          case CudaOp::StoreShared: {
+            v = r[i.src0];
+            break;
+          }
+          case CudaOp::MovImm: v = i.imm; break;
+          case CudaOp::Mov: v = r[i.src0]; break;
+          case CudaOp::Add: v = r[i.src0] + r[i.src1]; break;
+          case CudaOp::Sub: v = r[i.src0] - r[i.src1]; break;
+          case CudaOp::Mul: v = r[i.src0] * r[i.src1]; break;
+          case CudaOp::Max: v = std::max(r[i.src0], r[i.src1]); break;
+          case CudaOp::Fma:
+            v = r[i.src0] * r[i.src1] + r[i.src2];
+            break;
+          case CudaOp::AddImm: v = r[i.src0] + i.imm; break;
+          case CudaOp::MulImm: v = r[i.src0] * i.imm; break;
+          case CudaOp::Exp: v = std::exp(r[i.src0]); break;
+          case CudaOp::Rsqrt: v = 1.0f / std::sqrt(r[i.src0]); break;
+          case CudaOp::Recip: v = 1.0f / r[i.src0]; break;
+          default:
+            vpanic("unhandled op %s", cudaOpName(i.op));
+        }
+        results[static_cast<std::size_t>(t)] = v;
+    }
+
+    // Write phase.
+    for (std::int64_t t = 0; t < threads; t++) {
+        if (!active[static_cast<std::size_t>(t)])
+            continue;
+        const LaneCtx c = st.laneCtx(t, iter);
+        float *r = st.regsOf(t);
+        const float v = results[static_cast<std::size_t>(t)];
+        switch (i.op) {
+          case CudaOp::StoreGlobal: {
+            const std::int64_t idx = evalAddr(i.addr, c, r);
+            checkBufferIndex(st, i, idx);
+            st.buffers[static_cast<std::size_t>(i.buf)]
+                      [static_cast<std::size_t>(idx)] = v;
+            break;
+          }
+          case CudaOp::StoreShared: {
+            const std::int64_t idx = evalAddr(i.addr, c, r);
+            checkSharedIndex(st, i, idx);
+            st.shared[static_cast<std::size_t>(idx)] = v;
+            break;
+          }
+          default:
+            r[i.dst] = v;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+ReferenceResult
+runReference(const CudaKernelDesc &desc)
+{
+    validateDesc(desc);
+
+    ReferenceResult out;
+    out.buffers.reserve(desc.buffers.size());
+    for (const BufferDesc &b : desc.buffers) {
+        std::vector<float> data(static_cast<std::size_t>(b.elems));
+        for (std::int64_t i = 0; i < b.elems; i++)
+            data[static_cast<std::size_t>(i)] = bufferInitValue(b, i);
+        out.buffers.push_back(std::move(data));
+    }
+
+    for (std::int64_t block = 0; block < desc.gridBlocks; block++) {
+        BlockState st{desc, out.buffers};
+        st.block = block;
+        st.shared.assign(static_cast<std::size_t>(desc.sharedElems),
+                         0.0f);
+        st.regs.assign(static_cast<std::size_t>(desc.blockThreads *
+                                                desc.numRegs),
+                       0.0f);
+        for (const CudaStmt &s : desc.body) {
+            if (s.kind == CudaStmt::Kind::Instr) {
+                stepInstr(st, s.instr, 0);
+            } else {
+                for (std::int64_t trip = 0; trip < s.loop.trips;
+                     trip++) {
+                    for (const CudaInstr &i : s.loop.body)
+                        stepInstr(st, i, trip);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace vespera::port

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Scalar reference interpreter for CudaKernelDesc.
+ *
+ * Executes the desc thread-by-thread in *per-instruction lockstep*:
+ * every thread of a block completes operation k before any thread
+ * starts operation k+1. That is strictly stronger than CUDA's
+ * barrier-only guarantees, so any desc whose cross-thread shared-memory
+ * communication is correctly fenced with Sync executes identically
+ * here and on real SIMT hardware — and identically to the lowered TPC
+ * program, which serializes strips between the same barriers. The
+ * scorecard's functional-parity check compares lowered output tensors
+ * against this interpreter's buffers.
+ */
+
+#ifndef VESPERA_PORT_REFERENCE_H
+#define VESPERA_PORT_REFERENCE_H
+
+#include <vector>
+
+#include "port/cuda_desc.h"
+
+namespace vespera::port {
+
+/** Final global-buffer contents, indexed like desc.buffers. */
+struct ReferenceResult
+{
+    std::vector<std::vector<float>> buffers;
+};
+
+/** Interpret `desc` (validates first). */
+ReferenceResult runReference(const CudaKernelDesc &desc);
+
+} // namespace vespera::port
+
+#endif // VESPERA_PORT_REFERENCE_H

@@ -317,6 +317,74 @@ TpcContext::v_splat(float value, int lanes)
 }
 
 Vec
+TpcContext::v_iota(int lanes)
+{
+    vassert(lanes > 0, "zero-lane iota");
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.resize(static_cast<std::size_t>(lanes));
+    for (int i = 0; i < lanes; i++)
+        r.lanes[static_cast<std::size_t>(i)] = static_cast<float>(i);
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.lanes = lanes;
+    instr.opLabel = opLabel("v_iota");
+    program_.append(instr);
+    return r;
+}
+
+Vec
+TpcContext::v_cmp_eq(const Vec &a, const Vec &b)
+{
+    return binaryOp(a, b, 1.0f,
+                    [](float x, float y) { return x == y ? 1.0f : 0.0f; },
+                    "v_cmp_eq");
+}
+
+Vec
+TpcContext::v_cmp_lt(const Vec &a, const Vec &b)
+{
+    return binaryOp(a, b, 1.0f,
+                    [](float x, float y) { return x < y ? 1.0f : 0.0f; },
+                    "v_cmp_lt");
+}
+
+Vec
+TpcContext::v_cmp_ge(const Vec &a, const Vec &b)
+{
+    return binaryOp(a, b, 1.0f,
+                    [](float x, float y) { return x >= y ? 1.0f : 0.0f; },
+                    "v_cmp_ge");
+}
+
+Vec
+TpcContext::v_sel(const Vec &mask, const Vec &a, const Vec &b)
+{
+    vassert(mask.laneCount() == a.laneCount() &&
+            mask.laneCount() == b.laneCount(),
+            "lane mismatch in v_sel");
+    Vec r;
+    r.id = program_.newValue();
+    r.lanes.resize(a.lanes.size());
+    for (std::size_t i = 0; i < a.lanes.size(); i++)
+        r.lanes[i] = mask.lanes[i] != 0.0f ? a.lanes[i] : b.lanes[i];
+
+    Instr instr;
+    instr.slot = Slot::Vector;
+    instr.dst = r.id;
+    instr.src0 = mask.id;
+    instr.src1 = a.id;
+    instr.src2 = b.id;
+    instr.flopsPerLane = 1.0f;
+    instr.lanes = a.laneCount();
+    instr.opLabel = opLabel("v_sel");
+    program_.append(instr);
+    return r;
+}
+
+Vec
 TpcContext::v_reduce_max(const Vec &a)
 {
     vassert(a.laneCount() > 0, "reducing empty vector");

@@ -108,6 +108,15 @@ class TpcContext
     Vec v_rsqrt(const Vec &a);
     /** Immediate constant splat into a `lanes`-wide register. */
     Vec v_splat(float value, int lanes);
+    /** Lane-index vector: lane i holds the value i (TPC-C's
+     *  read_lane_id equivalent, used to build predication masks). */
+    Vec v_iota(int lanes);
+    /** Lane-wise compares producing a 0.0/1.0 mask vector. */
+    Vec v_cmp_eq(const Vec &a, const Vec &b);
+    Vec v_cmp_lt(const Vec &a, const Vec &b);
+    Vec v_cmp_ge(const Vec &a, const Vec &b);
+    /** Lane-wise select: mask != 0 ? a : b (TPC-C v_sel_*). */
+    Vec v_sel(const Vec &mask, const Vec &a, const Vec &b);
     /** Cross-lane maximum; returns a single-lane vector. */
     Vec v_reduce_max(const Vec &a);
     /** Cross-lane sum; returns a single-lane vector. */

@@ -55,7 +55,7 @@ TEST(PredictFeatures, GoldenRegistryVectors)
         f.shape = t.shape;
         kernels.push_back(f.toJson());
     }
-    EXPECT_EQ(kernels.size(), 11u);
+    EXPECT_EQ(kernels.size(), 32u);
     std::map<std::string, json::Value> doc;
     doc["schema"] = json::Value::makeString(kFeatureSchema);
     doc["kernels"] = json::Value::makeArray(std::move(kernels));

@@ -29,7 +29,8 @@ TEST_F(RegistryTest, BuiltinCorpusCoversKernelFamilies)
     const std::vector<std::string> names = reg.names();
     for (const char *expected :
          {"softmax", "layernorm", "rmsnorm", "gather", "scatter",
-          "embedding_sdk", "embedding_single", "embedding_batched"}) {
+          "embedding_sdk", "embedding_single", "embedding_batched",
+          "port_saxpy", "port_softmax", "port_transpose"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << expected;
@@ -108,15 +109,16 @@ TEST_F(RegistryTest, StallPredictionMatchesPipelineOnAllKernels)
     }
 }
 
-// Every registered kernel — the full 11-kernel corpus — round-trips
-// through by-name lookup: the traced result carries the registry name,
-// a non-empty program, and a named embedded kernel. (Registry names
-// are variant names — "stream_triad_tuned" traces the "stream_TRIAD"
-// kernel — so the embedded name need not equal the registry name.)
+// Every registered kernel — the 11 hand-written kernels plus the
+// 21-entry migration corpus — round-trips through by-name lookup: the
+// traced result carries the registry name, a non-empty program, and a
+// named embedded kernel. (Registry names are variant names —
+// "stream_triad_tuned" traces the "stream_TRIAD" kernel — so the
+// embedded name need not equal the registry name.)
 TEST_F(RegistryTest, AllKernelsRoundTripThroughLookup)
 {
     KernelRegistry &reg = KernelRegistry::instance();
-    EXPECT_EQ(reg.size(), 11u);
+    EXPECT_EQ(reg.size(), 32u);
     for (const std::string &name : reg.names()) {
         const TracedKernel t = reg.trace(name);
         EXPECT_EQ(t.name, name);

@@ -96,7 +96,11 @@ TEST_F(StaticCostTest, StallAttributionTracksSimulator)
 TEST_F(StaticCostTest, StaticTraceRuleParityOnAllKernels)
 {
     const std::set<std::string> static_only = {
-        rules::registerPressure, rules::swpOpportunity};
+        rules::registerPressure, rules::swpOpportunity,
+        // The migration-aware passes only exist in the static
+        // pipeline (they read "port:*" labels pre-execution).
+        rules::divergenceEmulation, rules::coalescingLoss,
+        rules::stagingRedundancy, rules::loweredPipelining};
     for (const TracedKernel &t :
          KernelRegistry::instance().traceAll()) {
         const Report trace = analyzeProgram(t.program);

@@ -125,5 +125,56 @@ TEST_F(SimtTest, Fp32HalvesVectorPeak)
     EXPECT_NEAR(fp32.computeTime / bf16.computeTime, 2.0, 0.01);
 }
 
+// Degenerate geometry must die loudly, not produce a zero-time (or
+// NaN-utilization) cost that silently poisons a roofline downstream.
+TEST_F(SimtTest, EmptyStreamKernelDies)
+{
+    StreamKernelDesc k;
+    k.numElements = 0;
+    EXPECT_DEATH((void)model_.streamKernel(k, DataType::BF16),
+                 "empty stream kernel");
+}
+
+TEST_F(SimtTest, NegativeIntensityDies)
+{
+    StreamKernelDesc k;
+    k.numElements = 1 << 10;
+    k.bytesPerElement = -4;
+    EXPECT_DEATH((void)model_.streamKernel(k, DataType::BF16),
+                 "negative stream-kernel intensity");
+    k.bytesPerElement = 4;
+    k.flopsPerElement = -1;
+    EXPECT_DEATH((void)model_.streamKernel(k, DataType::BF16),
+                 "negative stream-kernel intensity");
+}
+
+TEST_F(SimtTest, EmptySweepDies)
+{
+    EXPECT_DEATH((void)model_.stridedSweep({4, 4, 32}, 0),
+                 "empty sweep");
+}
+
+TEST_F(SimtTest, ZeroLaneWarpPatternDies)
+{
+    EXPECT_DEATH((void)model_.coalescing({4, 4, 0}),
+                 "bad warp pattern");
+    EXPECT_DEATH((void)model_.coalescing({0, 4, 32}),
+                 "bad warp pattern");
+}
+
+TEST_F(SimtTest, EmptyGatherScatterDies)
+{
+    EXPECT_DEATH((void)model_.gatherScatter(0, 1 << 10, false),
+                 "empty gather/scatter");
+    EXPECT_DEATH((void)model_.gatherScatter(16, 0, false),
+                 "empty gather/scatter");
+}
+
+TEST_F(SimtTest, ZeroOccupancyGatherDies)
+{
+    EXPECT_DEATH((void)model_.gatherScatter(16, 1 << 10, false, 0.0),
+                 "gather/scatter needs occupancy");
+}
+
 } // namespace
 } // namespace vespera::cuda

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests of the CUDA kernel description language (port/cuda_desc.h):
+ * affine address / predicate evaluation, deterministic buffer
+ * initialization, desc validation (malformed descs die loudly), and
+ * the lockstep reference interpreter on hand-computable kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "port/cuda_desc.h"
+#include "port/reference.h"
+
+namespace vespera::port {
+namespace {
+
+TEST(AddrExpr, EvaluatesAffineTerms)
+{
+    AddrExpr a;
+    a.base = 7;
+    a.cTid = 2;
+    a.cWarp = 100;
+    a.cIter = 3;
+    LaneCtx ctx;
+    ctx.tid = 5;
+    ctx.warp = 1;
+    ctx.iter = 4;
+    EXPECT_EQ(evalAddr(a, ctx, nullptr), 7 + 2 * 5 + 100 + 3 * 4);
+}
+
+TEST(AddrExpr, Pow2IterTermIsShift)
+{
+    AddrExpr a;
+    a.cPow2Iter = 1;
+    LaneCtx ctx;
+    ctx.iter = 5;
+    EXPECT_EQ(evalAddr(a, ctx, nullptr), 32);
+}
+
+TEST(AddrExpr, IndexRegisterTruncates)
+{
+    AddrExpr a;
+    a.base = 10;
+    a.indexReg = 0;
+    const float regs[1] = {3.9f};
+    EXPECT_EQ(evalAddr(a, LaneCtx{}, regs), 13);
+}
+
+TEST(Pred, AddressFormComparesAffineExprs)
+{
+    Pred p;
+    p.active = true;
+    p.op = CmpOp::Lt;
+    p.lhs.cLane = 1;
+    p.rhs.base = 16;
+    LaneCtx ctx;
+    ctx.lane = 15;
+    EXPECT_TRUE(evalPred(p, ctx, nullptr));
+    ctx.lane = 16;
+    EXPECT_FALSE(evalPred(p, ctx, nullptr));
+}
+
+TEST(Pred, RegisterFormComparesValues)
+{
+    Pred p;
+    p.active = true;
+    p.onRegs = true;
+    p.op = CmpOp::Eq;
+    p.lhsReg = 0;
+    p.rhsReg = 1;
+    const float eq[2] = {2.5f, 2.5f};
+    const float ne[2] = {2.5f, 2.0f};
+    EXPECT_TRUE(evalPred(p, LaneCtx{}, eq));
+    EXPECT_FALSE(evalPred(p, LaneCtx{}, ne));
+}
+
+TEST(Pred, InactivePredicateAlwaysPasses)
+{
+    EXPECT_TRUE(evalPred(Pred{}, LaneCtx{}, nullptr));
+}
+
+TEST(BufferInit, PatternsAreDeterministicAndInRange)
+{
+    BufferDesc idx;
+    idx.elems = 256;
+    idx.init = BufferInit::Indices;
+    idx.initMod = 64;
+    for (std::int64_t i = 0; i < idx.elems; i++) {
+        const float v = bufferInitValue(idx, i);
+        EXPECT_EQ(v, bufferInitValue(idx, i));
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 64.0f);
+        EXPECT_EQ(v, static_cast<float>(static_cast<int>(v)));
+    }
+    BufferDesc wave;
+    wave.elems = 256;
+    wave.init = BufferInit::Wave;
+    wave.initScale = 2.0;
+    for (std::int64_t i = 0; i < wave.elems; i++) {
+        const float v = bufferInitValue(wave, i);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LE(v, 2.0f);
+    }
+}
+
+/** Minimal well-formed desc: out[i] = 2 * x[i] over 2 blocks x 64. */
+CudaKernelDesc
+tinyScaleDesc()
+{
+    CudaKernelDesc d;
+    d.name = "tiny_scale";
+    d.shape = "n=128";
+    d.gridBlocks = 2;
+    d.blockThreads = 64;
+    d.numRegs = 2;
+
+    BufferDesc x;
+    x.name = "x";
+    x.elems = 128;
+    x.init = BufferInit::Linear;
+    BufferDesc out;
+    out.name = "out";
+    out.elems = 128;
+    out.output = true;
+    d.buffers = {x, out};
+
+    CudaInstr ld;
+    ld.op = CudaOp::LoadGlobal;
+    ld.dst = 0;
+    ld.buf = 0;
+    ld.addr.cGlobal = 1;
+    CudaInstr mul;
+    mul.op = CudaOp::MulImm;
+    mul.dst = 1;
+    mul.src0 = 0;
+    mul.imm = 2.0f;
+    CudaInstr st;
+    st.op = CudaOp::StoreGlobal;
+    st.src0 = 1;
+    st.buf = 1;
+    st.addr.cGlobal = 1;
+    d.body = {CudaStmt::of(ld), CudaStmt::of(mul), CudaStmt::of(st)};
+    return d;
+}
+
+TEST(ValidateDesc, AcceptsWellFormedDesc)
+{
+    validateDesc(tinyScaleDesc()); // Must not die.
+}
+
+TEST(ValidateDescDeath, ZeroBlocksDies)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    d.gridBlocks = 0;
+    EXPECT_DEATH(validateDesc(d), "");
+}
+
+TEST(ValidateDescDeath, ZeroThreadsDies)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    d.blockThreads = 0;
+    EXPECT_DEATH(validateDesc(d), "");
+}
+
+TEST(ValidateDescDeath, ZeroElementBufferDies)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    d.buffers[0].elems = 0;
+    EXPECT_DEATH(validateDesc(d), "");
+}
+
+TEST(ValidateDescDeath, ZeroTripLoopDies)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    CudaLoop loop;
+    loop.trips = 0;
+    d.body.push_back(CudaStmt::of(loop));
+    EXPECT_DEATH(validateDesc(d), "");
+}
+
+TEST(ValidateDescDeath, OutOfRangeRegisterDies)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    d.body[1].instr.dst = 5; // numRegs = 2.
+    EXPECT_DEATH(validateDesc(d), "");
+}
+
+TEST(ValidateDescDeath, OutOfRangeBufferDies)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    d.body[0].instr.buf = 7;
+    EXPECT_DEATH(validateDesc(d), "");
+}
+
+TEST(ValidateDescDeath, SharedOpWithoutSharedMemoryDies)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    CudaInstr st;
+    st.op = CudaOp::StoreShared;
+    st.src0 = 0;
+    st.addr.cTid = 1;
+    d.body.push_back(CudaStmt::of(st));
+    EXPECT_DEATH(validateDesc(d), "");
+}
+
+TEST(ValidateDescDeath, PredicatedWarpReduceDies)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    CudaInstr red;
+    red.op = CudaOp::WarpReduceSum;
+    red.dst = 1;
+    red.src0 = 0;
+    red.pred.active = true;
+    red.pred.lhs.cLane = 1;
+    red.pred.rhs.base = 16;
+    d.body.push_back(CudaStmt::of(red));
+    EXPECT_DEATH(validateDesc(d), "");
+}
+
+TEST(Reference, ScaleKernelMatchesHandComputation)
+{
+    const CudaKernelDesc d = tinyScaleDesc();
+    const ReferenceResult r = runReference(d);
+    ASSERT_EQ(r.buffers.size(), 2u);
+    ASSERT_EQ(r.buffers[1].size(), 128u);
+    for (std::int64_t i = 0; i < 128; i++) {
+        EXPECT_EQ(r.buffers[1][static_cast<std::size_t>(i)],
+                  2.0f * bufferInitValue(d.buffers[0], i))
+            << "element " << i;
+    }
+}
+
+TEST(Reference, PredicateMasksInactiveThreads)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    // Only lanes < 16 write; others leave the output at its init (0).
+    d.body[2].instr.pred.active = true;
+    d.body[2].instr.pred.op = CmpOp::Lt;
+    d.body[2].instr.pred.lhs.cLane = 1;
+    d.body[2].instr.pred.rhs.base = 16;
+    const ReferenceResult r = runReference(d);
+    for (std::int64_t i = 0; i < 128; i++) {
+        const float want = (i % 32) < 16
+                               ? 2.0f * bufferInitValue(d.buffers[0], i)
+                               : 0.0f;
+        EXPECT_EQ(r.buffers[1][static_cast<std::size_t>(i)], want)
+            << "element " << i;
+    }
+}
+
+TEST(Reference, WarpReduceSumBroadcastsWarpTotal)
+{
+    CudaKernelDesc d = tinyScaleDesc();
+    d.buffers[0].init = BufferInit::Mod;
+    d.buffers[0].initMod = 4; // x[i] = i % 4, warp sum = 8 * (0+1+2+3).
+    CudaInstr red;
+    red.op = CudaOp::WarpReduceSum;
+    red.dst = 1;
+    red.src0 = 0;
+    d.body[1] = CudaStmt::of(red);
+    const ReferenceResult r = runReference(d);
+    for (std::size_t i = 0; i < 128; i++)
+        EXPECT_EQ(r.buffers[1][i], 48.0f) << "element " << i;
+}
+
+} // namespace
+} // namespace vespera::port

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests of the CUDA→TPC lowering (port/lower.h): functional parity
+ * against the reference interpreter across the whole migration corpus,
+ * byte-identical lowering at any runtime::Pool thread count, and the
+ * fix-hint knobs (warpsPerStrip / stripUnroll) actually paying off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "analysis/kernel_registry.h"
+#include "port/corpus.h"
+#include "port/lower.h"
+#include "port/reference.h"
+#include "runtime/pool.h"
+
+namespace vespera::port {
+namespace {
+
+/** Max per-element relative error across the desc's output buffers. */
+double
+maxRelError(const CudaKernelDesc &desc, const PortRun &run,
+            const ReferenceResult &ref)
+{
+    double worst = 0;
+    for (std::size_t b = 0; b < desc.buffers.size(); b++) {
+        if (!desc.buffers[b].output)
+            continue;
+        const tpc::Tensor &t = (*run.tensors)[b];
+        for (std::int64_t i = 0; i < desc.buffers[b].elems; i++) {
+            const double got = t.at({i, 0, 0, 0, 0});
+            const double want =
+                ref.buffers[b][static_cast<std::size_t>(i)];
+            const double denom = std::max(1.0, std::fabs(want));
+            worst = std::max(worst, std::fabs(got - want) / denom);
+        }
+    }
+    return worst;
+}
+
+// The headline parity sweep: every corpus kernel's lowered program
+// must reproduce the lockstep CUDA reference (ISSUE acceptance:
+// >= 15 kernels pass; in practice all of them do, bit-exactly for
+// everything but reassociated reductions).
+TEST(Lowering, FullCorpusMatchesReference)
+{
+    const auto &corpus = migrationCorpus();
+    ASSERT_GE(corpus.size(), 15u);
+    int passing = 0;
+    for (const CorpusEntry &e : corpus) {
+        const PortRun run = lowerAndRun(e.desc, e.lower);
+        const ReferenceResult ref = runReference(e.desc);
+        const double err = maxRelError(e.desc, run, ref);
+        EXPECT_LE(err, 2e-3) << e.desc.name;
+        if (err <= 2e-3)
+            passing++;
+    }
+    EXPECT_GE(passing, 15);
+}
+
+/** Serialize a captured trace field-by-field (labels resolved). */
+std::string
+fingerprint(const tpc::Program &p)
+{
+    std::ostringstream os;
+    os << p.kernelName() << "\n";
+    for (const tpc::Instr &i : p.instrs()) {
+        os << static_cast<int>(i.slot) << ' ' << i.dst << ' ' << i.src0
+           << ' ' << i.src1 << ' ' << i.src2 << ' ' << i.memBytes
+           << ' ' << static_cast<int>(i.access) << ' '
+           << i.flopsPerLane << ' ' << i.lanes << ' ' << i.memOffset
+           << ' ' << i.memStream << ' ' << p.label(i.opLabel) << "\n";
+    }
+    return os.str();
+}
+
+/** Serialize the output tensors bit-exactly. */
+std::string
+outputFingerprint(const CudaKernelDesc &desc, const PortRun &run)
+{
+    std::ostringstream os;
+    for (std::size_t b = 0; b < desc.buffers.size(); b++) {
+        if (!desc.buffers[b].output)
+            continue;
+        const tpc::Tensor &t = (*run.tensors)[b];
+        for (std::int64_t i = 0; i < desc.buffers[b].elems; i++) {
+            const float v = t.at({i, 0, 0, 0, 0});
+            os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+        }
+    }
+    return os.str();
+}
+
+// The determinism property the whole telemetry stack leans on,
+// extended to the migration layer: lowering and running a desc
+// produces a byte-identical trace and byte-identical outputs at any
+// pool width.
+TEST(Lowering, ByteIdenticalAcrossThreadCounts)
+{
+    const int restore = runtime::Pool::global().threads();
+    // Three kernels spanning the lowering's branches: plain
+    // elementwise, barriered shared-memory scan, shared atomics.
+    for (const char *name :
+         {"port_saxpy", "port_scan_incl", "port_histogram"}) {
+        const CorpusEntry *e = findCorpusEntry(name);
+        ASSERT_NE(e, nullptr) << name;
+        std::string base_trace, base_out;
+        for (const int threads : {1, 2, 4, 8}) {
+            runtime::Pool::setGlobalThreads(threads);
+            PortRun run;
+            const tpc::Program p = analysis::captureTrace(
+                [&] { run = lowerAndRun(e->desc, e->lower); });
+            const std::string trace = fingerprint(p);
+            const std::string out = outputFingerprint(e->desc, run);
+            if (threads == 1) {
+                base_trace = trace;
+                base_out = out;
+            } else {
+                EXPECT_EQ(trace, base_trace)
+                    << name << " trace differs at " << threads
+                    << " threads";
+                EXPECT_EQ(out, base_out)
+                    << name << " output differs at " << threads
+                    << " threads";
+            }
+        }
+    }
+    runtime::Pool::setGlobalThreads(restore);
+}
+
+// The fix-hint knobs must do what the findings promise: re-lowering
+// with warpsPerStrip=2 / stripUnroll=4 beats the naive port while
+// keeping parity.
+TEST(Lowering, TunedOptionsCloseTheGap)
+{
+    struct Case
+    {
+        const char *naive;
+        const char *tuned;
+    };
+    for (const Case c : {Case{"port_saxpy", "port_saxpy_tuned"},
+                         Case{"port_stencil3", "port_stencil3_tuned"}}) {
+        const CorpusEntry *naive = findCorpusEntry(c.naive);
+        const CorpusEntry *tuned = findCorpusEntry(c.tuned);
+        ASSERT_NE(naive, nullptr);
+        ASSERT_NE(tuned, nullptr);
+        const PortRun slow = lowerAndRun(naive->desc, naive->lower);
+        const PortRun fast = lowerAndRun(tuned->desc, tuned->lower);
+        EXPECT_LT(fast.launch.time, slow.launch.time) << c.naive;
+        const ReferenceResult ref = runReference(tuned->desc);
+        EXPECT_LE(maxRelError(tuned->desc, fast, ref), 2e-3)
+            << c.tuned;
+    }
+}
+
+// A desc that was never lowered before (not in the corpus) exercises
+// lowerAndRun directly — the API is usable outside the corpus.
+TEST(Lowering, AdHocDescLowersCorrectly)
+{
+    CudaKernelDesc d;
+    d.name = "adhoc_add";
+    d.shape = "n=4096";
+    d.gridBlocks = 16;
+    d.blockThreads = 256;
+    d.numRegs = 3;
+    BufferDesc a;
+    a.name = "a";
+    a.elems = 4096;
+    a.init = BufferInit::Linear;
+    BufferDesc b;
+    b.name = "b";
+    b.elems = 4096;
+    b.init = BufferInit::Wave;
+    BufferDesc out;
+    out.name = "out";
+    out.elems = 4096;
+    out.output = true;
+    d.buffers = {a, b, out};
+    CudaInstr la;
+    la.op = CudaOp::LoadGlobal;
+    la.dst = 0;
+    la.buf = 0;
+    la.addr.cGlobal = 1;
+    CudaInstr lb;
+    lb.op = CudaOp::LoadGlobal;
+    lb.dst = 1;
+    lb.buf = 1;
+    lb.addr.cGlobal = 1;
+    CudaInstr add;
+    add.op = CudaOp::Add;
+    add.dst = 2;
+    add.src0 = 0;
+    add.src1 = 1;
+    CudaInstr st;
+    st.op = CudaOp::StoreGlobal;
+    st.src0 = 2;
+    st.buf = 2;
+    st.addr.cGlobal = 1;
+    d.body = {CudaStmt::of(la), CudaStmt::of(lb), CudaStmt::of(add),
+              CudaStmt::of(st)};
+
+    const PortRun run = lowerAndRun(d);
+    const ReferenceResult ref = runReference(d);
+    EXPECT_EQ(maxRelError(d, run, ref), 0.0);
+}
+
+} // namespace
+} // namespace vespera::port

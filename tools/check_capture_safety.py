@@ -63,6 +63,16 @@ ALWAYS_UNSAFE = [
                 r"clearSlos|reset|publishRun)\s*\("),
      "Timeline singleton control — serial-path only (recorder "
      "publish() defers, the singleton's own methods do not)"),
+    # Trace capture (the migration scorecard's parity path, src/port/)
+    # installs a process-global observer: two captures racing would
+    # interleave their recorded programs. captureTrace and raw
+    # ScopedTraceObserver installation are serial-only by contract.
+    (re.compile(r"\bcaptureTrace\s*\("),
+     "captureTrace — installs a process-global trace observer, "
+     "serial-path only"),
+    (re.compile(r"\bScopedTraceObserver\b"),
+     "tpc::ScopedTraceObserver — process-global trace capture, "
+     "serial-path only"),
 ]
 
 DECL_SAMPLES = re.compile(r"\b(?:common::)?Samples\s+(\w+)")
@@ -183,6 +193,7 @@ void f() {
         ledger.merge(worker);               // racy bare-ledger fold
         tl->add(0, 1.0);                    // racy gauge mutation
         obs::Timeline::instance().reset();  // racy singleton reset
+        analysis::captureTrace([] {});      // racy trace observer
     });
     pool.run(4, [&](std::size_t i) { sink.record(i); });
 }
@@ -201,6 +212,7 @@ void f() {
     obs::SelfProf::instance().reset(); // serial path: fine
     rec.closeWindow(); // serial path: fine
     obs::Timeline::instance().setInterval(0.5); // serial path: fine
+    tpc::Program p = analysis::captureTrace([] {}); // serial: fine
     runtime::parallel_for(8, [&](std::size_t i) {
         reg.counter("ok.total").add(1.0); // capture-aware: deferred
         obs::SelfProf::instance().charge( // capture-aware: deferred
@@ -225,8 +237,8 @@ def self_test():
         bad_findings = check_file(bad)
         good_findings = check_file(good)
     ok = True
-    if len(bad_findings) != 8:
-        print("self-test: expected 8 findings in bad.cc, got %d:"
+    if len(bad_findings) != 9:
+        print("self-test: expected 9 findings in bad.cc, got %d:"
               % len(bad_findings))
         print("\n".join(bad_findings))
         ok = False

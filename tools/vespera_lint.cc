@@ -17,6 +17,16 @@
  *    Reports use schema "vespera-lint-static/v1" (per-finding fix
  *    hints, IR shape, predicted-cycle breakdown).
  *
+ *  - migrate: lowers every CUDA kernel desc in the migration corpus
+ *    (port/corpus.h) onto tpc::Program, checks functional parity
+ *    against the lockstep CUDA reference interpreter, measures the
+ *    achieved fraction of the hand-written TPC-C comparator's
+ *    performance, and attributes the gap with the migration-aware
+ *    static-analyzer passes. Reports use schema
+ *    "vespera-lint-migrate/v1"; the baseline ratchet
+ *    ("vespera-lint-migrate-baseline/v1") pins parity and achieved
+ *    fraction so they can only improve.
+ *
  *  - tune: runs the static design-space autotuner
  *    (analysis/predict/) over every registered tunable kernel —
  *    proxy-screens the knob cross product, exact-verifies the top-k,
@@ -30,7 +40,7 @@
  * fails the build.
  *
  * Usage:
- *   vespera-lint [static|tune] [--list] [--kernel=SUBSTR]
+ *   vespera-lint [static|tune|migrate] [--list] [--kernel=SUBSTR]
  *                [--json[=PATH]] [--baseline=PATH]
  *                [--write-baseline=PATH] [--update-baseline]
  *                [--fail-on=error|warning|none] [--verbose]
@@ -48,6 +58,8 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/kernel_registry.h"
+#include "analysis/migrate/migrate_report.h"
+#include "analysis/migrate/scorecard.h"
 #include "analysis/predict/calibrate.h"
 #include "analysis/predict/proxy.h"
 #include "analysis/predict/tune_report.h"
@@ -58,6 +70,7 @@
 #include "graph/compiler.h"
 #include "graph/lint.h"
 #include "models/dlrm.h"
+#include "port/corpus.h"
 
 namespace {
 
@@ -69,8 +82,9 @@ using vespera::analysis::StaticLintEntry;
 
 struct Options
 {
-    bool staticMode = false; ///< "static" subcommand.
-    bool tuneMode = false;   ///< "tune" subcommand.
+    bool staticMode = false;  ///< "static" subcommand.
+    bool tuneMode = false;    ///< "tune" subcommand.
+    bool migrateMode = false; ///< "migrate" subcommand.
     int topK = 5;            ///< Exact verifications per kernel (tune).
     std::string coeffsPath;  ///< Proxy coefficients ("" = builtin).
     /// Refit the proxy and write coefficients here instead of tuning.
@@ -94,10 +108,15 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [static|tune] [options]\n"
+        "usage: %s [static|tune|migrate] [options]\n"
         "  static                 pre-execution analyzer (SSA IR +\n"
         "                         static cost model) instead of the\n"
         "                         trace/simulator pipeline\n"
+        "  migrate                CUDA->TPC migration scorecard:\n"
+        "                         lower the CUDA corpus, check parity\n"
+        "                         vs the reference interpreter, report\n"
+        "                         achieved fraction of hand-written\n"
+        "                         performance and migration findings\n"
         "  tune                   static design-space autotuner:\n"
         "                         proxy-screen knob cross products,\n"
         "                         exact-verify the top-k\n"
@@ -138,6 +157,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.staticMode = true;
         } else if (arg == "tune") {
             opt.tuneMode = true;
+        } else if (arg == "migrate") {
+            opt.migrateMode = true;
         } else if (const char *v = value("--top-k")) {
             opt.topK = std::atoi(v);
             if (opt.topK < 1)
@@ -182,7 +203,7 @@ parseArgs(int argc, char **argv, Options &opt)
         return false;
     // The subcommands are mutually exclusive; calibration is a tune
     // operation.
-    if (opt.staticMode && opt.tuneMode)
+    if (opt.staticMode + opt.tuneMode + opt.migrateMode > 1)
         return false;
     if (!opt.calibratePath.empty() && !opt.tuneMode)
         return false;
@@ -445,6 +466,101 @@ runTune(const Options &opt)
                      vespera::analysis::tuneToLintEntries(results));
 }
 
+/**
+ * migrate: the CUDA->TPC porting scorecard. The baseline format
+ * ("vespera-lint-migrate-baseline/v1", per-kernel parity + achieved
+ * fraction) differs from the warnings baseline, so this mode has its
+ * own finish path instead of finishRun.
+ */
+int
+runMigrate(const Options &opt)
+{
+    std::vector<vespera::analysis::MigrateEntry> entries;
+    for (vespera::analysis::MigrateEntry &e :
+         vespera::analysis::runMigrationCorpus({})) {
+        if (!opt.kernelFilter.empty() &&
+            e.kernel.find(opt.kernelFilter) == std::string::npos) {
+            continue;
+        }
+        entries.push_back(std::move(e));
+    }
+    if (entries.empty()) {
+        std::fprintf(stderr, "no kernels match filter '%s'\n",
+                     opt.kernelFilter.c_str());
+        return 2;
+    }
+
+    if (!opt.json || !opt.jsonPath.empty()) {
+        std::fputs(vespera::analysis::migrateReportText(entries,
+                                                        opt.verbose)
+                       .c_str(),
+                   stdout);
+    }
+    if (opt.json) {
+        const int rc = emitJson(
+            opt, vespera::analysis::migrateReportJson(entries));
+        if (rc != 0)
+            return rc;
+    }
+
+    const std::string baseline_doc = vespera::json::serialize(
+        vespera::analysis::migrateBaselineJson(entries));
+    if (!opt.writeBaselinePath.empty() &&
+        !writeFile(opt.writeBaselinePath, baseline_doc)) {
+        return 2;
+    }
+    if (opt.updateBaseline) {
+        if (!writeFile(opt.baselinePath, baseline_doc))
+            return 2;
+        std::fprintf(stderr, "baseline %s updated\n",
+                     opt.baselinePath.c_str());
+    }
+
+    int rc = 0;
+    if (!opt.baselinePath.empty() && !opt.updateBaseline) {
+        std::ifstream in(opt.baselinePath);
+        if (!in) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         opt.baselinePath.c_str());
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        vespera::json::Value baseline;
+        std::string error;
+        if (!vespera::json::parse(buf.str(), baseline, &error)) {
+            std::fprintf(stderr, "baseline %s: %s\n",
+                         opt.baselinePath.c_str(), error.c_str());
+            return 2;
+        }
+        const vespera::analysis::BaselineCheck check =
+            vespera::analysis::checkMigrateBaseline(entries, baseline);
+        for (const std::string &failure : check.failures)
+            std::fprintf(stderr, "BASELINE: %s\n", failure.c_str());
+        if (!check.ok)
+            rc = 1;
+    }
+    if (!opt.failOnNothing) {
+        // Parity failures are always fatal; analyzer findings gate at
+        // the usual --fail-on severity.
+        for (const vespera::analysis::MigrateEntry &e : entries) {
+            if (!e.parity) {
+                std::fprintf(stderr, "FAIL: %s fails parity\n",
+                             e.kernel.c_str());
+                rc = 1;
+            }
+            if (e.analysis.report.hasSeverity(opt.failOn)) {
+                std::fprintf(
+                    stderr, "FAIL: %s has findings at or above %s\n",
+                    e.kernel.c_str(),
+                    vespera::analysis::severityName(opt.failOn));
+                rc = 1;
+            }
+        }
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -460,6 +576,14 @@ main(int argc, char **argv)
         vespera::analysis::KernelRegistry::instance();
 
     if (opt.list) {
+        if (opt.migrateMode) {
+            for (const vespera::port::CorpusEntry &e :
+                 vespera::port::migrationCorpus()) {
+                std::printf("%s [%s]\n", e.desc.name.c_str(),
+                            e.desc.shape.c_str());
+            }
+            return 0;
+        }
         if (opt.tuneMode) {
             const vespera::analysis::TunableRegistry &tunables =
                 vespera::analysis::TunableRegistry::instance();
@@ -474,6 +598,8 @@ main(int argc, char **argv)
             std::printf("%s\n", name.c_str());
         return 0;
     }
+    if (opt.migrateMode)
+        return runMigrate(opt);
     if (opt.tuneMode)
         return runTune(opt);
     if (opt.staticMode)

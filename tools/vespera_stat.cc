@@ -32,6 +32,15 @@
  * so the bench trajectory can gate "the tuner stopped finding the
  * known-better config" the same way it gates counter drift.
  *
+ * Likewise `vespera-lint-migrate/v1` documents (vespera-lint migrate
+ * --json) flatten to:
+ *   migrate.<kernel>.parity            1/0 (a lost parity diffs as an
+ *                                      infinite relative change)
+ *   migrate.<kernel>.achieved_fraction hand-time / ported-time
+ *   migrate.<kernel>.ported_cycles     static predicted issue cycles
+ *   migrate.<kernel>.findings          migration-aware finding count
+ *   migrate.totals.<field>             kernels / parity_failures
+ *
  * Compared metrics, flattened to dotted names:
  *   counters.<name>               counter value
  *   rates.<name>                  rate meter mean rate
@@ -191,6 +200,41 @@ flattenTune(const Value &doc, std::map<std::string, double> &out)
     }
 }
 
+/** Flatten a `vespera-lint-migrate/v1` document (migration
+ *  scorecards) into comparable dotted-name scalars. Parity flattens
+ *  to 0/1 so a lost parity shows as an infinite relative change. */
+void
+flattenMigrate(const Value &doc, std::map<std::string, double> &out)
+{
+    if (const Value *kernels = doc.find("kernels");
+        kernels && kernels->isArray()) {
+        for (const Value &k : kernels->array()) {
+            const Value *name = k.find("kernel");
+            if (!name || !name->isString())
+                continue;
+            const std::string prefix = "migrate." + name->str() + ".";
+            if (const Value *v = k.find("parity"); v && v->isBool())
+                out[prefix + "parity"] = v->boolean() ? 1.0 : 0.0;
+            if (const Value *v = k.find("achieved_fraction");
+                v && v->isNumber())
+                out[prefix + "achieved_fraction"] = v->number();
+            if (const Value *v = k.find("ported_cycles");
+                v && v->isNumber())
+                out[prefix + "ported_cycles"] = v->number();
+            if (const Value *v = k.find("migration_findings");
+                v && v->isNumber())
+                out[prefix + "findings"] = v->number();
+        }
+    }
+    if (const Value *totals = doc.find("totals");
+        totals && totals->isObject()) {
+        for (const auto &[name, v] : totals->object()) {
+            if (v.isNumber())
+                out["migrate.totals." + name] = v.number();
+        }
+    }
+}
+
 /** Flatten one metrics document into comparable dotted-name scalars. */
 bool
 flatten(const Value &doc, const std::string &path,
@@ -202,11 +246,17 @@ flatten(const Value &doc, const std::string &path,
         flattenTune(doc, out);
         return true;
     }
+    if (schema && schema->isString() &&
+        schema->str() == "vespera-lint-migrate/v1") {
+        flattenMigrate(doc, out);
+        return true;
+    }
     if (!schema || !schema->isString() ||
         schema->str().rfind("vespera-metrics/", 0) != 0) {
         std::fprintf(stderr,
-                     "vespera-stat: %s is not a vespera-metrics or "
-                     "vespera-lint-tune document\n",
+                     "vespera-stat: %s is not a vespera-metrics, "
+                     "vespera-lint-tune, or vespera-lint-migrate "
+                     "document\n",
                      path.c_str());
         return false;
     }
